@@ -1,0 +1,41 @@
+//! Ablation (beyond the paper's figures): the DPO coalescing distance.
+//!
+//! §4.6.2 fixes the distance at 4 ("empirically determined, as no benefit
+//! has been observed at a distance larger than four"). This bench sweeps
+//! the distance and reports PM write traffic and throughput so the choice
+//! can be checked in this model.
+
+use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{run, BenchId};
+
+const DISTANCES: [u32; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    println!("\n=== Ablation: DPO coalescing distance (traffic normalized to distance 4) ===");
+    header("bench", &["d=1", "d=2", "d=4", "d=8", "d=16"]);
+    let mut geo = vec![Vec::new(); DISTANCES.len()];
+    for bench in benches(&BenchId::all()) {
+        let mut base_spec = fig_spec(bench, SchemeKind::Asap);
+        base_spec.system.asap.dpo_distance = 4;
+        let base = run(&base_spec);
+        let mut cells = Vec::new();
+        for (i, d) in DISTANCES.iter().enumerate() {
+            let r = if *d == 4 {
+                1.0
+            } else {
+                let mut spec = fig_spec(bench, SchemeKind::Asap);
+                spec.system.asap.dpo_distance = *d;
+                run(&spec).traffic_ratio_to(&base)
+            };
+            geo[i].push(r);
+            cells.push(format!("{r:.2}"));
+        }
+        row(bench.label(), &cells);
+    }
+    row(
+        "GeoMean",
+        &geo.iter().map(|g| format!("{:.2}", geomean(g))).collect::<Vec<_>>(),
+    );
+    println!("(expected: traffic falls up to d≈4, little benefit beyond — §4.6.2)");
+}

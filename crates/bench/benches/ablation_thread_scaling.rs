@@ -1,0 +1,62 @@
+//! Ablation (beyond the paper's figures): thread scaling under lock
+//! contention.
+//!
+//! §2.1 argues that persist latency inside critical sections translates
+//! into lock contention: "high latency atomic regions translate into high
+//! latency critical sections". Synchronous schemes hold data unavailable
+//! (the lock, for the sync family; the region body itself never waits for
+//! ASAP) — so ASAP's advantage should *grow* with thread count on a
+//! lock-contended benchmark. Q uses a single global lock.
+
+use asap_bench::{geomean, header, ops, row};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{run, BenchId, WorkloadSpec};
+
+const THREADS: [u32; 5] = [1, 2, 4, 8, 16];
+const SCHEMES: [(&str, SchemeKind); 4] = [
+    ("SW", SchemeKind::SwUndo),
+    ("HWUndo", SchemeKind::HwUndo),
+    ("ASAP", SchemeKind::Asap),
+    ("NP", SchemeKind::NoPersist),
+];
+
+fn main() {
+    println!("\n=== Ablation: throughput vs threads on Q (global lock), normalized to 1-thread SW ===");
+    header("scheme", &["t=1", "t=2", "t=4", "t=8", "t=16"]);
+    let base = run(&WorkloadSpec::new(BenchId::Q, SchemeKind::SwUndo)
+        .with_threads(1)
+        .with_ops(ops()));
+    let mut asap_over_undo = Vec::new();
+    let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
+    for (si, (_, scheme)) in SCHEMES.iter().enumerate() {
+        let mut vals = Vec::new();
+        for t in THREADS {
+            let r = run(&WorkloadSpec::new(BenchId::Q, *scheme).with_threads(t).with_ops(ops()));
+            vals.push(r.speedup_over(&base));
+        }
+        rows.push((si, vals));
+    }
+    for (si, vals) in &rows {
+        row(
+            SCHEMES[*si].0,
+            &vals.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>(),
+        );
+    }
+    for (i, _) in THREADS.iter().enumerate() {
+        let undo = rows[1].1[i];
+        let asap = rows[2].1[i];
+        asap_over_undo.push(asap / undo);
+    }
+    println!(
+        "\nASAP/HWUndo by thread count: {}",
+        asap_over_undo
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    println!(
+        "(§2.1: the async-commit advantage should hold or grow with contention; geomean {:.2})",
+        geomean(&asap_over_undo)
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 1: overhead of LPOs and DPOs in a software approach.
+//!
+//! Normalized throughput of the software baseline with data flushes only
+//! ("DPO Only") and with full undo logging ("LPO & DPO"), relative to no
+//! persistence (NP). The paper measures 0.58× and 0.31× geomean on real
+//! hardware; the simulator reproduces the ordering and rough magnitudes.
+
+use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{run, BenchId};
+
+fn main() {
+    println!("\n=== Figure 1: software persist-operation overhead (normalized throughput) ===");
+    header("bench", &["NP", "DPO Only", "LPO & DPO"]);
+    let mut dpo_only = Vec::new();
+    let mut full = Vec::new();
+    for bench in benches(&BenchId::fig1()) {
+        let np = run(&fig_spec(bench, SchemeKind::NoPersist));
+        let d = run(&fig_spec(bench, SchemeKind::SwDpoOnly));
+        let f = run(&fig_spec(bench, SchemeKind::SwUndo));
+        let dr = d.speedup_over(&np);
+        let fr = f.speedup_over(&np);
+        dpo_only.push(dr);
+        full.push(fr);
+        row(
+            bench.label(),
+            &[format!("{:.2}", 1.0), format!("{dr:.2}"), format!("{fr:.2}")],
+        );
+    }
+    row(
+        "GeoMean",
+        &[
+            "1.00".into(),
+            format!("{:.2}", geomean(&dpo_only)),
+            format!("{:.2}", geomean(&full)),
+        ],
+    );
+    println!("(paper: DPO Only 0.58, LPO & DPO 0.31)");
+}

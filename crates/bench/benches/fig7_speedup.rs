@@ -1,0 +1,44 @@
+//! Figure 7: performance comparison — speedup over SW (higher is better).
+//!
+//! All nine benchmarks with 64B and 2KB data sizes per atomic region, for
+//! SW / HWRedo / HWUndo / ASAP / NP. The paper's geomeans: HWRedo 1.49×,
+//! HWUndo 1.60×, ASAP 2.25×, NP ≈ 1.04× ASAP.
+
+use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{run, BenchId};
+
+const SCHEMES: [SchemeKind; 5] = [
+    SchemeKind::SwUndo,
+    SchemeKind::HwRedo,
+    SchemeKind::HwUndo,
+    SchemeKind::Asap,
+    SchemeKind::NoPersist,
+];
+
+fn main() {
+    println!("\n=== Figure 7: speedup over SW (higher is better) ===");
+    header("bench", &["size", "SW", "HWRedo", "HWUndo", "ASAP", "NP"]);
+    let mut geo = vec![Vec::new(); SCHEMES.len()];
+    for bench in benches(&BenchId::all()) {
+        for vb in [64u64, 2048] {
+            let sw = run(&fig_spec(bench, SchemeKind::SwUndo).with_value_bytes(vb));
+            let mut cells = vec![format!("{}B", vb)];
+            for (i, scheme) in SCHEMES.iter().enumerate() {
+                let s = if *scheme == SchemeKind::SwUndo {
+                    1.0
+                } else {
+                    run(&fig_spec(bench, *scheme).with_value_bytes(vb)).speedup_over(&sw)
+                };
+                geo[i].push(s);
+                cells.push(format!("{s:.2}"));
+            }
+            row(bench.label(), &cells);
+        }
+    }
+    let cells: Vec<String> = std::iter::once("both".to_string())
+        .chain(geo.iter().map(|g| format!("{:.2}", geomean(g))))
+        .collect();
+    row("GeoMean", &cells);
+    println!("(paper geomeans: SW 1.00, HWRedo 1.49, HWUndo 1.60, ASAP 2.25, NP 2.35)");
+}

@@ -1,0 +1,44 @@
+//! Figure 8: average cycles per atomic region, normalized to NP (lower is
+//! better).
+//!
+//! Synchronous-commit schemes pay their persist waits inside the region;
+//! ASAP proceeds past `asap_end` immediately. The paper reports HWRedo
+//! 1.69×, HWUndo 1.61× and ASAP only 1.08× of NP.
+
+use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{run, BenchId};
+
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::SwUndo,
+    SchemeKind::HwRedo,
+    SchemeKind::HwUndo,
+    SchemeKind::Asap,
+];
+
+fn main() {
+    println!("\n=== Figure 8: cycles per atomic region normalized to NP (lower is better) ===");
+    header("bench", &["size", "SW", "HWRedo", "HWUndo", "ASAP", "NP"]);
+    let mut geo = vec![Vec::new(); SCHEMES.len()];
+    for bench in benches(&BenchId::all()) {
+        for vb in [64u64, 2048] {
+            let np = run(&fig_spec(bench, SchemeKind::NoPersist).with_value_bytes(vb));
+            let base = np.region_cycles_mean.max(1.0);
+            let mut cells = vec![format!("{}B", vb)];
+            for (i, scheme) in SCHEMES.iter().enumerate() {
+                let r = run(&fig_spec(bench, *scheme).with_value_bytes(vb));
+                let norm = r.region_cycles_mean / base;
+                geo[i].push(norm);
+                cells.push(format!("{norm:.2}"));
+            }
+            cells.push("1.00".into());
+            row(bench.label(), &cells);
+        }
+    }
+    let cells: Vec<String> = std::iter::once("both".to_string())
+        .chain(geo.iter().map(|g| format!("{:.2}", geomean(g))))
+        .chain(std::iter::once("1.00".to_string()))
+        .collect();
+    row("GeoMean", &cells);
+    println!("(paper geomeans: HWRedo 1.69, HWUndo 1.61, ASAP 1.08 of NP)");
+}

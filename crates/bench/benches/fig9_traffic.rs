@@ -1,0 +1,75 @@
+//! Figure 9: persistent memory write traffic (lower is better).
+//!
+//! (a) the incremental effect of ASAP's §5.1 optimizations — DPO
+//! coalescing (+C), LPO dropping (+LP) and DPO dropping (full ASAP),
+//! normalized to full ASAP;
+//! (b) traffic of SW / HWRedo / HWUndo vs ASAP.
+//!
+//! The paper: coalescing saves ~8%, +LPO dropping ~33%, +DPO dropping
+//! ~31%; ASAP generates 0.62× / 0.52× / 0.39× the traffic of HWRedo /
+//! HWUndo / SW.
+
+use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_core::scheme::{AsapOpts, SchemeKind};
+use asap_workloads::{run, BenchId};
+
+fn main() {
+    println!("\n=== Figure 9a: ASAP traffic-optimization ablation (normalized to full ASAP) ===");
+    let variants = [
+        ("No-Opt", SchemeKind::AsapWith(AsapOpts::none())),
+        ("+C", SchemeKind::AsapWith(AsapOpts::coalescing_only())),
+        ("+C+LP", SchemeKind::AsapWith(AsapOpts::coalescing_and_lpo())),
+        ("ASAP", SchemeKind::Asap),
+    ];
+    header("bench", &variants.iter().map(|(n, _)| *n).collect::<Vec<_>>());
+    let mut geo_a = vec![Vec::new(); variants.len()];
+    let the_benches = benches(&BenchId::all());
+    for bench in &the_benches {
+        let full = run(&fig_spec(*bench, SchemeKind::Asap));
+        let mut cells = Vec::new();
+        for (i, (_, scheme)) in variants.iter().enumerate() {
+            let r = if *scheme == SchemeKind::Asap {
+                1.0
+            } else {
+                run(&fig_spec(*bench, *scheme)).traffic_ratio_to(&full)
+            };
+            geo_a[i].push(r);
+            cells.push(format!("{r:.2}"));
+        }
+        row(bench.label(), &cells);
+    }
+    row(
+        "GeoMean",
+        &geo_a.iter().map(|g| format!("{:.2}", geomean(g))).collect::<Vec<_>>(),
+    );
+    println!("(paper: +C saves ~8%, +LP another ~33%, DPO dropping another ~31%)");
+
+    println!("\n=== Figure 9b: PM write traffic normalized to ASAP (lower is better) ===");
+    let schemes = [
+        ("SW", SchemeKind::SwUndo),
+        ("HWRedo", SchemeKind::HwRedo),
+        ("HWUndo", SchemeKind::HwUndo),
+        ("ASAP", SchemeKind::Asap),
+    ];
+    header("bench", &schemes.iter().map(|(n, _)| *n).collect::<Vec<_>>());
+    let mut geo_b = vec![Vec::new(); schemes.len()];
+    for bench in &the_benches {
+        let asap = run(&fig_spec(*bench, SchemeKind::Asap));
+        let mut cells = Vec::new();
+        for (i, (_, scheme)) in schemes.iter().enumerate() {
+            let r = if *scheme == SchemeKind::Asap {
+                1.0
+            } else {
+                run(&fig_spec(*bench, *scheme)).traffic_ratio_to(&asap)
+            };
+            geo_b[i].push(r);
+            cells.push(format!("{r:.2}"));
+        }
+        row(bench.label(), &cells);
+    }
+    row(
+        "GeoMean",
+        &geo_b.iter().map(|g| format!("{:.2}", geomean(g))).collect::<Vec<_>>(),
+    );
+    println!("(paper: ASAP traffic is 0.39x SW, 0.52x HWUndo, 0.62x HWRedo — i.e. SW 2.56, HWUndo 1.92, HWRedo 1.61 normalized to ASAP)");
+}

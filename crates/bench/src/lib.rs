@@ -1,0 +1,98 @@
+//! Shared harness for the figure-regeneration benches.
+//!
+//! Every table and figure in the paper's evaluation (§7) has a bench
+//! target under `benches/` that prints the same rows/series the paper
+//! plots. Run them all with `cargo bench`, or one with e.g.
+//! `cargo bench --bench fig7_speedup`.
+//!
+//! Scale knobs (environment):
+//!
+//! - `ASAP_OPS` — transactions per thread (default 200);
+//! - `ASAP_THREADS` — worker threads (default 4);
+//! - `ASAP_BENCHES` — comma-separated benchmark labels to restrict to.
+
+#![warn(missing_docs)]
+
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{BenchId, WorkloadSpec};
+
+/// Transactions per thread, from `ASAP_OPS` (default 200).
+pub fn ops() -> u64 {
+    std::env::var("ASAP_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+}
+
+/// Worker threads, from `ASAP_THREADS` (default 4).
+pub fn threads() -> u32 {
+    std::env::var("ASAP_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// The benchmark set, optionally restricted by `ASAP_BENCHES`.
+pub fn benches(all: &[BenchId]) -> Vec<BenchId> {
+    match std::env::var("ASAP_BENCHES") {
+        Ok(list) => {
+            let want: Vec<String> =
+                list.split(',').map(|s| s.trim().to_uppercase()).collect();
+            all.iter().copied().filter(|b| want.contains(&b.label().to_string())).collect()
+        }
+        Err(_) => all.to_vec(),
+    }
+}
+
+/// The standard figure spec: Table 2 system, scaled ops/threads.
+pub fn fig_spec(bench: BenchId, scheme: SchemeKind) -> WorkloadSpec {
+    WorkloadSpec::new(bench, scheme).with_threads(threads()).with_ops(ops())
+}
+
+/// Geometric mean (0.0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Prints a fixed-width table row.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<8}");
+    for c in cells {
+        print!(" {c:>9}");
+    }
+    println!();
+}
+
+/// Prints a table header followed by a rule.
+pub fn header(label: &str, cols: &[&str]) {
+    row(label, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(8 + cols.len() * 10));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn env_defaults() {
+        // Not set in the test environment.
+        if std::env::var("ASAP_OPS").is_err() {
+            assert_eq!(ops(), 200);
+        }
+        if std::env::var("ASAP_THREADS").is_err() {
+            assert_eq!(threads(), 4);
+        }
+    }
+
+    #[test]
+    fn bench_filter_passthrough() {
+        if std::env::var("ASAP_BENCHES").is_err() {
+            assert_eq!(benches(&BenchId::all()).len(), 9);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! ASAP: Architecture Support for Asynchronous Persistence — core library.
+//!
+//! This crate reproduces the system described in the ISCA 2022 paper
+//! *ASAP: Architecture Support for Asynchronous Persistence* (Abulila,
+//! El Hajj, Jung, Kim): a hardware write-ahead-logging scheme for
+//! persistent memory in which atomic regions **commit asynchronously** —
+//! execution proceeds past `asap_end()` without waiting for outstanding log
+//! persist operations (LPOs) or data persist operations (DPOs) — while
+//! hardware tracks and enforces control and data dependencies between
+//! regions so they still commit in a recoverable order.
+//!
+//! # What's here
+//!
+//! - [`machine`] — the simulated multicore machine: software interface
+//!   (Table 1: `begin_region`/`end_region`/`fence`/`pm_alloc`/`pm_free`),
+//!   virtual-time execution, crash injection and recovery;
+//! - [`scheme`] — the five persistence schemes evaluated by the paper:
+//!   no-persistence, software undo logging, synchronous-commit hardware
+//!   undo (à la Proteus), synchronous-LPO hardware redo, and ASAP itself;
+//! - [`scheme::asap`] — ASAP's hardware state: thread state registers,
+//!   CL List, Dependence List, LH-WPQ, the §5.1 traffic optimizations,
+//!   and asynchronous commit;
+//! - [`logbuf`] — per-thread circular log buffers and the Fig. 5a record
+//!   format (one header line + up to 7 data-entry lines, chained);
+//! - [`recovery`] — crash-time persistence-domain dump and the recovery
+//!   procedures (dependence-DAG ordered undo for ASAP, undo/redo for the
+//!   baselines);
+//! - [`tracker`] — an execution shadow used by tests to verify atomic
+//!   durability and commit-order guarantees end to end.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asap_core::machine::{Machine, MachineConfig};
+//! use asap_core::scheme::SchemeKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut machine = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
+//! let counter = machine.pm_alloc(8)?;
+//! machine.run_thread(0, |ctx| {
+//!     ctx.begin_region();
+//!     let v = ctx.read_u64(counter);
+//!     ctx.write_u64(counter, v + 1);
+//!     ctx.end_region();
+//! });
+//! machine.drain();
+//! assert_eq!(machine.debug_read_u64(counter), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hw;
+pub mod logbuf;
+pub mod machine;
+pub mod recovery;
+pub mod scheme;
+pub mod tracker;
+
+pub use hw::Hw;
+pub use machine::{Machine, MachineConfig, RunOutcome, ThreadCtx};
+pub use scheme::SchemeKind;
+pub use tracker::RegionTracker;

@@ -1,0 +1,451 @@
+//! Per-thread circular log buffers and the Fig. 5a record format.
+//!
+//! Each thread owns a distributed log (§5.5) in persistent memory. The log
+//! is divided into *records*: one 64-byte `LogHeader` line followed by up
+//! to seven 64-byte data-entry lines. The header holds the region ID,
+//! flags, the addresses of each logged data line, and (an addition needed
+//! for recovery without volatile registers) the address of the region's
+//! previous record, forming a per-region chain that recovery walks from
+//! the LH-WPQ's final `LogHeaderAddr`.
+
+use std::fmt;
+
+use asap_mem::Rid;
+use asap_pmem::{LineAddr, PmAddr, LINE_BYTES};
+
+/// Lines occupied by one full record: header + 7 entries.
+pub const RECORD_LINES: u64 = 8;
+
+/// Maximum data entries per record (Fig. 5a).
+pub const MAX_ENTRIES: usize = 7;
+
+/// Magic tag in every record header ("ASAP").
+pub const LOG_MAGIC: u32 = 0x4153_4150;
+
+/// Error: the circular log buffer is out of space.
+///
+/// The paper handles overflow with an exception that allocates more log
+/// space (§4.4); the reproduction sizes logs generously and surfaces the
+/// condition instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogFull {
+    /// Lines requested.
+    pub requested: u64,
+    /// Lines free.
+    pub free: u64,
+}
+
+impl fmt::Display for LogFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "log buffer overflow: need {} lines, {} free (pass a larger log size to init)",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for LogFull {}
+
+/// One decoded record header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordHeader {
+    /// The atomic region this record belongs to.
+    pub rid: Rid,
+    /// Sealed: all entry slots filled, header written through the WPQ.
+    pub sealed: bool,
+    /// Committed marker (used by redo logging as the commit record).
+    pub committed: bool,
+    /// Number of valid entries (≤ 7).
+    pub count: u8,
+    /// Byte address of the region's previous record header, if any.
+    pub prev: Option<PmAddr>,
+    /// Data-line addresses of the logged entries (first `count` valid).
+    pub addrs: [LineAddr; MAX_ENTRIES],
+}
+
+impl RecordHeader {
+    /// A fresh, empty header for `rid` chaining to `prev`.
+    pub fn new(rid: Rid, prev: Option<PmAddr>) -> Self {
+        RecordHeader {
+            rid,
+            sealed: false,
+            committed: false,
+            count: 0,
+            prev,
+            addrs: [LineAddr(0); MAX_ENTRIES],
+        }
+    }
+
+    /// Appends a logged data-line address; returns the entry index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is already full.
+    pub fn push_entry(&mut self, data_line: LineAddr) -> usize {
+        let i = self.reserve_entry();
+        self.addrs[i] = data_line;
+        i
+    }
+
+    /// Reserves the next entry slot without publishing its address (the
+    /// address becomes valid only once the entry's LPO is accepted by the
+    /// WPQ — hardware fills the LH-WPQ field at the memory controller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is already full.
+    pub fn reserve_entry(&mut self) -> usize {
+        assert!((self.count as usize) < MAX_ENTRIES, "record full");
+        let i = self.count as usize;
+        self.count += 1;
+        i
+    }
+
+    /// Publishes entry `i`'s data-line address (LPO accepted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot `i` was not reserved.
+    pub fn set_entry(&mut self, i: usize, data_line: LineAddr) {
+        assert!(i < self.count as usize, "entry not reserved");
+        self.addrs[i] = data_line;
+    }
+
+    /// Whether entry `i` holds a published (durable) address.
+    pub fn entry_valid(&self, i: usize) -> bool {
+        i < self.count as usize && self.addrs[i].0 != 0
+    }
+
+    /// Whether all entry slots are used.
+    pub fn is_full(&self) -> bool {
+        self.count as usize == MAX_ENTRIES
+    }
+
+    /// Serializes into one cache line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread id exceeds 16 bits or a line address exceeds
+    /// 40 bits (both far beyond the simulated machine).
+    pub fn encode(&self) -> [u8; 64] {
+        let mut b = [0u8; 64];
+        b[0..4].copy_from_slice(&LOG_MAGIC.to_le_bytes());
+        b[4] = u8::from(self.sealed) | (u8::from(self.committed) << 1);
+        b[5] = self.count;
+        let thread = u16::try_from(self.rid.thread()).expect("thread id fits u16");
+        b[6..8].copy_from_slice(&thread.to_le_bytes());
+        b[8..16].copy_from_slice(&self.rid.local().to_le_bytes());
+        b[16..24].copy_from_slice(&self.prev.map_or(0, |p| p.0).to_le_bytes());
+        for (i, a) in self.addrs.iter().enumerate() {
+            assert!(a.0 < (1 << 40), "line address fits 40 bits");
+            let off = 24 + i * 5;
+            b[off..off + 5].copy_from_slice(&a.0.to_le_bytes()[..5]);
+        }
+        b
+    }
+
+    /// Parses a cache line; `None` if it is not a record header.
+    pub fn decode(b: &[u8; 64]) -> Option<Self> {
+        if u32::from_le_bytes(b[0..4].try_into().unwrap()) != LOG_MAGIC {
+            return None;
+        }
+        let count = b[5];
+        if count as usize > MAX_ENTRIES {
+            return None;
+        }
+        let thread = u16::from_le_bytes(b[6..8].try_into().unwrap());
+        let local = u64::from_le_bytes(b[8..16].try_into().unwrap());
+        let prev_raw = u64::from_le_bytes(b[16..24].try_into().unwrap());
+        let mut addrs = [LineAddr(0); MAX_ENTRIES];
+        for (i, a) in addrs.iter_mut().enumerate() {
+            let off = 24 + i * 5;
+            let mut v = [0u8; 8];
+            v[..5].copy_from_slice(&b[off..off + 5]);
+            *a = LineAddr(u64::from_le_bytes(v));
+        }
+        Some(RecordHeader {
+            rid: Rid::new(u32::from(thread), local),
+            sealed: b[4] & 1 != 0,
+            committed: b[4] & 2 != 0,
+            count,
+            prev: (prev_raw != 0).then_some(PmAddr(prev_raw)),
+            addrs,
+        })
+    }
+
+    /// Byte address of entry `i`'s log line, given the header's address
+    /// (entries follow the header contiguously).
+    pub fn entry_addr(header_addr: PmAddr, i: usize) -> PmAddr {
+        header_addr.offset((1 + i as u64) * LINE_BYTES)
+    }
+}
+
+/// A per-thread circular log buffer allocated in whole records.
+///
+/// `head` and `tail` are absolute line counters; the buffer is full when
+/// `tail - head` reaches capacity. Records never wrap: if fewer than
+/// [`RECORD_LINES`] remain before the wrap point, the allocator pads to
+/// the start (recovery tolerates the skipped lines because it follows
+/// header chains, never scans).
+///
+/// # Example
+///
+/// ```
+/// use asap_core::logbuf::{LogBuffer, RECORD_LINES};
+/// use asap_pmem::PmAddr;
+///
+/// let mut log = LogBuffer::new(PmAddr(0), 64 * RECORD_LINES * 4);
+/// let r0 = log.alloc_record().unwrap();
+/// let r1 = log.alloc_record().unwrap();
+/// assert_eq!(r1.0, r0.0 + 64 * RECORD_LINES);
+/// log.free_to(log.head() + RECORD_LINES); // region owning r0 committed
+/// ```
+#[derive(Clone, Debug)]
+pub struct LogBuffer {
+    base: PmAddr,
+    cap_lines: u64,
+    head: u64,
+    tail: u64,
+}
+
+impl LogBuffer {
+    /// Creates a buffer over `[base, base + bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer cannot hold at least one record.
+    pub fn new(base: PmAddr, bytes: u64) -> Self {
+        let cap_lines = bytes / LINE_BYTES;
+        assert!(cap_lines >= RECORD_LINES, "log too small for one record");
+        LogBuffer { base, cap_lines, head: 0, tail: 0 }
+    }
+
+    /// Allocates one record (8 contiguous lines); returns its header's
+    /// byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogFull`] when the circular buffer has no room.
+    pub fn alloc_record(&mut self) -> Result<PmAddr, LogFull> {
+        let idx = self.tail % self.cap_lines;
+        let mut tail = self.tail;
+        if idx + RECORD_LINES > self.cap_lines {
+            tail += self.cap_lines - idx; // pad to wrap (only if it fits)
+        }
+        // The pad lines count against capacity too; a full buffer must not
+        // pad into live data.
+        if tail + RECORD_LINES > self.head + self.cap_lines {
+            let free = self.cap_lines.saturating_sub(self.tail - self.head);
+            return Err(LogFull { requested: RECORD_LINES, free });
+        }
+        self.tail = tail + RECORD_LINES;
+        Ok(self.base.offset((tail % self.cap_lines) * LINE_BYTES))
+    }
+
+    /// Whether [`alloc_record`](Self::alloc_record) would currently
+    /// succeed (no state change).
+    pub fn can_alloc(&self) -> bool {
+        let idx = self.tail % self.cap_lines;
+        let mut tail = self.tail;
+        if idx + RECORD_LINES > self.cap_lines {
+            tail += self.cap_lines - idx;
+        }
+        tail + RECORD_LINES <= self.head + self.cap_lines
+    }
+
+    /// Frees everything up to absolute line counter `pos` (a committed
+    /// region's end), advancing `LogHead`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is outside `[head, tail]` — per-thread regions
+    /// commit in order, so frees are monotone.
+    pub fn free_to(&mut self, pos: u64) {
+        assert!(
+            pos >= self.head && pos <= self.tail,
+            "free_to out of range: head={} pos={pos} tail={}",
+            self.head,
+            self.tail
+        );
+        self.head = pos;
+    }
+
+    /// Absolute line counter of the head (oldest live line).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Absolute line counter of the tail (next allocation point).
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Lines currently live.
+    pub fn live_lines(&self) -> u64 {
+        self.tail - self.head
+    }
+
+    /// Buffer capacity in lines.
+    pub fn capacity_lines(&self) -> u64 {
+        self.cap_lines
+    }
+
+    /// The buffer's base address.
+    pub fn base(&self) -> PmAddr {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut h = RecordHeader::new(Rid::new(3, 42), Some(PmAddr(0x1000)));
+        h.push_entry(LineAddr(0x123456789));
+        h.push_entry(LineAddr(7));
+        h.sealed = true;
+        h.committed = true;
+        let got = RecordHeader::decode(&h.encode()).unwrap();
+        assert_eq!(got, h);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(RecordHeader::decode(&[0u8; 64]), None);
+        let mut b = RecordHeader::new(Rid::new(0, 0), None).encode();
+        b[5] = 99; // impossible count
+        assert_eq!(RecordHeader::decode(&b), None);
+    }
+
+    #[test]
+    fn push_entry_fills_up() {
+        let mut h = RecordHeader::new(Rid::new(0, 1), None);
+        for i in 0..MAX_ENTRIES {
+            assert!(!h.is_full());
+            assert_eq!(h.push_entry(LineAddr(i as u64)), i);
+        }
+        assert!(h.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "record full")]
+    fn push_into_full_record_panics() {
+        let mut h = RecordHeader::new(Rid::new(0, 1), None);
+        for i in 0..=MAX_ENTRIES {
+            h.push_entry(LineAddr(i as u64));
+        }
+    }
+
+    #[test]
+    fn entry_addresses_follow_header() {
+        let base = PmAddr(0x40000);
+        assert_eq!(RecordHeader::entry_addr(base, 0), PmAddr(0x40040));
+        assert_eq!(RecordHeader::entry_addr(base, 6), PmAddr(0x40000 + 7 * 64));
+    }
+
+    #[test]
+    fn alloc_is_contiguous_then_wraps_with_padding() {
+        // Capacity: 3 records + 4 spare lines, to force wrap padding.
+        let cap_lines = 3 * RECORD_LINES + 4;
+        let mut log = LogBuffer::new(PmAddr(0), cap_lines * 64);
+        let r0 = log.alloc_record().unwrap();
+        let r1 = log.alloc_record().unwrap();
+        let r2 = log.alloc_record().unwrap();
+        assert_eq!(r1.0 - r0.0, RECORD_LINES * 64);
+        assert_eq!(r2.0 - r1.0, RECORD_LINES * 64);
+        // Buffer nearly full; free the first two records then allocate:
+        // the 4 spare lines at the end are skipped, wrapping to offset 0.
+        log.free_to(2 * RECORD_LINES);
+        let r3 = log.alloc_record().unwrap();
+        assert_eq!(r3, PmAddr(0), "wrapped to base, padding skipped");
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let mut log = LogBuffer::new(PmAddr(0), RECORD_LINES * 64);
+        log.alloc_record().unwrap();
+        let err = log.alloc_record().unwrap_err();
+        assert_eq!(err.requested, RECORD_LINES);
+        assert_eq!(err.free, 0);
+        assert!(err.to_string().contains("overflow"));
+    }
+
+    #[test]
+    fn can_alloc_tracks_alloc() {
+        let mut log = LogBuffer::new(PmAddr(0), 2 * RECORD_LINES * 64);
+        assert!(log.can_alloc());
+        log.alloc_record().unwrap();
+        assert!(log.can_alloc());
+        log.alloc_record().unwrap();
+        assert!(!log.can_alloc());
+        log.free_to(RECORD_LINES);
+        assert!(log.can_alloc());
+    }
+
+    #[test]
+    fn free_makes_room_again() {
+        let mut log = LogBuffer::new(PmAddr(0), 2 * RECORD_LINES * 64);
+        log.alloc_record().unwrap();
+        log.alloc_record().unwrap();
+        assert!(log.alloc_record().is_err());
+        log.free_to(RECORD_LINES);
+        assert!(log.alloc_record().is_ok());
+        assert_eq!(log.live_lines(), 2 * RECORD_LINES);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn free_past_tail_panics() {
+        let mut log = LogBuffer::new(PmAddr(0), RECORD_LINES * 64);
+        log.free_to(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_log_panics() {
+        LogBuffer::new(PmAddr(0), 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_header_roundtrip(thread in 0u32..1000, local in any::<u64>(),
+                                 n in 0usize..=MAX_ENTRIES,
+                                 lines in proptest::collection::vec(0u64..(1 << 40), MAX_ENTRIES)) {
+            let mut h = RecordHeader::new(Rid::new(thread, local), None);
+            for line in lines.iter().take(n) {
+                h.push_entry(LineAddr(*line));
+            }
+            prop_assert_eq!(RecordHeader::decode(&h.encode()), Some(h));
+        }
+
+        #[test]
+        fn prop_alloc_never_overlaps_live(records in 2u64..20, spare in 0u64..7) {
+            // A capacity that is not a whole number of records exercises
+            // wrap padding.
+            let cap = records * RECORD_LINES + spare;
+            let mut log = LogBuffer::new(PmAddr(0), cap * 64);
+            // Queue of (record addr, tail counter right after its alloc).
+            let mut live: std::collections::VecDeque<(PmAddr, u64)> =
+                std::collections::VecDeque::new();
+            for _ in 0..records * 5 {
+                match log.alloc_record() {
+                    Ok(a) => {
+                        prop_assert!(
+                            live.iter().all(|(l, _)| *l != a),
+                            "overlap at {a}"
+                        );
+                        live.push_back((a, log.tail()));
+                    }
+                    Err(_) => {
+                        let (_, end) = live.pop_front().expect("full yet nothing live");
+                        log.free_to(end);
+                    }
+                }
+            }
+        }
+    }
+}

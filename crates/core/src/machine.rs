@@ -1,0 +1,1131 @@
+//! The simulated machine: software interface, executor, crash/recovery.
+//!
+//! A [`Machine`] owns the hardware ([`Hw`]), one persistence [`Scheme`],
+//! per-thread virtual clocks and a table of [`VirtualLock`]s. Simulated
+//! threads are ordinary Rust closures receiving a [`ThreadCtx`], whose
+//! methods mirror the paper's Table 1 interface:
+//!
+//! | Paper | Here |
+//! |-------|------|
+//! | `asap_init()` | implicit at first step of each thread |
+//! | `asap_malloc()` / `asap_free()` | [`Machine::pm_alloc`] / [`Machine::pm_free`] (or [`ThreadCtx::pm_alloc`]) |
+//! | `asap_begin()` / `asap_end()` | [`ThreadCtx::begin_region`] / [`ThreadCtx::end_region`] |
+//! | `asap_fence()` | [`ThreadCtx::fence`] |
+//!
+//! # Scheduling model
+//!
+//! [`Machine::run`] drives all threads with a deterministic virtual-time
+//! scheduler: the runnable thread with the smallest local clock executes
+//! one *step* (typically one lock-guarded transaction) to completion, then
+//! yields. Because steps are serialized, a region observed by another
+//! thread has always finished executing — so every hardware stall a scheme
+//! performs (full CL List, Dep slots, LH-WPQ) resolves purely through
+//! memory events, never through another thread's future execution.
+//! Cross-thread timing still matters: lock hand-offs, WPQ contention and
+//! commit ordering all happen in virtual time.
+//!
+//! # Crash injection
+//!
+//! Configure [`MachineConfig::crash_after_pm_writes`] and the machine
+//! "loses power" at the matching persistent write: caches vanish, the
+//! WPQs and the scheme's persistence-domain structures are flushed
+//! (ADR), and [`Machine::recover`] rolls the image to a consistent state.
+
+use std::any::Any;
+use std::collections::BTreeSet;
+use std::panic::{self, AssertUnwindSafe};
+
+use asap_mem::cache::AccessKind;
+use asap_mem::Rid;
+use asap_pmem::{AllocError, LineAddr, PmAddr, LINE_BYTES};
+use asap_sim::{Cycle, Stats, SystemConfig, ThreadClocks, VirtualLock};
+
+use crate::hw::Hw;
+use crate::scheme::{self, RecoveryReport, Scheme, SchemeKind};
+use crate::tracker::RegionTracker;
+
+/// Payload used to unwind out of workload code at a simulated power
+/// failure.
+struct SimCrash;
+
+fn install_panic_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimCrash>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Machine construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// The Table 2 system configuration.
+    pub system: SystemConfig,
+    /// The persistence scheme to run.
+    pub scheme: SchemeKind,
+    /// Number of simulated threads (≤ cores; 1:1 mapped).
+    pub threads: u32,
+    /// Per-thread log buffer bytes (`asap_init` size parameter).
+    pub log_bytes: u64,
+    /// Persistent heap bytes.
+    pub heap_bytes: u64,
+    /// Record an execution shadow for crash-consistency verification.
+    pub track_regions: bool,
+    /// Simulate a power failure at the N-th persistent-line write.
+    pub crash_after_pm_writes: Option<u64>,
+    /// Size of the virtual lock table.
+    pub num_locks: usize,
+}
+
+impl MachineConfig {
+    /// Full Table 2 machine.
+    pub fn new(scheme: SchemeKind, threads: u32) -> Self {
+        MachineConfig {
+            system: SystemConfig::table2(),
+            scheme,
+            threads,
+            log_bytes: 4 << 20,
+            heap_bytes: 256 << 20,
+            track_regions: false,
+            crash_after_pm_writes: None,
+            num_locks: 64,
+        }
+    }
+
+    /// Scaled-down machine for tests (small caches, 4 cores).
+    pub fn small(scheme: SchemeKind, threads: u32) -> Self {
+        let mut c = Self::new(scheme, threads);
+        c.system = SystemConfig::small();
+        c.log_bytes = 1 << 20;
+        c.heap_bytes = 32 << 20;
+        c
+    }
+
+    /// Enables the verification shadow.
+    pub fn with_tracking(mut self) -> Self {
+        self.track_regions = true;
+        self
+    }
+
+    /// Arms a power failure at the N-th persistent write.
+    pub fn with_crash_after(mut self, pm_writes: u64) -> Self {
+        self.crash_after_pm_writes = Some(pm_writes);
+        self
+    }
+
+    /// Overrides the system configuration.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Overrides the per-thread log buffer size (`asap_init`'s optional
+    /// size parameter, §4.4).
+    pub fn with_log_bytes(mut self, bytes: u64) -> Self {
+        self.log_bytes = bytes;
+        self
+    }
+}
+
+/// One thread's step closure for [`Machine::run`]: execute one
+/// transaction, return `false` when the thread is finished.
+pub type StepFn = Box<dyn FnMut(&mut ThreadCtx<'_>) -> bool>;
+
+/// How a [`Machine::run`] call ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// All threads finished their steps.
+    Completed,
+    /// The armed power failure fired; call [`Machine::recover`].
+    Crashed,
+}
+
+/// The simulated machine. See the [module docs](self).
+pub struct Machine {
+    cfg: MachineConfig,
+    hw: Hw,
+    scheme: Box<dyn Scheme>,
+    clocks: ThreadClocks,
+    locks: Vec<VirtualLock>,
+    nest: Vec<u32>,
+    local_rid: Vec<u64>,
+    cur_rid: Vec<Option<Rid>>,
+    region_start: Vec<Cycle>,
+    started: Vec<bool>,
+    tracker: Option<RegionTracker>,
+    pm_write_ops: u64,
+    crash_armed: Option<u64>,
+    crashed: bool,
+    tx_count: u64,
+}
+
+impl Machine {
+    /// Builds a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (e.g. more threads than
+    /// cores).
+    pub fn new(cfg: MachineConfig) -> Self {
+        install_panic_hook();
+        let hw = Hw::new(cfg.system, cfg.threads, cfg.log_bytes, cfg.heap_bytes);
+        let scheme = scheme::build(cfg.scheme, &cfg.system);
+        let threads = cfg.threads as usize;
+        Machine {
+            hw,
+            scheme,
+            clocks: ThreadClocks::new(threads),
+            locks: (0..cfg.num_locks).map(|_| VirtualLock::new(cfg.system.lock_cost)).collect(),
+            nest: vec![0; threads],
+            local_rid: vec![0; threads],
+            cur_rid: vec![None; threads],
+            region_start: vec![Cycle::ZERO; threads],
+            started: vec![false; threads],
+            tracker: cfg.track_regions.then(RegionTracker::new),
+            pm_write_ops: 0,
+            crash_armed: cfg.crash_after_pm_writes,
+            crashed: false,
+            tx_count: 0,
+            cfg,
+        }
+    }
+
+    /// Allocates persistent memory (`asap_malloc`): cache-line aligned,
+    /// page persistent bits set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the heap is exhausted.
+    pub fn pm_alloc(&mut self, len: u64) -> Result<PmAddr, AllocError> {
+        let addr = self.hw.heap.alloc(len)?;
+        self.hw.image.mark_persistent(addr, len.max(1));
+        Ok(addr)
+    }
+
+    /// Frees persistent memory (`asap_free`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] for a bad address.
+    pub fn pm_free(&mut self, addr: PmAddr) -> Result<(), AllocError> {
+        self.hw.heap.free(addr)
+    }
+
+    /// Allocates volatile DRAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when DRAM is exhausted.
+    pub fn dram_alloc(&mut self, len: u64) -> Result<PmAddr, AllocError> {
+        self.hw.dram_heap.alloc(len)
+    }
+
+    fn ensure_started(&mut self, t: usize) {
+        if !self.started[t] {
+            self.started[t] = true;
+            let now = self.clocks.clock(t);
+            let now = self.scheme.on_thread_start(&mut self.hw, t, now);
+            self.clocks.advance(t, now);
+        }
+    }
+
+    fn pump(&mut self, now: Cycle) {
+        self.hw.advance_mem(now);
+        while let Some(ev) = self.hw.mem.pop_event() {
+            self.scheme.on_mem_event(&mut self.hw, &ev);
+        }
+    }
+
+    /// Runs one closure as a single step of thread `t`.
+    pub fn run_thread(&mut self, t: usize, f: impl FnOnce(&mut ThreadCtx)) -> RunOutcome {
+        assert!(!self.crashed, "machine crashed: call recover() first");
+        self.ensure_started(t);
+        let now = self.clocks.clock(t);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = ThreadCtx { m: self, t, now };
+            f(&mut ctx);
+            ctx.now
+        }));
+        self.settle(t, caught)
+    }
+
+    /// Runs all threads to completion under the virtual-time scheduler.
+    /// Each closure invocation is one step; returning `false` finishes the
+    /// thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps.len()` differs from the configured thread count.
+    pub fn run(&mut self, steps: &mut [StepFn]) -> RunOutcome {
+        assert!(!self.crashed, "machine crashed: call recover() first");
+        assert_eq!(steps.len(), self.cfg.threads as usize, "one step closure per thread");
+        self.clocks.restart();
+        while let Some(t) = self.clocks.next_runnable() {
+            self.ensure_started(t);
+            let now = self.clocks.clock(t);
+            let step = &mut steps[t];
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut ctx = ThreadCtx { m: self, t, now };
+                let more = step(&mut ctx);
+                (more, ctx.now)
+            }));
+            match caught {
+                Ok((more, end)) => {
+                    self.clocks.advance(t, end);
+                    if !more {
+                        self.clocks.finish(t);
+                    }
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<SimCrash>().is_some() {
+                        self.perform_crash();
+                        return RunOutcome::Crashed;
+                    }
+                    panic::resume_unwind(payload);
+                }
+            }
+        }
+        RunOutcome::Completed
+    }
+
+    fn settle(&mut self, t: usize, caught: Result<Cycle, Box<dyn Any + Send>>) -> RunOutcome {
+        match caught {
+            Ok(end) => {
+                self.clocks.advance(t, end);
+                RunOutcome::Completed
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<SimCrash>().is_some() {
+                    self.perform_crash();
+                    RunOutcome::Crashed
+                } else {
+                    panic::resume_unwind(payload)
+                }
+            }
+        }
+    }
+
+    /// Simulates an immediate power failure.
+    pub fn crash_now(&mut self) {
+        self.perform_crash();
+    }
+
+    /// Arms (or re-arms) a power failure `writes` persistent writes from
+    /// now — useful to exclude a setup phase from the crash budget.
+    pub fn arm_crash_after_additional(&mut self, writes: u64) {
+        self.crash_armed = Some(self.pm_write_ops + writes);
+    }
+
+    /// Advances every thread's clock to the current makespan — a barrier,
+    /// used after a single-threaded setup phase so worker threads do not
+    /// start in the virtual past of the setup thread.
+    pub fn sync_thread_clocks(&mut self) {
+        let t = self.clocks.makespan();
+        for i in 0..self.clocks.len() {
+            self.clocks.advance(i, t);
+        }
+    }
+
+    /// Discards the samples of one statistics summary (e.g. exclude setup
+    /// regions from `region.cycles`).
+    pub fn reset_summary(&mut self, name: &str) {
+        self.hw.stats.reset_summary(name);
+    }
+
+    fn perform_crash(&mut self) {
+        assert!(!self.crashed, "already crashed");
+        self.hw.stats.bump("crash.count");
+        // Persistence domain flush: scheme structures, then the WPQs.
+        self.scheme.on_crash(&mut self.hw);
+        let mut image = std::mem::take(&mut self.hw.image);
+        self.hw.mem.flush_to_image(&mut image);
+        self.hw.image = image;
+        self.hw.caches.invalidate_all();
+        self.crashed = true;
+    }
+
+    /// Recovers after a crash: replays/undoes logs per the scheme, resets
+    /// volatile state, and verifies the shadow when tracking is enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has not crashed, or if verification fails.
+    pub fn recover(&mut self) -> RecoveryReport {
+        assert!(self.crashed, "recover() without a crash");
+        let report = self.scheme.recover(&mut self.hw);
+        if let Some(tracker) = &self.tracker {
+            let un: BTreeSet<Rid> = report.uncommitted.iter().copied().collect();
+            if let Err(e) = tracker.verify(&self.hw.image, &un) {
+                panic!("crash-consistency violation: {e}");
+            }
+        }
+        if let Some(tracker) = &mut self.tracker {
+            let un: BTreeSet<Rid> = report.uncommitted.iter().copied().collect();
+            tracker.discard(&un);
+        }
+        // Reboot volatile state; the image (and heap metadata) survive.
+        self.scheme = scheme::build(self.cfg.scheme, &self.cfg.system);
+        for s in &mut self.started {
+            *s = false;
+        }
+        for n in &mut self.nest {
+            *n = 0;
+        }
+        for c in &mut self.cur_rid {
+            *c = None;
+        }
+        self.locks = (0..self.cfg.num_locks)
+            .map(|_| VirtualLock::new(self.cfg.system.lock_cost))
+            .collect();
+        self.crashed = false;
+        self.crash_armed = None;
+        report
+    }
+
+    /// Waits for all asynchronous work (region commits, WPQ drain) to
+    /// finish. Returns the fully-drained makespan.
+    pub fn drain(&mut self) -> Cycle {
+        let now = self.clocks.makespan();
+        let end = self.scheme.drain(&mut self.hw, now);
+        self.hw.stats.add("run.drain_cycles", end - now);
+        end
+    }
+
+    /// Migrates thread `t` to a different core (§5.7 context switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn context_switch(&mut self, t: usize, core: usize) {
+        assert!(core < self.cfg.system.cores as usize, "no such core");
+        self.ensure_started(t);
+        let now = self.clocks.clock(t);
+        let now = self.scheme.on_context_switch(&mut self.hw, t, now);
+        self.hw.thread_core[t] = core;
+        self.clocks.advance(t, now);
+        self.hw.stats.bump("machine.context_switch");
+    }
+
+    /// Architectural read of a `u64` (debug/verification — no timing).
+    pub fn debug_read_u64(&mut self, addr: PmAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.debug_read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Architectural read of a byte span (debug/verification — no timing).
+    pub fn debug_read(&mut self, addr: PmAddr, buf: &mut [u8]) {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr.offset(pos as u64);
+            let line = a.line();
+            let off = a.offset_in_line() as usize;
+            let n = (buf.len() - pos).min(LINE_BYTES as usize - off);
+            let data = self.hw.line_value(line);
+            buf[pos..pos + n].copy_from_slice(&data[off..off + n]);
+            pos += n;
+        }
+    }
+
+    /// Merged machine + memory-system statistics.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.hw.stats.clone();
+        s.merge(self.hw.mem.stats());
+        s
+    }
+
+    /// The largest thread clock (execution makespan).
+    pub fn makespan(&self) -> Cycle {
+        self.clocks.makespan()
+    }
+
+    /// Transactions completed (workloads call [`ThreadCtx::complete_tx`]).
+    pub fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// Transactions per kilocycle of makespan.
+    pub fn throughput(&self) -> f64 {
+        let c = self.makespan().raw();
+        if c == 0 {
+            0.0
+        } else {
+            self.tx_count as f64 * 1000.0 / c as f64
+        }
+    }
+
+    /// Total 64-byte writes that reached the PM media.
+    pub fn pm_write_traffic(&self) -> u64 {
+        self.hw.mem.stats().get("pm.write.total")
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Whether the machine is in the crashed state.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Direct access to the hardware (tests and examples).
+    pub fn hw(&self) -> &Hw {
+        &self.hw
+    }
+
+    /// Mutable access to the hardware (tests).
+    pub fn hw_mut(&mut self) -> &mut Hw {
+        &mut self.hw
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("scheme", &self.cfg.scheme)
+            .field("threads", &self.cfg.threads)
+            .field("makespan", &self.makespan())
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+/// A thread's handle onto the machine during one step.
+pub struct ThreadCtx<'m> {
+    m: &'m mut Machine,
+    t: usize,
+    now: Cycle,
+}
+
+impl ThreadCtx<'_> {
+    /// This thread's id.
+    pub fn thread(&self) -> usize {
+        self.t
+    }
+
+    /// This thread's local clock.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether the thread is inside an atomic region.
+    pub fn in_region(&self) -> bool {
+        self.m.nest[self.t] > 0
+    }
+
+    /// Burns `ops` compute operations' worth of cycles.
+    pub fn compute(&mut self, ops: u64) {
+        self.now += ops * self.m.cfg.system.compute_cost;
+    }
+
+    /// Marks one workload transaction as complete (throughput metric).
+    pub fn complete_tx(&mut self) {
+        self.m.tx_count += 1;
+        self.m.hw.stats.bump("tx.completed");
+    }
+
+    /// `asap_begin`: starts (or nests into) an atomic region.
+    pub fn begin_region(&mut self) {
+        let t = self.t;
+        self.m.nest[t] += 1;
+        if self.m.nest[t] > 1 {
+            self.now += 1; // flattened nested begin: a counter bump
+            return;
+        }
+        self.m.local_rid[t] += 1;
+        let rid = Rid::new(t as u32, self.m.local_rid[t]);
+        self.m.cur_rid[t] = Some(rid);
+        self.m.region_start[t] = self.now;
+        self.m.hw.stats.bump("region.begun");
+        if let Some(tr) = &mut self.m.tracker {
+            tr.begin(rid);
+        }
+        let m = &mut *self.m;
+        self.now = m.scheme.on_begin(&mut m.hw, t, rid, self.now);
+    }
+
+    /// `asap_end`: ends the current region (commit per the scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region is active.
+    pub fn end_region(&mut self) {
+        let t = self.t;
+        assert!(self.m.nest[t] > 0, "end_region without begin_region");
+        self.m.nest[t] -= 1;
+        if self.m.nest[t] > 0 {
+            self.now += 1;
+            return;
+        }
+        let rid = self.m.cur_rid[t].expect("region id set at begin");
+        let m = &mut *self.m;
+        self.now = m.scheme.on_end(&mut m.hw, t, rid, self.now);
+        if let Some(tr) = &mut self.m.tracker {
+            tr.end(rid);
+        }
+        let dur = self.now - self.m.region_start[t];
+        self.m.hw.stats.sample("region.cycles", dur);
+        self.m.hw.stats.bump("region.count");
+    }
+
+    /// `asap_fence` (§5.2): blocks until this thread's last region (and
+    /// transitively everything it depends on) has committed.
+    pub fn fence(&mut self) {
+        let t = self.t;
+        let m = &mut *self.m;
+        self.now = m.scheme.on_fence(&mut m.hw, t, self.now);
+        if let Some(tr) = &mut self.m.tracker {
+            tr.fence(t as u32);
+        }
+    }
+
+    /// Acquires virtual lock `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn lock(&mut self, id: usize) {
+        self.now = self.m.locks[id].acquire(self.now);
+    }
+
+    /// Releases virtual lock `id`.
+    pub fn unlock(&mut self, id: usize) {
+        self.m.locks[id].release(self.now);
+    }
+
+    /// Runs `f` as a lock-guarded atomic region, ordering the unlock and
+    /// region end the way each scheme family does: asynchronous-commit
+    /// schemes release the lock *before* `asap_end` (Fig. 6 — the region
+    /// commits in the background, so the critical section never pays for
+    /// persistence), synchronous ones release it only after the region is
+    /// durable (the data must not be visible before it is recoverable).
+    pub fn locked_region(&mut self, lock_id: usize, f: impl FnOnce(&mut Self)) {
+        if self.m.cfg.scheme.commits_asynchronously() {
+            self.lock(lock_id);
+            self.begin_region();
+            f(self);
+            self.unlock(lock_id);
+            self.end_region();
+        } else {
+            self.lock(lock_id);
+            self.begin_region();
+            f(self);
+            self.end_region();
+            self.unlock(lock_id);
+        }
+    }
+
+    /// Allocates persistent memory mid-run (charged a small cost).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the heap is exhausted.
+    pub fn pm_alloc(&mut self, len: u64) -> Result<PmAddr, AllocError> {
+        self.now += 40; // allocator bookkeeping
+        self.m.pm_alloc(len)
+    }
+
+    /// Frees persistent memory mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::NotAllocated`] for a bad address.
+    pub fn pm_free(&mut self, addr: PmAddr) -> Result<(), AllocError> {
+        self.now += 20;
+        self.m.pm_free(addr)
+    }
+
+    /// Reads `buf.len()` bytes from `addr`.
+    pub fn read_bytes(&mut self, addr: PmAddr, buf: &mut [u8]) {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr.offset(pos as u64);
+            let line = a.line();
+            let off = a.offset_in_line() as usize;
+            let n = (buf.len() - pos).min(LINE_BYTES as usize - off);
+            self.access_line(line, AccessKind::Load);
+            let data = self.m.hw.caches.line(line).expect("filled").data;
+            buf[pos..pos + n].copy_from_slice(&data[off..off + n]);
+            pos += n;
+        }
+    }
+
+    /// Reads a `u64` at `addr`.
+    pub fn read_u64(&mut self, addr: PmAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes `data` at `addr`.
+    pub fn write_bytes(&mut self, addr: PmAddr, data: &[u8]) {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let a = addr.offset(pos as u64);
+            let line = a.line();
+            let off = a.offset_in_line() as usize;
+            let n = (data.len() - pos).min(LINE_BYTES as usize - off);
+            self.write_line_span(line, off, &data[pos..pos + n]);
+            pos += n;
+        }
+    }
+
+    /// Writes a `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: PmAddr, v: u64) {
+        self.write_bytes(addr, &v.to_le_bytes());
+    }
+
+    /// One cache access with event pumping, eviction routing and latency.
+    fn access_line(&mut self, line: LineAddr, kind: AccessKind) {
+        let m = &mut *self.m;
+        m.pump(self.now);
+        let access = m.hw.cache_access(self.t, line, kind);
+        self.now += access.latency;
+        for e in &access.evicted {
+            m.scheme.on_evict(&mut m.hw, e, self.now);
+        }
+        // Region bookkeeping for persistent lines.
+        let persistent = m.hw.caches.line(line).is_some_and(|s| s.pbit);
+        if persistent && m.nest[self.t] > 0 {
+            let rid = m.cur_rid[self.t].expect("in region");
+            if kind == AccessKind::Load {
+                self.now = m.scheme.post_read(&mut m.hw, self.t, rid, line, self.now);
+                if let Some(tr) = &mut m.tracker {
+                    tr.read(rid, line);
+                }
+            }
+        } else if persistent && kind == AccessKind::Store {
+            m.hw.stats.bump("machine.nonregion_pm_write");
+        }
+    }
+
+    fn write_line_span(&mut self, line: LineAddr, off: usize, bytes: &[u8]) {
+        let t = self.t;
+        self.access_line(line, AccessKind::Store);
+        let m = &mut *self.m;
+        let persistent = m.hw.caches.line(line).is_some_and(|s| s.pbit);
+        let in_region = m.nest[t] > 0 && persistent;
+        let rid = m.cur_rid[t];
+        if in_region {
+            let rid = rid.expect("in region");
+            self.now = m.scheme.pre_write(&mut m.hw, t, rid, line, self.now);
+        }
+        // A scheme's own log stores may (rarely) have evicted the target
+        // line from the small-cache configs: refill before mutating.
+        if m.hw.caches.line(line).is_none() {
+            let access = m.hw.cache_access(t, line, AccessKind::Store);
+            self.now += access.latency;
+            for e in &access.evicted {
+                m.scheme.on_evict(&mut m.hw, e, self.now);
+            }
+        }
+        {
+            let st = m.hw.caches.line_mut(line).expect("filled");
+            st.data[off..off + bytes.len()].copy_from_slice(bytes);
+            st.dirty = true;
+        }
+        if in_region {
+            let rid = rid.expect("in region");
+            self.now = m.scheme.post_write(&mut m.hw, t, rid, line, self.now);
+            if let Some(tr) = &mut m.tracker {
+                let data = m.hw.line_value(line);
+                tr.write(rid, line, data);
+            }
+        }
+        if persistent {
+            m.pm_write_ops += 1;
+            if m.crash_armed.is_some_and(|n| m.pm_write_ops >= n) {
+                m.crash_armed = None;
+                panic::panic_any(SimCrash);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("thread", &self.t)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(kind: SchemeKind) -> Machine {
+        Machine::new(MachineConfig::small(kind, 2).with_tracking())
+    }
+
+    fn all_kinds() -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::NoPersist,
+            SchemeKind::SwUndo,
+            SchemeKind::SwDpoOnly,
+            SchemeKind::HwUndo,
+            SchemeKind::HwRedo,
+            SchemeKind::Asap,
+        ]
+    }
+
+    #[test]
+    fn single_region_updates_data_under_every_scheme() {
+        for kind in all_kinds() {
+            let mut m = Machine::new(MachineConfig::small(kind, 1));
+            let a = m.pm_alloc(64).unwrap();
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                ctx.write_u64(a, 42);
+                let v = ctx.read_u64(a);
+                assert_eq!(v, 42);
+                ctx.end_region();
+                ctx.complete_tx();
+            });
+            m.drain();
+            assert_eq!(m.debug_read_u64(a), 42, "{kind}");
+            assert_eq!(m.tx_count(), 1);
+            assert!(m.makespan() > Cycle::ZERO);
+        }
+    }
+
+    #[test]
+    fn data_is_durable_in_pm_after_drain() {
+        for kind in [SchemeKind::SwUndo, SchemeKind::HwUndo, SchemeKind::HwRedo, SchemeKind::Asap]
+        {
+            let mut m = Machine::new(MachineConfig::small(kind, 1));
+            let a = m.pm_alloc(8).unwrap();
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                ctx.write_u64(a, 7);
+                ctx.end_region();
+                ctx.fence();
+            });
+            m.drain();
+            // After drain + fence, the PM image itself (not just caches)
+            // must hold the value or its recoverable log.
+            m.crash_now();
+            let report = m.recover();
+            assert!(report.uncommitted.is_empty(), "{kind}: nothing uncommitted");
+            assert_eq!(m.debug_read_u64(a), 7, "{kind}");
+        }
+    }
+
+    #[test]
+    fn nested_regions_flatten() {
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(8).unwrap();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.begin_region();
+            ctx.write_u64(a, 1);
+            ctx.end_region();
+            assert!(ctx.in_region());
+            ctx.write_u64(a, 2);
+            ctx.end_region();
+            assert!(!ctx.in_region());
+        });
+        m.drain();
+        assert_eq!(m.debug_read_u64(a), 2);
+        let s = m.stats();
+        assert_eq!(s.get("region.count"), 1, "nested regions flattened");
+    }
+
+    #[test]
+    #[should_panic(expected = "end_region without begin_region")]
+    fn unbalanced_end_panics() {
+        let mut m = machine(SchemeKind::NoPersist);
+        m.run_thread(0, |ctx| ctx.end_region());
+    }
+
+    #[test]
+    fn two_threads_interleave_by_clock() {
+        let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 2));
+        let a = m.pm_alloc(8).unwrap();
+        let mut steps: Vec<StepFn> = vec![
+            Box::new(move |ctx| {
+                ctx.locked_region(0, |ctx| {
+                    let v = ctx.read_u64(a);
+                    ctx.write_u64(a, v + 1);
+                });
+                ctx.complete_tx();
+                false
+            }),
+            Box::new(move |ctx| {
+                ctx.locked_region(0, |ctx| {
+                    let v = ctx.read_u64(a);
+                    ctx.write_u64(a, v + 10);
+                });
+                ctx.complete_tx();
+                false
+            }),
+        ];
+        assert_eq!(m.run(&mut steps), RunOutcome::Completed);
+        m.drain();
+        assert_eq!(m.debug_read_u64(a), 11);
+        assert_eq!(m.tx_count(), 2);
+    }
+
+    #[test]
+    fn crash_injection_fires_and_recovery_restores_consistency() {
+        for kind in [SchemeKind::SwUndo, SchemeKind::HwUndo, SchemeKind::HwRedo, SchemeKind::Asap]
+        {
+            let mut m = Machine::new(
+                MachineConfig::small(kind, 1).with_tracking().with_crash_after(5),
+            );
+            let a = m.pm_alloc(64 * 8).unwrap();
+            let outcome = m.run_thread(0, |ctx| {
+                for i in 0..16u64 {
+                    ctx.begin_region();
+                    ctx.write_u64(a.offset(i % 8 * 64), i + 1);
+                    ctx.end_region();
+                }
+            });
+            assert_eq!(outcome, RunOutcome::Crashed, "{kind}");
+            assert!(m.is_crashed());
+            let _report = m.recover(); // panics on inconsistency
+            assert!(!m.is_crashed());
+        }
+    }
+
+    #[test]
+    fn fence_makes_regions_durable_for_asap() {
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(8).unwrap();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a, 99);
+            ctx.end_region();
+            ctx.fence(); // §5.2 synchronous point
+        });
+        m.crash_now();
+        let report = m.recover();
+        assert!(report.uncommitted.is_empty());
+        assert_eq!(m.debug_read_u64(a), 99);
+    }
+
+    #[test]
+    fn asap_region_latency_is_far_below_sync_schemes() {
+        let mut cycles = std::collections::BTreeMap::new();
+        for kind in [SchemeKind::Asap, SchemeKind::HwUndo, SchemeKind::SwUndo] {
+            let mut m = Machine::new(MachineConfig::small(kind, 1));
+            let a = m.pm_alloc(64 * 32).unwrap();
+            m.run_thread(0, |ctx| {
+                for i in 0..64u64 {
+                    ctx.begin_region();
+                    for j in 0..4 {
+                        ctx.write_u64(a.offset((i * 4 + j) % 32 * 64), i);
+                    }
+                    ctx.end_region();
+                }
+            });
+            m.drain();
+            let s = m.stats();
+            cycles.insert(kind.name(), s.summary("region.cycles").unwrap().mean());
+        }
+        assert!(
+            cycles["asap"] < cycles["hw-undo"],
+            "async commit must beat sync commit: {cycles:?}"
+        );
+        assert!(cycles["hw-undo"] < cycles["sw"], "hardware must beat software: {cycles:?}");
+    }
+
+    #[test]
+    fn context_switch_preserves_correctness() {
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(8).unwrap();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a, 5);
+            ctx.end_region();
+        });
+        m.context_switch(0, 2);
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a, 6);
+            ctx.end_region();
+        });
+        m.drain();
+        assert_eq!(m.debug_read_u64(a), 6);
+        assert_eq!(m.stats().get("machine.context_switch"), 1);
+    }
+
+    #[test]
+    fn context_switch_mid_region_continues_safely() {
+        // §5.7: the suspended thread's CL entry is cleared after its
+        // persist operations complete; once rescheduled (on a different
+        // core) the In Progress region continues and commits normally.
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(64 * 4).unwrap();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a, 1);
+            ctx.write_u64(a.offset(64), 2);
+            // Deliberately leave the region open across steps.
+        });
+        m.context_switch(0, 3);
+        m.run_thread(0, |ctx| {
+            assert!(ctx.in_region());
+            ctx.write_u64(a.offset(128), 3);
+            ctx.end_region();
+            ctx.fence();
+        });
+        m.crash_now();
+        let r = m.recover();
+        assert!(r.uncommitted.is_empty());
+        assert_eq!(m.debug_read_u64(a), 1);
+        assert_eq!(m.debug_read_u64(a.offset(64)), 2);
+        assert_eq!(m.debug_read_u64(a.offset(128)), 3);
+    }
+
+    #[test]
+    fn context_switch_mid_region_then_no_more_writes() {
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(64).unwrap();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a, 9);
+        });
+        m.context_switch(0, 2);
+        m.run_thread(0, |ctx| {
+            ctx.end_region(); // no writes on the new core
+            ctx.fence();
+        });
+        m.crash_now();
+        let r = m.recover();
+        assert!(r.uncommitted.is_empty());
+        assert_eq!(m.debug_read_u64(a), 9);
+    }
+
+    #[test]
+    fn throughput_counts_transactions() {
+        let mut m = machine(SchemeKind::NoPersist);
+        let a = m.pm_alloc(8).unwrap();
+        m.run_thread(0, |ctx| {
+            for _ in 0..10 {
+                ctx.begin_region();
+                ctx.write_u64(a, 1);
+                ctx.end_region();
+                ctx.complete_tx();
+            }
+        });
+        assert_eq!(m.tx_count(), 10);
+        assert!(m.throughput() > 0.0);
+    }
+
+    #[test]
+    fn tiny_log_stalls_but_stays_correct() {
+        // Room for just four records per thread: regions must wait for
+        // older commits to reclaim log space (§4.4 overflow handling).
+        let mut m = Machine::new(
+            MachineConfig::small(SchemeKind::Asap, 1)
+                .with_tracking()
+                .with_log_bytes(4 * 8 * 64),
+        );
+        let a = m.pm_alloc(64 * 64).unwrap();
+        m.run_thread(0, |ctx| {
+            for i in 0..32u64 {
+                ctx.begin_region();
+                for j in 0..8 {
+                    ctx.write_u64(a.offset((i * 8 + j) % 64 * 64), i);
+                }
+                ctx.end_region();
+            }
+        });
+        m.drain();
+        assert!(m.stats().get("asap.stall.log_full") > 0, "the tiny log stalled");
+        m.crash_now();
+        let r = m.recover();
+        assert!(r.uncommitted.is_empty(), "drained before crash");
+    }
+
+    #[test]
+    fn pm_alloc_marks_pages_persistent() {
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(128).unwrap();
+        assert!(m.hw().image.is_persistent(a));
+        m.pm_free(a).unwrap();
+    }
+
+    #[test]
+    fn byte_spans_cross_cache_lines() {
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(64 * 4).unwrap();
+        // A 100-byte pattern starting 30 bytes into a line spans 3 lines.
+        let pattern: Vec<u8> = (0..100u32).map(|i| (i * 7 % 251) as u8 + 1).collect();
+        let start = a.offset(30);
+        let p = pattern.clone();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_bytes(start, &p);
+            ctx.end_region();
+            let mut buf = vec![0u8; 100];
+            ctx.read_bytes(start, &mut buf);
+            assert_eq!(buf, p);
+        });
+        m.drain();
+        let mut buf = vec![0u8; 100];
+        m.debug_read(start, &mut buf);
+        assert_eq!(buf, pattern);
+        // The crash path respects the span too.
+        m.crash_now();
+        m.recover();
+        let mut buf = vec![0u8; 100];
+        m.debug_read(start, &mut buf);
+        assert_eq!(buf, pattern);
+    }
+
+    #[test]
+    fn clock_is_monotone_across_ops() {
+        let mut m = machine(SchemeKind::Asap);
+        let a = m.pm_alloc(64 * 2).unwrap();
+        m.run_thread(0, |ctx| {
+            let t0 = ctx.now();
+            ctx.compute(10);
+            let t1 = ctx.now();
+            assert_eq!(t1 - t0, 10, "compute_cost is 1 in the small config");
+            ctx.begin_region();
+            let t2 = ctx.now();
+            assert!(t2 >= t1);
+            ctx.write_u64(a, 1);
+            let t3 = ctx.now();
+            assert!(t3 > t2, "a write costs time");
+            let _ = ctx.read_u64(a.offset(64));
+            let t4 = ctx.now();
+            assert!(t4 > t3, "a read costs time");
+            ctx.end_region();
+            assert!(ctx.now() >= t4);
+        });
+    }
+
+    #[test]
+    fn dram_heap_is_separate_from_pm_heap() {
+        let mut m = machine(SchemeKind::Asap);
+        let d = m.dram_alloc(64).unwrap();
+        let p = m.pm_alloc(64).unwrap();
+        assert!(!d.is_pm_region());
+        assert!(p.is_pm_region());
+        assert!(!m.hw().image.is_persistent(d));
+    }
+
+    #[test]
+    fn dram_writes_are_not_tracked_or_logged() {
+        let mut m = machine(SchemeKind::Asap);
+        let d = m.dram_alloc(64).unwrap();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(d, 123);
+            assert_eq!(ctx.read_u64(d), 123);
+            ctx.end_region();
+        });
+        m.drain();
+        assert_eq!(m.stats().get("asap.lpo"), 0, "no LPO for DRAM writes");
+    }
+}

@@ -1,0 +1,326 @@
+//! Crash-dump serialization and the recovery procedures (§5.5).
+//!
+//! On power failure the persistence domain is flushed: the machine flushes
+//! every WPQ, and each scheme dumps its metadata (Dependence List, LH-WPQ
+//! table, per-thread anchors) into the reserved dump area at the bottom of
+//! PM. Recovery parses the dump, walks each uncommitted region's record
+//! chain (newest record first, via each header's `prev` pointer) and
+//! restores old values — in an order derived from the dependence DAG so
+//! that dependents are undone before the regions they depend on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use asap_mem::Rid;
+use asap_pmem::{MemoryImage, PmAddr};
+
+use crate::logbuf::RecordHeader;
+use crate::scheme::asap::structs::DepEntry;
+
+// ---------------------------------------------------------------------------
+// Dump area framing
+// ---------------------------------------------------------------------------
+
+const DUMP_MAGIC: u32 = 0x4153_4450; // "ASDP"
+
+/// Writes length-prefixed `sections` into the dump area at `base`.
+pub fn write_dump(image: &mut MemoryImage, base: PmAddr, sections: &[&[u8]]) {
+    let mut pos = base;
+    image.write(pos, &DUMP_MAGIC.to_le_bytes());
+    pos = pos.offset(4);
+    image.write(pos, &(sections.len() as u32).to_le_bytes());
+    pos = pos.offset(4);
+    for s in sections {
+        image.write(pos, &(s.len() as u64).to_le_bytes());
+        pos = pos.offset(8);
+        image.write(pos, s);
+        pos = pos.offset(s.len() as u64);
+    }
+}
+
+/// Reads back the sections written by [`write_dump`]; `None` if the dump
+/// area holds no dump.
+pub fn read_dump(image: &MemoryImage, base: PmAddr) -> Option<Vec<Vec<u8>>> {
+    let mut magic = [0u8; 4];
+    image.read(base, &mut magic);
+    if u32::from_le_bytes(magic) != DUMP_MAGIC {
+        return None;
+    }
+    let mut pos = base.offset(4);
+    let mut nb = [0u8; 4];
+    image.read(pos, &mut nb);
+    pos = pos.offset(4);
+    let n = u32::from_le_bytes(nb) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut lb = [0u8; 8];
+        image.read(pos, &mut lb);
+        pos = pos.offset(8);
+        let len = u64::from_le_bytes(lb) as usize;
+        let mut s = vec![0u8; len];
+        image.read(pos, &mut s);
+        pos = pos.offset(len as u64);
+        out.push(s);
+    }
+    Some(out)
+}
+
+/// Erases the dump (after successful recovery).
+pub fn clear_dump(image: &mut MemoryImage, base: PmAddr) {
+    image.write(base, &[0u8; 8]);
+}
+
+// ---------------------------------------------------------------------------
+// Record-chain traversal and log application
+// ---------------------------------------------------------------------------
+
+/// Collects a region's records from its final header backwards through the
+/// `prev` chain. Returns `(header_addr, header)` pairs, newest first.
+///
+/// # Panics
+///
+/// Panics if a chained header fails to parse or belongs to a different
+/// region — the persistence-domain flush guarantees chain integrity, so
+/// this indicates a logging bug.
+pub fn collect_records(
+    image: &MemoryImage,
+    last_header: PmAddr,
+    rid: Rid,
+) -> Vec<(PmAddr, RecordHeader)> {
+    let mut out = Vec::new();
+    let mut cursor = Some(last_header);
+    while let Some(addr) = cursor {
+        let h = RecordHeader::decode(&image.read_line(addr.line()))
+            .unwrap_or_else(|| panic!("broken log chain for {rid} at {addr}"));
+        assert_eq!(h.rid, rid, "log chain for {rid} crossed into {0}", h.rid);
+        cursor = h.prev;
+        out.push((addr, h));
+    }
+    out
+}
+
+/// Undo: restores the logged (old) values of every entry. Records are
+/// applied newest-first and entries within a record in reverse, so a line
+/// logged twice ends at its oldest value. Returns lines restored.
+pub fn undo_region(image: &mut MemoryImage, records: &[(PmAddr, RecordHeader)]) -> u64 {
+    let mut restored = 0;
+    for (addr, h) in records {
+        for i in (0..h.count as usize).rev() {
+            if !h.entry_valid(i) {
+                continue; // LPO never became durable: nothing to restore
+            }
+            let entry = RecordHeader::entry_addr(*addr, i);
+            let value = image.read_line(entry.line());
+            image.write_line(h.addrs[i], &value);
+            restored += 1;
+        }
+    }
+    restored
+}
+
+/// Redo: applies the logged (new) values oldest-first, so a line logged
+/// twice ends at its newest value. Returns lines applied.
+pub fn redo_region(image: &mut MemoryImage, records: &[(PmAddr, RecordHeader)]) -> u64 {
+    let mut applied = 0;
+    for (addr, h) in records.iter().rev() {
+        for i in 0..h.count as usize {
+            if !h.entry_valid(i) {
+                continue; // LPO never became durable: nothing to apply
+            }
+            let entry = RecordHeader::entry_addr(*addr, i);
+            let value = image.read_line(entry.line());
+            image.write_line(h.addrs[i], &value);
+            applied += 1;
+        }
+    }
+    applied
+}
+
+/// Orders uncommitted regions for undo: every region precedes the regions
+/// it depends on (dependents are rolled back first — §5.5's reverse
+/// happens-before order). Deterministic; ties break by RID.
+///
+/// # Panics
+///
+/// Panics if the dependence graph has a cycle (impossible by construction:
+/// dependencies always point to earlier regions).
+pub fn undo_order(entries: &[DepEntry]) -> Vec<Rid> {
+    let present: BTreeSet<Rid> = entries.iter().map(|e| e.rid).collect();
+    // dependents[r] = how many present regions depend on r.
+    let mut dependents: BTreeMap<Rid, usize> = present.iter().map(|r| (*r, 0)).collect();
+    let deps_of: BTreeMap<Rid, Vec<Rid>> = entries
+        .iter()
+        .map(|e| {
+            let ds: Vec<Rid> =
+                e.deps.iter().copied().filter(|d| present.contains(d)).collect();
+            (e.rid, ds)
+        })
+        .collect();
+    for ds in deps_of.values() {
+        for d in ds {
+            *dependents.get_mut(d).expect("filtered to present") += 1;
+        }
+    }
+    let mut ready: BTreeSet<Rid> = dependents
+        .iter()
+        .filter(|(_, n)| **n == 0)
+        .map(|(r, _)| *r)
+        .collect();
+    let mut out = Vec::with_capacity(entries.len());
+    while let Some(r) = ready.iter().next().copied() {
+        ready.remove(&r);
+        out.push(r);
+        for d in &deps_of[&r] {
+            let n = dependents.get_mut(d).unwrap();
+            *n -= 1;
+            if *n == 0 {
+                ready.insert(*d);
+            }
+        }
+    }
+    assert_eq!(out.len(), entries.len(), "dependence cycle in crash dump");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_pmem::LineAddr;
+
+    fn rid(t: u32, l: u64) -> Rid {
+        Rid::new(t, l)
+    }
+
+    #[test]
+    fn dump_roundtrip() {
+        let mut image = MemoryImage::new();
+        let base = PmAddr(0x8000_0000);
+        write_dump(&mut image, base, &[b"hello", b"", b"world!"]);
+        let sections = read_dump(&image, base).unwrap();
+        assert_eq!(sections, vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]);
+        clear_dump(&mut image, base);
+        assert!(read_dump(&image, base).is_none());
+    }
+
+    #[test]
+    fn read_dump_without_dump_is_none() {
+        let image = MemoryImage::new();
+        assert!(read_dump(&image, PmAddr(0x8000_0000)).is_none());
+    }
+
+    /// Builds a two-record chain for one region directly in the image.
+    fn build_chain(image: &mut MemoryImage, r: Rid) -> PmAddr {
+        // Record 1 (older): logs line 100 value 0xAA, line 101 value 0xBB.
+        let h1_addr = PmAddr(0x9000_0000);
+        let mut h1 = RecordHeader::new(r, None);
+        h1.push_entry(LineAddr(100));
+        h1.push_entry(LineAddr(101));
+        h1.sealed = true;
+        image.write(h1_addr, &h1.encode());
+        image.write_line(RecordHeader::entry_addr(h1_addr, 0).line(), &[0xAA; 64]);
+        image.write_line(RecordHeader::entry_addr(h1_addr, 1).line(), &[0xBB; 64]);
+        // Record 2 (newer): logs line 100 again, value 0xCC.
+        let h2_addr = PmAddr(0x9000_2000);
+        let mut h2 = RecordHeader::new(r, Some(h1_addr));
+        h2.push_entry(LineAddr(100));
+        image.write(h2_addr, &h2.encode());
+        image.write_line(RecordHeader::entry_addr(h2_addr, 0).line(), &[0xCC; 64]);
+        h2_addr
+    }
+
+    #[test]
+    fn collect_walks_chain_newest_first() {
+        let mut image = MemoryImage::new();
+        let r = rid(0, 1);
+        let last = build_chain(&mut image, r);
+        let records = collect_records(&image, last, r);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].0, last);
+        assert_eq!(records[0].1.count, 1);
+        assert_eq!(records[1].1.count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "broken log chain")]
+    fn collect_panics_on_garbage() {
+        let image = MemoryImage::new();
+        collect_records(&image, PmAddr(0x9000_0000), rid(0, 1));
+    }
+
+    #[test]
+    fn undo_restores_oldest_value_for_relogged_line() {
+        let mut image = MemoryImage::new();
+        let r = rid(0, 1);
+        let last = build_chain(&mut image, r);
+        image.write_line(LineAddr(100), &[0xFF; 64]); // current (new) data
+        image.write_line(LineAddr(101), &[0xFF; 64]);
+        let records = collect_records(&image, last, r);
+        let n = undo_region(&mut image, &records);
+        assert_eq!(n, 3);
+        // Line 100 logged twice: the OLDEST value (record 1's 0xAA) wins.
+        assert_eq!(image.read_line(LineAddr(100))[0], 0xAA);
+        assert_eq!(image.read_line(LineAddr(101))[0], 0xBB);
+    }
+
+    #[test]
+    fn redo_applies_newest_value_for_relogged_line() {
+        let mut image = MemoryImage::new();
+        let r = rid(0, 1);
+        let last = build_chain(&mut image, r);
+        let records = collect_records(&image, last, r);
+        let n = redo_region(&mut image, &records);
+        assert_eq!(n, 3);
+        // Redo semantics: the NEWEST logged value (record 2's 0xCC) wins.
+        assert_eq!(image.read_line(LineAddr(100))[0], 0xCC);
+        assert_eq!(image.read_line(LineAddr(101))[0], 0xBB);
+    }
+
+    fn entry(r: Rid, deps: &[Rid], done: bool) -> DepEntry {
+        DepEntry { rid: r, done, deps: deps.to_vec() }
+    }
+
+    #[test]
+    fn undo_order_puts_dependents_first() {
+        // r0.2 depends on r0.1; r1.1 depends on r0.2.
+        let entries = vec![
+            entry(rid(0, 1), &[], true),
+            entry(rid(0, 2), &[rid(0, 1)], true),
+            entry(rid(1, 1), &[rid(0, 2)], false),
+        ];
+        let order = undo_order(&entries);
+        let pos = |r: Rid| order.iter().position(|x| *x == r).unwrap();
+        assert!(pos(rid(1, 1)) < pos(rid(0, 2)));
+        assert!(pos(rid(0, 2)) < pos(rid(0, 1)));
+    }
+
+    #[test]
+    fn undo_order_ignores_committed_deps() {
+        // Dep on a region absent from the list (already committed).
+        let entries = vec![entry(rid(0, 5), &[rid(0, 4)], true)];
+        assert_eq!(undo_order(&entries), vec![rid(0, 5)]);
+    }
+
+    #[test]
+    fn undo_order_handles_diamond() {
+        // d depends on b and c; b and c both depend on a.
+        let a = rid(0, 1);
+        let b = rid(1, 1);
+        let c = rid(2, 1);
+        let d = rid(3, 1);
+        let entries = vec![
+            entry(a, &[], true),
+            entry(b, &[a], true),
+            entry(c, &[a], true),
+            entry(d, &[b, c], true),
+        ];
+        let order = undo_order(&entries);
+        let pos = |r: Rid| order.iter().position(|x| *x == r).unwrap();
+        assert!(pos(d) < pos(b) && pos(d) < pos(c));
+        assert!(pos(b) < pos(a) && pos(c) < pos(a));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn undo_order_empty() {
+        assert!(undo_order(&[]).is_empty());
+    }
+}

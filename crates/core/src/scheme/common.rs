@@ -1,0 +1,392 @@
+//! Machinery shared by the logging schemes: active-region log writers,
+//! in-flight sealed-header tracking, and the event-wait loop.
+
+use std::collections::HashMap;
+
+use asap_mem::{OpId, PersistKind, Rid};
+use asap_pmem::{LineAddr, MemoryImage, PmAddr};
+use asap_sim::Cycle;
+
+use crate::hw::Hw;
+use crate::logbuf::{LogBuffer, LogFull, RecordHeader};
+
+/// Blocks until `$cond` holds, advancing the memory system event by event
+/// and feeding each event through `$self.handle_event`. Returns the updated
+/// clock.
+///
+/// # Panics
+///
+/// Panics if the condition cannot become true because no memory events are
+/// pending (a scheme bookkeeping bug).
+macro_rules! wait_mem {
+    ($self:ident, $hw:expr, $now:expr, $cond:expr) => {{
+        let mut now: asap_sim::Cycle = $now;
+        loop {
+            while let Some(ev) = $hw.mem.pop_event() {
+                $self.handle_event($hw, &ev);
+            }
+            if $cond {
+                break;
+            }
+            match $hw.mem.next_event_time() {
+                Some(t) => {
+                    $hw.advance_mem(t);
+                    now = now.max(t + $hw.hop() as u64);
+                }
+                None => panic!(
+                    "scheme deadlock: waiting on condition with no pending memory events"
+                ),
+            }
+        }
+        now
+    }};
+}
+pub(crate) use wait_mem;
+
+/// The per-region log writer used by the hardware baselines: tracks the
+/// current (partial) record and the region's log extent.
+#[derive(Clone, Debug)]
+pub struct ActiveLog {
+    /// The region being logged.
+    pub rid: Rid,
+    /// Current record header address.
+    pub header_addr: PmAddr,
+    /// Current (partial) header contents.
+    pub header: RecordHeader,
+    /// Log tail counter after the region's last allocation (for freeing).
+    pub log_end_tail: u64,
+    /// Number of data entries logged so far.
+    pub entries: u64,
+}
+
+impl ActiveLog {
+    /// Starts a region's log: allocates its first record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogFull`] if the thread's log buffer is exhausted.
+    pub fn start(log: &mut LogBuffer, rid: Rid) -> Result<Self, LogFull> {
+        let header_addr = log.alloc_record()?;
+        Ok(ActiveLog {
+            rid,
+            header_addr,
+            header: RecordHeader::new(rid, None),
+            log_end_tail: log.tail(),
+            entries: 0,
+        })
+    }
+
+    /// Allocates the next log entry for `data_line`.
+    ///
+    /// Returns the entry's address, plus — when the current record just
+    /// filled — the sealed header `(addr, bytes)` that must be written
+    /// through the WPQ while a fresh record takes its place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogFull`] if a new record is needed and the buffer is
+    /// exhausted.
+    #[allow(clippy::type_complexity)]
+    pub fn add_entry(
+        &mut self,
+        log: &mut LogBuffer,
+        data_line: LineAddr,
+    ) -> Result<(PmAddr, Option<(PmAddr, [u8; 64])>), LogFull> {
+        let i = self.header.push_entry(data_line);
+        let entry_addr = RecordHeader::entry_addr(self.header_addr, i);
+        self.entries += 1;
+        let sealed = if self.header.is_full() {
+            self.header.sealed = true;
+            let bytes = self.header.encode();
+            let old_addr = self.header_addr;
+            let new_addr = log.alloc_record()?;
+            self.header = RecordHeader::new(self.rid, Some(old_addr));
+            self.header_addr = new_addr;
+            self.log_end_tail = log.tail();
+            Some((old_addr, bytes))
+        } else {
+            None
+        };
+        Ok((entry_addr, sealed))
+    }
+
+    /// Seals the final (possibly partial) record, marking it `committed`
+    /// when requested (the redo commit marker). Returns `(addr, bytes)` to
+    /// write through the WPQ.
+    #[allow(dead_code)] // used by tests; kept for SW-style writers
+    pub fn seal_final(&mut self, committed: bool) -> (PmAddr, [u8; 64]) {
+        self.header.sealed = true;
+        self.header.committed = committed;
+        (self.header_addr, self.header.encode())
+    }
+}
+
+/// Acceptance-aware log record state for the hardware schemes.
+///
+/// A record header's entry-address fields become durable knowledge only
+/// when the corresponding LPO is *accepted* by the WPQ — the hardware
+/// fills the LH-WPQ field at the memory controller, simultaneously with
+/// acceptance. Tracking this per entry closes a crash window: a header
+/// flushed at power failure must not reference a log entry whose value
+/// never reached the persistence domain (recovery would restore garbage).
+///
+/// The tracker owns every live record header: the region's current
+/// (partial) record and sealed records awaiting full acceptance. Once a
+/// sealed record's entries are all accepted, [`accepted`](Self::accepted)
+/// hands back the encoded header for submission through the WPQ.
+#[derive(Debug, Default)]
+pub struct LogAcceptTracker {
+    records: HashMap<PmAddr, TrackedRecord>,
+    by_op: HashMap<OpId, (PmAddr, usize, LineAddr)>,
+}
+
+/// One live record's header plus acceptance progress.
+#[derive(Debug)]
+struct TrackedRecord {
+    header: RecordHeader,
+    accepted: usize,
+    /// Seal requested with this committed flag; the header is released
+    /// for its WPQ write once all reserved entries are accepted.
+    want_seal: Option<bool>,
+}
+
+impl LogAcceptTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly allocated record at `addr` for `rid`, chained
+    /// to `prev`.
+    pub fn start_record(&mut self, rid: Rid, addr: PmAddr, prev: Option<PmAddr>) {
+        let old = self.records.insert(
+            addr,
+            TrackedRecord { header: RecordHeader::new(rid, prev), accepted: 0, want_seal: None },
+        );
+        debug_assert!(old.is_none(), "record address reused while live");
+    }
+
+    /// Reserves the next entry slot of the record at `addr`. Returns the
+    /// entry index (the log line is `RecordHeader::entry_addr(addr, i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the record is unknown or full.
+    pub fn reserve_slot(&mut self, addr: PmAddr) -> usize {
+        let r = self.records.get_mut(&addr).expect("record started");
+        r.header.reserve_entry()
+    }
+
+    /// Registers the in-flight LPO `op` that will publish entry `i` of
+    /// the record at `addr` as holding `data_line`'s logged value.
+    pub fn register(&mut self, op: OpId, addr: PmAddr, i: usize, data_line: LineAddr) {
+        self.by_op.insert(op, (addr, i, data_line));
+    }
+
+    /// Marks `op` accepted, publishing its address field. When this
+    /// completes a sealed record, returns `(header_addr, bytes)` ready to
+    /// write through the WPQ.
+    pub fn accepted(&mut self, op: OpId) -> Option<(PmAddr, [u8; 64])> {
+        let (addr, i, data_line) = self.by_op.remove(&op)?;
+        let r = self.records.get_mut(&addr)?;
+        r.header.set_entry(i, data_line);
+        r.accepted += 1;
+        self.release_if_complete(addr)
+    }
+
+    /// Requests sealing of the record at `addr` (with the `committed`
+    /// marker flag for redo). Returns the encoded header immediately if
+    /// all its entries are already accepted; otherwise it is returned by
+    /// the final [`accepted`](Self::accepted) call.
+    pub fn request_seal(&mut self, addr: PmAddr, committed: bool) -> Option<(PmAddr, [u8; 64])> {
+        let r = self.records.get_mut(&addr)?;
+        r.want_seal = Some(committed);
+        self.release_if_complete(addr)
+    }
+
+    fn release_if_complete(&mut self, addr: PmAddr) -> Option<(PmAddr, [u8; 64])> {
+        let r = self.records.get(&addr)?;
+        let committed = r.want_seal?;
+        if r.accepted < r.header.count as usize {
+            return None;
+        }
+        let mut r = self.records.remove(&addr).expect("present");
+        r.header.sealed = true;
+        r.header.committed = committed;
+        Some((addr, r.header.encode()))
+    }
+
+    /// Crash: writes every live header (current acceptance view — fields
+    /// of unaccepted LPOs stay invalid and recovery skips them).
+    pub fn flush(&self, image: &mut MemoryImage) {
+        for (addr, r) in &self.records {
+            image.write(*addr, &r.header.encode());
+        }
+    }
+
+    /// Drops all state belonging to `rid` (region committed).
+    pub fn forget_region(&mut self, rid: Rid) {
+        self.records.retain(|_, r| r.header.rid != rid);
+        let live: std::collections::HashSet<PmAddr> = self.records.keys().copied().collect();
+        self.by_op.retain(|_, (addr, _, _)| live.contains(addr));
+    }
+
+    /// Number of live (unreleased) records.
+    #[allow(dead_code)] // diagnostics
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are live.
+    #[allow(dead_code)] // diagnostics
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The current entry count of the record at `addr` (for seal checks).
+    #[allow(dead_code)] // diagnostics
+    pub fn reserved_count(&self, addr: PmAddr) -> Option<usize> {
+        self.records.get(&addr).map(|r| r.header.count as usize)
+    }
+}
+
+/// Sealed record headers submitted to the WPQ but not yet accepted.
+///
+/// Hardware keeps a sealed header inside the persistence domain until the
+/// WPQ takes it; if power fails in that window the header must still be
+/// flushed, or the log chain through it would break. This tracker holds
+/// those headers and writes the stragglers out at crash time.
+#[derive(Clone, Debug, Default)]
+pub struct InflightHeaders {
+    pending: HashMap<OpId, (PmAddr, [u8; 64])>,
+}
+
+impl InflightHeaders {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a sealed header through the WPQ and tracks it until
+    /// acceptance.
+    pub fn submit(
+        &mut self,
+        hw: &mut Hw,
+        rid: Rid,
+        addr: PmAddr,
+        bytes: [u8; 64],
+        now: Cycle,
+    ) -> OpId {
+        let id = hw.submit_value(PersistKind::LogHeader, addr.line(), bytes, Some(rid), None, now);
+        self.pending.insert(id, (addr, bytes));
+        id
+    }
+
+    /// Marks a header as accepted (safe in the WPQ).
+    pub fn accepted(&mut self, id: OpId) {
+        self.pending.remove(&id);
+    }
+
+    /// Crash: writes every unaccepted sealed header directly to the image
+    /// (they were still in the persistence domain).
+    pub fn flush(&mut self, image: &mut MemoryImage) {
+        for (_, (addr, bytes)) in self.pending.drain() {
+            image.write(addr, &bytes);
+        }
+    }
+
+    /// Number of headers in flight.
+    #[allow(dead_code)] // exercised by tests; handy for diagnostics
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no headers are in flight.
+    #[allow(dead_code)] // exercised by tests; handy for diagnostics
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logbuf::{MAX_ENTRIES, RECORD_LINES};
+
+    #[test]
+    fn active_log_allocates_entries_in_record() {
+        let mut log = LogBuffer::new(PmAddr(0), 4 * RECORD_LINES * 64);
+        let mut al = ActiveLog::start(&mut log, Rid::new(0, 1)).unwrap();
+        let (e0, s0) = al.add_entry(&mut log, LineAddr(10)).unwrap();
+        let (e1, s1) = al.add_entry(&mut log, LineAddr(11)).unwrap();
+        assert_eq!(e0, PmAddr(64));
+        assert_eq!(e1, PmAddr(128));
+        assert!(s0.is_none() && s1.is_none());
+        assert_eq!(al.entries, 2);
+    }
+
+    #[test]
+    fn record_seals_at_seven_entries_and_chains() {
+        let mut log = LogBuffer::new(PmAddr(0), 4 * RECORD_LINES * 64);
+        let mut al = ActiveLog::start(&mut log, Rid::new(0, 1)).unwrap();
+        let first_header = al.header_addr;
+        let mut sealed = None;
+        for i in 0..MAX_ENTRIES {
+            let (_, s) = al.add_entry(&mut log, LineAddr(i as u64)).unwrap();
+            if s.is_some() {
+                sealed = s;
+                assert_eq!(i, MAX_ENTRIES - 1, "seals exactly on the 7th entry");
+            }
+        }
+        let (addr, bytes) = sealed.expect("record sealed");
+        assert_eq!(addr, first_header);
+        let h = RecordHeader::decode(&bytes).unwrap();
+        assert!(h.sealed && !h.committed);
+        assert_eq!(h.count as usize, MAX_ENTRIES);
+        // The fresh record chains back to the sealed one.
+        assert_eq!(al.header.prev, Some(first_header));
+        assert_ne!(al.header_addr, first_header);
+    }
+
+    #[test]
+    fn seal_final_marks_commit() {
+        let mut log = LogBuffer::new(PmAddr(0), 4 * RECORD_LINES * 64);
+        let mut al = ActiveLog::start(&mut log, Rid::new(0, 1)).unwrap();
+        al.add_entry(&mut log, LineAddr(5)).unwrap();
+        let (_, bytes) = al.seal_final(true);
+        let h = RecordHeader::decode(&bytes).unwrap();
+        assert!(h.sealed && h.committed);
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn log_full_surfaces() {
+        let mut log = LogBuffer::new(PmAddr(0), RECORD_LINES * 64);
+        let mut al = ActiveLog::start(&mut log, Rid::new(0, 1)).unwrap();
+        for i in 0..MAX_ENTRIES - 1 {
+            al.add_entry(&mut log, LineAddr(i as u64)).unwrap();
+        }
+        // The 7th entry seals and needs a new record: buffer is full.
+        assert!(al.add_entry(&mut log, LineAddr(99)).is_err());
+    }
+
+    #[test]
+    fn inflight_headers_flush_on_crash() {
+        use asap_sim::SystemConfig;
+        let mut hw = Hw::new(SystemConfig::small(), 1, 1 << 20, 1 << 20);
+        let mut infl = InflightHeaders::new();
+        let addr = hw.layout.log_base(0);
+        let rid = Rid::new(0, 1);
+        let id = infl.submit(&mut hw, rid, addr, [0xabu8; 64], Cycle(0));
+        assert_eq!(infl.len(), 1);
+        // Crash before acceptance: flush writes it to the image.
+        infl.flush(&mut hw.image);
+        assert_eq!(hw.image.read_line(addr.line())[0], 0xab);
+        assert!(infl.is_empty());
+        // Acceptance path: a new header, accepted, needs no flush.
+        let id2 = infl.submit(&mut hw, rid, addr.offset(512), [1u8; 64], Cycle(0));
+        assert_ne!(id, id2);
+        infl.accepted(id2);
+        assert!(infl.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! The NP baseline: no atomic durability is enforced (§6.3).
+//!
+//! Data is read from and written to persistent memory, dirty lines are
+//! written back on eviction, but no LPOs or DPOs are ever performed. NP is
+//! the upper bound on performance: every other scheme's throughput is
+//! normalized against it in Figs. 8 and 10.
+
+use asap_mem::{MemEvent, Rid};
+use asap_sim::Cycle;
+
+use crate::hw::Hw;
+use crate::scheme::common::wait_mem;
+use crate::scheme::{RecoveryReport, Scheme, SchemeKind};
+
+/// Cost of the (empty) begin/end markers, cycles.
+const MARKER_COST: u64 = 2;
+
+/// The no-persistence scheme.
+#[derive(Debug, Default)]
+pub struct NoPersist {
+    _private: (),
+}
+
+impl NoPersist {
+    /// Creates the scheme.
+    pub fn new() -> Self {
+        NoPersist::default()
+    }
+
+    fn handle_event(&mut self, _hw: &mut Hw, _ev: &MemEvent) {}
+}
+
+impl Scheme for NoPersist {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::NoPersist
+    }
+
+    fn on_thread_start(&mut self, _hw: &mut Hw, _thread: usize, now: Cycle) -> Cycle {
+        now
+    }
+
+    fn on_begin(&mut self, _hw: &mut Hw, _thread: usize, _rid: Rid, now: Cycle) -> Cycle {
+        now + MARKER_COST
+    }
+
+    fn on_end(&mut self, _hw: &mut Hw, _thread: usize, _rid: Rid, now: Cycle) -> Cycle {
+        now + MARKER_COST
+    }
+
+    fn on_fence(&mut self, _hw: &mut Hw, _thread: usize, now: Cycle) -> Cycle {
+        now
+    }
+
+    fn on_mem_event(&mut self, hw: &mut Hw, ev: &MemEvent) {
+        self.handle_event(hw, ev);
+    }
+
+    fn drain(&mut self, hw: &mut Hw, now: Cycle) -> Cycle {
+        wait_mem!(self, hw, now, hw.mem.is_idle())
+    }
+
+    fn on_crash(&mut self, _hw: &mut Hw) {}
+
+    fn recover(&mut self, _hw: &mut Hw) -> RecoveryReport {
+        RecoveryReport::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_sim::SystemConfig;
+
+    #[test]
+    fn begin_end_cost_is_tiny() {
+        let mut hw = Hw::new(SystemConfig::small(), 1, 1 << 20, 1 << 20);
+        let mut s = NoPersist::new();
+        let rid = Rid::new(0, 1);
+        let t0 = s.on_begin(&mut hw, 0, rid, Cycle(0));
+        let t1 = s.on_end(&mut hw, 0, rid, t0);
+        assert_eq!(t1, Cycle(2 * MARKER_COST));
+    }
+
+    #[test]
+    fn fence_is_free() {
+        let mut hw = Hw::new(SystemConfig::small(), 1, 1 << 20, 1 << 20);
+        let mut s = NoPersist::new();
+        assert_eq!(s.on_fence(&mut hw, 0, Cycle(7)), Cycle(7));
+    }
+
+    #[test]
+    fn drain_waits_for_writebacks() {
+        use asap_mem::{PersistKind, PersistOp};
+        use asap_pmem::LineAddr;
+        let mut hw = Hw::new(SystemConfig::small(), 1, 1 << 20, 1 << 20);
+        let mut s = NoPersist::new();
+        let line = LineAddr(hw.layout.heap_base().0 / 64);
+        hw.mem
+            .submit(PersistOp::new(PersistKind::WriteBack, line, [4u8; 64], None), Cycle(0));
+        let t = s.drain(&mut hw, Cycle(0));
+        assert!(t > Cycle(0));
+        assert!(hw.mem.is_idle());
+        assert_eq!(hw.image.read_line(line)[0], 4);
+    }
+
+    #[test]
+    fn recover_reports_nothing() {
+        let mut hw = Hw::new(SystemConfig::small(), 1, 1 << 20, 1 << 20);
+        let mut s = NoPersist::new();
+        s.on_crash(&mut hw);
+        assert_eq!(s.recover(&mut hw), RecoveryReport::default());
+    }
+}

@@ -1,0 +1,167 @@
+//! Non-counting bloom filter for evicted owner RIDs (§5.3).
+//!
+//! When a persistent cache line is evicted from the LLC while its owning
+//! atomic region is uncommitted, the owner RID is saved to a DRAM buffer.
+//! To avoid turning every PM read into two memory requests, a per-channel
+//! bloom filter records which lines *might* have a saved owner; the DRAM
+//! buffer is consulted only on filter hits. The filter is cleared whenever
+//! the Dependence List becomes empty (no uncommitted regions ⇒ no
+//! dependencies on evicted lines need tracking).
+
+use asap_pmem::LineAddr;
+
+/// A fixed-size, non-counting bloom filter over cache-line addresses.
+///
+/// # Example
+///
+/// ```
+/// use asap_mem::BloomFilter;
+/// use asap_pmem::LineAddr;
+///
+/// let mut bf = BloomFilter::new(8 * 1024);
+/// bf.insert(LineAddr(42));
+/// assert!(bf.may_contain(LineAddr(42))); // no false negatives
+/// bf.clear();
+/// assert!(!bf.may_contain(LineAddr(42)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u32,
+    insertions: u64,
+}
+
+impl BloomFilter {
+    /// Number of hash functions (fixed, typical for small filters).
+    const HASHES: u32 = 3;
+
+    /// Creates a filter with `num_bits` bits (paper: 1KB = 8192 per
+    /// channel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` is zero.
+    pub fn new(num_bits: u32) -> Self {
+        assert!(num_bits > 0, "bloom filter needs at least one bit");
+        BloomFilter {
+            bits: vec![0u64; num_bits.div_ceil(64) as usize],
+            num_bits,
+            insertions: 0,
+        }
+    }
+
+    fn hash(line: LineAddr, i: u32) -> u64 {
+        // SplitMix64-style mixing, salted per hash function.
+        let mut x = line.0 ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(i) + 1));
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn bit_index(&self, line: LineAddr, i: u32) -> (usize, u64) {
+        let b = Self::hash(line, i) % u64::from(self.num_bits);
+        ((b / 64) as usize, 1u64 << (b % 64))
+    }
+
+    /// Records that `line` was evicted with an active owner.
+    pub fn insert(&mut self, line: LineAddr) {
+        for i in 0..Self::HASHES {
+            let (w, m) = self.bit_index(line, i);
+            self.bits[w] |= m;
+        }
+        self.insertions += 1;
+    }
+
+    /// Whether `line` may have a saved owner (false positives possible,
+    /// false negatives impossible).
+    pub fn may_contain(&self, line: LineAddr) -> bool {
+        (0..Self::HASHES).all(|i| {
+            let (w, m) = self.bit_index(line, i);
+            self.bits[w] & m != 0
+        })
+    }
+
+    /// Clears the filter (safe whenever the Dependence List is empty).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.insertions = 0;
+    }
+
+    /// Number of insertions since the last clear.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Whether no insertions have happened since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.insertions == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(1024);
+        for i in 0..100 {
+            bf.insert(LineAddr(i * 977));
+        }
+        for i in 0..100 {
+            assert!(bf.may_contain(LineAddr(i * 977)));
+        }
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let bf = BloomFilter::new(8192);
+        for i in 0..1000 {
+            assert!(!bf.may_contain(LineAddr(i)));
+        }
+        assert!(bf.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut bf = BloomFilter::new(64);
+        bf.insert(LineAddr(7));
+        assert!(!bf.is_empty());
+        bf.clear();
+        assert!(!bf.may_contain(LineAddr(7)));
+        assert_eq!(bf.insertions(), 0);
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut bf = BloomFilter::new(8192);
+        for i in 0..500 {
+            bf.insert(LineAddr(i));
+        }
+        let fps = (10_000..20_000)
+            .filter(|&i| bf.may_contain(LineAddr(i)))
+            .count();
+        // 500 inserts in 8192 bits with 3 hashes ⇒ expect ~0.5% FPs.
+        assert!(fps < 500, "false positive rate too high: {fps}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_panics() {
+        BloomFilter::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inserted_always_found(lines in proptest::collection::vec(any::<u64>(), 1..200)) {
+            let mut bf = BloomFilter::new(4096);
+            for &l in &lines {
+                bf.insert(LineAddr(l));
+            }
+            for &l in &lines {
+                prop_assert!(bf.may_contain(LineAddr(l)));
+            }
+        }
+    }
+}

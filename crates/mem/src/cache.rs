@@ -1,0 +1,569 @@
+//! Inclusive three-level cache hierarchy with real line data.
+//!
+//! The model keeps one *data store* for all cached lines (they are coherent
+//! by construction, standing in for an invalidation-based protocol that
+//! ASAP leaves unmodified) plus per-level LRU tag arrays used for timing:
+//! per-core L1 and L2, and a shared LLC. The hierarchy is inclusive — a
+//! line evicted from the LLC is back-invalidated from every L1/L2.
+//!
+//! ASAP-specific behaviour modelled here:
+//!
+//! - every line carries the tag extensions (`PBit`, `LockBit`, `OwnerRID`);
+//! - victim selection skips lines whose `LockBit` is set (their first-write
+//!   LPO has not completed, §4.6.1); if a set is entirely locked the forced
+//!   eviction is reported so the caller can stall for the LPO.
+
+use std::collections::HashMap;
+
+use asap_pmem::LineAddr;
+use asap_sim::{CacheConfig, SystemConfig};
+
+use crate::line::{LineState, LINE_SIZE};
+
+/// Where an access hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Own L1.
+    L1,
+    /// Own L2.
+    L2,
+    /// Shared LLC (no private copy elsewhere).
+    Llc,
+    /// Another core's private cache (snoop forward).
+    Remote,
+    /// Missed the whole hierarchy.
+    Memory,
+}
+
+/// A line pushed out of the LLC (and back-invalidated everywhere).
+#[derive(Clone, Debug)]
+pub struct Evicted {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Its full state at eviction (data, dirty, tag extensions).
+    pub state: LineState,
+    /// True if every candidate way was locked and an LPO-locked line had
+    /// to be chosen anyway; the caller must wait for that LPO first.
+    pub forced: bool,
+}
+
+/// The outcome of one access.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Cycles the access costs the issuing thread.
+    pub latency: u64,
+    /// Where the line was found.
+    pub level: HitLevel,
+    /// LLC evictions triggered by the fill (at most one).
+    pub evicted: Vec<Evicted>,
+}
+
+/// Extra cycles a store-miss write-allocate costs beyond the LLC lookup
+/// (the fill itself overlaps with subsequent execution).
+const STORE_MISS_ALLOC: u64 = 30;
+
+/// Load or store — stores retire through the store buffer and pay the
+/// bandwidth of the level that owns the line; loads pay the full hierarchy
+/// latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load: pays the latency of the level it hits.
+    Load,
+    /// A store: write-allocates but is charged store-buffer cost only.
+    Store,
+}
+
+/// One way of a set: the cached line and its LRU stamp.
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: LineAddr,
+    last_used: u64,
+}
+
+/// A set-associative LRU tag array (timing only — data lives in the store).
+#[derive(Clone, Debug)]
+struct TagArray {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    tick: u64,
+}
+
+impl TagArray {
+    fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets() as usize;
+        TagArray { sets: vec![Vec::new(); sets], ways: cfg.ways as usize, tick: 0 }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets.len() as u64) as usize
+    }
+
+    fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_of(line)].iter().any(|w| w.line == line)
+    }
+
+    fn touch(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            w.last_used = tick;
+        }
+    }
+
+    fn remove(&mut self, line: LineAddr) {
+        let set = self.set_of(line);
+        self.sets[set].retain(|w| w.line != line);
+    }
+
+    /// Inserts `line`; if the set is full, evicts and returns the victim
+    /// preferring unlocked lines (per `evictable`). The bool is true when a
+    /// locked line had to be forced out.
+    fn insert<F>(&mut self, line: LineAddr, evictable: F) -> Option<(LineAddr, bool)>
+    where
+        F: Fn(LineAddr) -> bool,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        debug_assert!(!set.iter().any(|w| w.line == line), "double insert");
+        let mut victim = None;
+        if set.len() >= self.ways {
+            // LRU among evictable ways; fall back to overall LRU if all
+            // ways are locked.
+            let pick = set
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| evictable(w.line))
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| (i, false))
+                .or_else(|| {
+                    set.iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.last_used)
+                        .map(|(i, _)| (i, true))
+                });
+            if let Some((i, forced)) = pick {
+                victim = Some((set.remove(i).line, forced));
+            }
+        }
+        set.push(Way { line, last_used: tick });
+        victim
+    }
+
+    fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets.iter().flatten().map(|w| w.line)
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// The full cache hierarchy: shared data store plus per-level tag arrays.
+pub struct CacheHierarchy {
+    store: HashMap<LineAddr, LineState>,
+    l1: Vec<TagArray>,
+    l2: Vec<TagArray>,
+    llc: TagArray,
+    l1_lat: u64,
+    l2_lat: u64,
+    llc_lat: u64,
+    remote_lat: u64,
+    store_cost: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for `cores` cores per `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let cores = cfg.cores as usize;
+        CacheHierarchy {
+            store: HashMap::new(),
+            l1: (0..cores).map(|_| TagArray::new(&cfg.l1)).collect(),
+            l2: (0..cores).map(|_| TagArray::new(&cfg.l2)).collect(),
+            llc: TagArray::new(&cfg.llc),
+            l1_lat: cfg.l1.latency,
+            l2_lat: cfg.l2.latency,
+            llc_lat: cfg.llc.latency,
+            remote_lat: cfg.llc.latency + 18,
+            store_cost: cfg.store_cost,
+        }
+    }
+
+    /// Number of cores the hierarchy was built for.
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// Where would an access by `core` to `line` hit right now?
+    pub fn peek_level(&self, core: usize, line: LineAddr) -> HitLevel {
+        if self.l1[core].contains(line) {
+            HitLevel::L1
+        } else if self.l2[core].contains(line) {
+            HitLevel::L2
+        } else if self.llc.contains(line) {
+            let remote = (0..self.l1.len())
+                .any(|c| c != core && (self.l1[c].contains(line) || self.l2[c].contains(line)));
+            if remote {
+                HitLevel::Remote
+            } else {
+                HitLevel::Llc
+            }
+        } else {
+            HitLevel::Memory
+        }
+    }
+
+    /// Performs an access by `core` to `line`.
+    ///
+    /// On a miss the caller must supply `fill`: the line data (from the
+    /// memory system, with WPQ forwarding) and its persistent bit.
+    /// `miss_latency` is the additional memory latency beyond the LLC
+    /// lookup, also supplied by the caller (it depends on DRAM vs PM).
+    ///
+    /// For [`AccessKind::Store`] the data is *not* modified here — the
+    /// caller mutates the line via [`line_mut`](Self::line_mut) afterwards
+    /// (and sets dirty/owner bits per its scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access misses and `fill` is `None`.
+    pub fn access(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        fill: Option<([u8; LINE_SIZE], bool)>,
+        miss_latency: u64,
+    ) -> Access {
+        let level = self.peek_level(core, line);
+        let mut evicted = Vec::new();
+        if level == HitLevel::Memory {
+            let (data, pbit) = fill.expect("miss requires fill data");
+            let mut st = LineState::from_bytes(data);
+            st.pbit = pbit;
+            self.store.insert(line, st);
+            let store = &self.store;
+            if let Some((victim, forced)) =
+                self.llc.insert(line, |l| store.get(&l).is_none_or(|s| s.evictable()))
+            {
+                let state = self.store.remove(&victim).expect("victim must be in store");
+                for c in 0..self.l1.len() {
+                    self.l1[c].remove(victim);
+                    self.l2[c].remove(victim);
+                }
+                evicted.push(Evicted { line: victim, state, forced });
+            }
+        }
+        // Promote into the private levels (tag-only; no writeback needed
+        // since data lives in the shared store).
+        if !self.l1[core].contains(line) {
+            self.l1[core].insert(line, |_| true);
+        }
+        if !self.l2[core].contains(line) {
+            self.l2[core].insert(line, |_| true);
+        }
+        self.l1[core].touch(line);
+        self.l2[core].touch(line);
+        self.llc.touch(line);
+        if kind == AccessKind::Store {
+            // Write-invalidate other cores' private copies.
+            for c in 0..self.l1.len() {
+                if c != core {
+                    self.l1[c].remove(line);
+                    self.l2[c].remove(line);
+                }
+            }
+        }
+        let latency = match kind {
+            // Stores retire through the store buffer: they do not wait for
+            // the full memory round trip, but sustained streams are bound
+            // by the bandwidth of the level that owns the line — charge
+            // that level's latency, capping misses at LLC + an allocation
+            // penalty (the fill overlaps with later work).
+            AccessKind::Store => {
+                self.store_cost
+                    + match level {
+                        HitLevel::L1 => self.l1_lat,
+                        HitLevel::L2 => self.l2_lat,
+                        HitLevel::Llc => self.llc_lat,
+                        HitLevel::Remote => self.remote_lat,
+                        HitLevel::Memory => self.llc_lat + STORE_MISS_ALLOC,
+                    }
+            }
+            AccessKind::Load => match level {
+                HitLevel::L1 => self.l1_lat,
+                HitLevel::L2 => self.l2_lat,
+                HitLevel::Llc => self.llc_lat,
+                HitLevel::Remote => self.remote_lat,
+                HitLevel::Memory => self.llc_lat + miss_latency,
+            },
+        };
+        Access { latency, level, evicted }
+    }
+
+    /// Read access to a cached line's state.
+    pub fn line(&self, line: LineAddr) -> Option<&LineState> {
+        self.store.get(&line)
+    }
+
+    /// Mutable access to a cached line's state (data, dirty, tag bits).
+    pub fn line_mut(&mut self, line: LineAddr) -> Option<&mut LineState> {
+        self.store.get_mut(&line)
+    }
+
+    /// Whether `line` is present anywhere in the hierarchy.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.store.contains_key(&line)
+    }
+
+    /// Copies a line's current data out and clears its dirty bit, leaving
+    /// the line cached (the effect of `clwb` or a hardware DPO snapshot).
+    pub fn writeback_copy(&mut self, line: LineAddr) -> Option<[u8; LINE_SIZE]> {
+        self.store.get_mut(&line).map(|s| {
+            s.dirty = false;
+            s.data
+        })
+    }
+
+    /// Discards every cached line without writeback — a power failure.
+    pub fn invalidate_all(&mut self) {
+        self.store.clear();
+        for t in self.l1.iter_mut().chain(self.l2.iter_mut()) {
+            t.clear();
+        }
+        self.llc.clear();
+    }
+
+    /// Iterates over all cached lines and their states.
+    pub fn lines(&self) -> impl Iterator<Item = (LineAddr, &LineState)> {
+        self.store.iter().map(|(&l, s)| (l, s))
+    }
+
+    /// Number of lines currently cached.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the hierarchy is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Consistency check: every tag-array line must be in the data store
+    /// and every L1/L2 line must also be in the LLC (inclusivity).
+    pub fn check_inclusive(&self) -> bool {
+        let llc_ok = self.llc.lines().all(|l| self.store.contains_key(&l));
+        let priv_ok = self
+            .l1
+            .iter()
+            .chain(self.l2.iter())
+            .flat_map(|t| t.lines())
+            .all(|l| self.llc.contains(l));
+        let store_ok = self.store.keys().all(|&l| self.llc.contains(l));
+        llc_ok && priv_ok && store_ok
+    }
+}
+
+impl std::fmt::Debug for CacheHierarchy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheHierarchy")
+            .field("cores", &self.l1.len())
+            .field("cached_lines", &self.store.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rid::Rid;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(&SystemConfig::small())
+    }
+
+    fn fill() -> Option<([u8; LINE_SIZE], bool)> {
+        Some(([7u8; LINE_SIZE], true))
+    }
+
+    #[test]
+    fn miss_then_hits_climb_levels() {
+        let mut h = hierarchy();
+        let a = h.access(0, LineAddr(1), AccessKind::Load, fill(), 150);
+        assert_eq!(a.level, HitLevel::Memory);
+        assert_eq!(a.latency, 42 + 150);
+        let a = h.access(0, LineAddr(1), AccessKind::Load, None, 150);
+        assert_eq!(a.level, HitLevel::L1);
+        assert_eq!(a.latency, 4);
+    }
+
+    #[test]
+    fn fill_sets_pbit_from_page_table() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr(1), AccessKind::Load, Some(([0; 64], true)), 0);
+        assert!(h.line(LineAddr(1)).unwrap().pbit);
+        h.access(0, LineAddr(2), AccessKind::Load, Some(([0; 64], false)), 0);
+        assert!(!h.line(LineAddr(2)).unwrap().pbit);
+    }
+
+    #[test]
+    fn remote_hit_detected() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr(1), AccessKind::Load, fill(), 0);
+        let a = h.access(1, LineAddr(1), AccessKind::Load, None, 0);
+        assert_eq!(a.level, HitLevel::Remote);
+    }
+
+    #[test]
+    fn store_invalidates_other_cores_private_copies() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr(1), AccessKind::Load, fill(), 0);
+        h.access(1, LineAddr(1), AccessKind::Load, None, 0);
+        // Core 1 writes: core 0's private copy must go away.
+        h.access(1, LineAddr(1), AccessKind::Store, None, 0);
+        let a = h.access(0, LineAddr(1), AccessKind::Load, None, 0);
+        assert_eq!(a.level, HitLevel::Remote); // refetched via LLC/snoop
+    }
+
+    #[test]
+    fn store_latency_tracks_owning_level() {
+        let mut h = hierarchy();
+        // Miss: capped at LLC + allocation penalty, far below a full
+        // memory round trip.
+        let a = h.access(0, LineAddr(9), AccessKind::Store, fill(), 500);
+        assert_eq!(a.latency, 1 + 42 + 30);
+        assert_eq!(a.level, HitLevel::Memory);
+        // L1 hit: store-buffer cost only.
+        let a = h.access(0, LineAddr(9), AccessKind::Store, None, 500);
+        assert_eq!(a.latency, 1 + 4);
+        assert_eq!(a.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn llc_eviction_back_invalidates_and_reports() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        let llc_lines = cfg.llc.size_bytes / 64;
+        // Touch one more distinct set-colliding line than the LLC holds.
+        let mut evicted = 0;
+        for i in 0..llc_lines + 64 {
+            let a = h.access(0, LineAddr(i), AccessKind::Load, fill(), 0);
+            evicted += a.evicted.len();
+            for e in &a.evicted {
+                assert!(!h.contains(e.line));
+            }
+        }
+        assert!(evicted >= 64);
+        assert!(h.check_inclusive());
+    }
+
+    #[test]
+    fn locked_lines_avoid_eviction() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        let sets = cfg.llc.sets();
+        let ways = cfg.llc.ways as u64;
+        // Fill one LLC set completely, locking the LRU (first) line.
+        let set_stride = sets;
+        for i in 0..ways {
+            h.access(0, LineAddr(i * set_stride), AccessKind::Load, fill(), 0);
+        }
+        h.line_mut(LineAddr(0)).unwrap().lock_bit = true;
+        // Next fill in the same set must evict line at stride*1, not 0.
+        let a = h.access(0, LineAddr(ways * set_stride), AccessKind::Load, fill(), 0);
+        assert_eq!(a.evicted.len(), 1);
+        assert_eq!(a.evicted[0].line, LineAddr(set_stride));
+        assert!(!a.evicted[0].forced);
+        assert!(h.contains(LineAddr(0)));
+    }
+
+    #[test]
+    fn fully_locked_set_forces_eviction() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        let sets = cfg.llc.sets();
+        let ways = cfg.llc.ways as u64;
+        for i in 0..ways {
+            h.access(0, LineAddr(i * sets), AccessKind::Load, fill(), 0);
+            h.line_mut(LineAddr(i * sets)).unwrap().lock_bit = true;
+        }
+        let a = h.access(0, LineAddr(ways * sets), AccessKind::Load, fill(), 0);
+        assert_eq!(a.evicted.len(), 1);
+        assert!(a.evicted[0].forced);
+    }
+
+    #[test]
+    fn writeback_copy_clears_dirty_keeps_line() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr(3), AccessKind::Store, fill(), 0);
+        let l = h.line_mut(LineAddr(3)).unwrap();
+        l.dirty = true;
+        l.data[0] = 0xaa;
+        let data = h.writeback_copy(LineAddr(3)).unwrap();
+        assert_eq!(data[0], 0xaa);
+        assert!(!h.line(LineAddr(3)).unwrap().dirty);
+        assert!(h.contains(LineAddr(3)));
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr(1), AccessKind::Load, fill(), 0);
+        h.access(1, LineAddr(2), AccessKind::Load, fill(), 0);
+        h.invalidate_all();
+        assert!(h.is_empty());
+        assert_eq!(h.peek_level(0, LineAddr(1)), HitLevel::Memory);
+        assert!(h.check_inclusive());
+    }
+
+    #[test]
+    fn owner_rid_travels_with_line_state() {
+        let mut h = hierarchy();
+        h.access(0, LineAddr(5), AccessKind::Store, fill(), 0);
+        h.line_mut(LineAddr(5)).unwrap().owner = Some(Rid::new(0, 1));
+        assert!(h.line(LineAddr(5)).unwrap().is_owned_by_other(Rid::new(1, 1)));
+    }
+
+    #[test]
+    fn eviction_preserves_line_state() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        let sets = cfg.llc.sets();
+        let ways = cfg.llc.ways as u64;
+        h.access(0, LineAddr(0), AccessKind::Store, fill(), 0);
+        {
+            let l = h.line_mut(LineAddr(0)).unwrap();
+            l.dirty = true;
+            l.owner = Some(Rid::new(0, 7));
+            l.data[10] = 0x42;
+        }
+        let mut got = None;
+        for i in 1..=ways {
+            let a = h.access(0, LineAddr(i * sets), AccessKind::Load, fill(), 0);
+            for e in a.evicted {
+                if e.line == LineAddr(0) {
+                    got = Some(e);
+                }
+            }
+        }
+        let e = got.expect("line 0 should have been evicted");
+        assert!(e.state.dirty);
+        assert_eq!(e.state.owner, Some(Rid::new(0, 7)));
+        assert_eq!(e.state.data[10], 0x42);
+    }
+
+    #[test]
+    fn inclusivity_invariant_holds_under_load() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        for i in 0..5000u64 {
+            let core = (i % cfg.cores as u64) as usize;
+            h.access(core, LineAddr(i * 3 % 2048), AccessKind::Load, fill(), 0);
+        }
+        assert!(h.check_inclusive());
+    }
+}

@@ -1,0 +1,118 @@
+//! Cache-line state, including ASAP's tag extensions (§4.3 ❷).
+
+use std::fmt;
+
+use asap_pmem::LINE_BYTES;
+
+use crate::rid::Rid;
+
+/// Size of a cache line's payload in bytes.
+pub const LINE_SIZE: usize = LINE_BYTES as usize;
+
+/// The full state of one cached line: data plus the tag extensions ASAP
+/// adds to every cache level.
+///
+/// - `dirty` — ordinary modified bit;
+/// - `pbit` — set when the line was brought in from a page whose page-table
+///   persistent bit is set (§4.6);
+/// - `lock_bit` — set while the line's first-write LPO is outstanding; a
+///   locked line may not be evicted and its DPO may not be initiated
+///   (§4.6.1);
+/// - `owner` — the `OwnerRID` of the atomic region that last wrote the
+///   line, used for data-dependence detection (§4.6.3).
+///
+/// # Example
+///
+/// ```
+/// use asap_mem::{LineState, Rid};
+///
+/// let mut l = LineState::from_bytes([0u8; 64]);
+/// l.pbit = true;
+/// l.owner = Some(Rid::new(0, 1));
+/// assert!(l.is_owned_by_other(Rid::new(1, 1)));
+/// assert!(!l.is_owned_by_other(Rid::new(0, 1)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct LineState {
+    /// The 64 bytes of the line.
+    pub data: [u8; LINE_SIZE],
+    /// Modified since fill.
+    pub dirty: bool,
+    /// Persistent-page bit copied from the page table on fill.
+    pub pbit: bool,
+    /// First-write LPO still outstanding; blocks eviction and DPOs.
+    pub lock_bit: bool,
+    /// Atomic region that last wrote this line, if still tracked.
+    pub owner: Option<Rid>,
+}
+
+impl LineState {
+    /// A clean line holding `data`.
+    pub fn from_bytes(data: [u8; LINE_SIZE]) -> Self {
+        LineState { data, dirty: false, pbit: false, lock_bit: false, owner: None }
+    }
+
+    /// Whether `rid` would observe a cross-region access: the line has an
+    /// owner and it is not `rid`.
+    pub fn is_owned_by_other(&self, rid: Rid) -> bool {
+        self.owner.is_some_and(|o| o != rid)
+    }
+
+    /// Whether the line can be evicted (LockBit clear, §4.6.1).
+    pub fn evictable(&self) -> bool {
+        !self.lock_bit
+    }
+}
+
+impl Default for LineState {
+    fn default() -> Self {
+        LineState::from_bytes([0u8; LINE_SIZE])
+    }
+}
+
+impl fmt::Debug for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LineState")
+            .field("dirty", &self.dirty)
+            .field("pbit", &self.pbit)
+            .field("lock_bit", &self.lock_bit)
+            .field("owner", &self.owner)
+            .field("data[0..8]", &&self.data[0..8])
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_line_is_clean_and_unowned() {
+        let l = LineState::default();
+        assert!(!l.dirty && !l.pbit && !l.lock_bit);
+        assert_eq!(l.owner, None);
+        assert!(l.evictable());
+    }
+
+    #[test]
+    fn ownership_comparison() {
+        let mut l = LineState::default();
+        assert!(!l.is_owned_by_other(Rid::new(0, 0))); // no owner at all
+        l.owner = Some(Rid::new(1, 5));
+        assert!(l.is_owned_by_other(Rid::new(1, 6)));
+        assert!(!l.is_owned_by_other(Rid::new(1, 5)));
+    }
+
+    #[test]
+    fn lock_bit_blocks_eviction() {
+        let l = LineState { lock_bit: true, ..LineState::default() };
+        assert!(!l.evictable());
+    }
+
+    #[test]
+    fn debug_shows_flags() {
+        let l = LineState::default();
+        let s = format!("{l:?}");
+        assert!(s.contains("dirty") && s.contains("lock_bit"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Atomic-region identifiers (§5.6).
+
+use std::fmt;
+
+/// Identifier of one atomic region.
+///
+/// Per §5.6, a RID is the pair of the `ThreadID` (so threads never need to
+/// synchronize when assigning region IDs) and a per-thread monotonically
+/// increasing `LocalRID`. The low bits of the `LocalRID` select which memory
+/// channel hosts the region's Dependence List entry.
+///
+/// # Example
+///
+/// ```
+/// use asap_mem::Rid;
+///
+/// let r = Rid::new(2, 17);
+/// assert_eq!(r.thread(), 2);
+/// assert_eq!(r.local(), 17);
+/// assert_eq!(r.channel(4), 1); // 17 % 4
+/// assert_eq!(r.next(), Rid::new(2, 18));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rid {
+    thread: u32,
+    local: u64,
+}
+
+impl Rid {
+    /// Creates a region ID for `thread`'s `local`-th region.
+    pub fn new(thread: u32, local: u64) -> Self {
+        Rid { thread, local }
+    }
+
+    /// The owning thread's ID.
+    pub fn thread(self) -> u32 {
+        self.thread
+    }
+
+    /// The per-thread region counter.
+    pub fn local(self) -> u64 {
+        self.local
+    }
+
+    /// The same thread's next region (control-dependence predecessor
+    /// relationship: `r` is the predecessor of `r.next()`).
+    pub fn next(self) -> Rid {
+        Rid { thread: self.thread, local: self.local + 1 }
+    }
+
+    /// The same thread's previous region, if any.
+    pub fn prev(self) -> Option<Rid> {
+        self.local
+            .checked_sub(1)
+            .map(|local| Rid { thread: self.thread, local })
+    }
+
+    /// The memory channel hosting this region's Dependence List entry,
+    /// chosen by the LSBs of the `LocalRID` (§5.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_channels` is zero.
+    pub fn channel(self, num_channels: u32) -> u32 {
+        assert!(num_channels > 0, "need at least one channel");
+        (self.local % num_channels as u64) as u32
+    }
+}
+
+impl fmt::Debug for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}.{}", self.thread, self.local)
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}.{}", self.thread, self.local)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_and_prev_are_inverses() {
+        let r = Rid::new(3, 5);
+        assert_eq!(r.next().prev(), Some(r));
+        assert_eq!(Rid::new(0, 0).prev(), None);
+    }
+
+    #[test]
+    fn channel_uses_local_lsbs() {
+        assert_eq!(Rid::new(0, 0).channel(4), 0);
+        assert_eq!(Rid::new(0, 7).channel(4), 3);
+        assert_eq!(Rid::new(9, 7).channel(4), 3); // thread id irrelevant
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_panics() {
+        Rid::new(0, 0).channel(0);
+    }
+
+    #[test]
+    fn ordering_is_thread_then_local() {
+        assert!(Rid::new(0, 9) < Rid::new(1, 0));
+        assert!(Rid::new(1, 1) < Rid::new(1, 2));
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        let r = Rid::new(2, 7);
+        assert_eq!(format!("{r}"), "R2.7");
+        assert_eq!(format!("{r:?}"), "R2.7");
+    }
+}

@@ -1,0 +1,715 @@
+//! Memory controllers: WPQ acceptance, drain to PM, dropping, crash flush.
+//!
+//! Each memory channel owns a Write Pending Queue (WPQ). Per §4.1 the WPQ
+//! is inside the persistence domain (ADR flushes it on power failure), so a
+//! persist operation is *complete* the moment it is accepted into the WPQ.
+//! The channel drains accepted entries to the PM media at a bandwidth-
+//! limited service rate; entries still in the WPQ can be *dropped* by the
+//! §5.1 traffic optimizations (LPO dropping, DPO dropping) and then never
+//! cost PM write traffic.
+
+use std::collections::VecDeque;
+
+use asap_pmem::{LineAddr, MemoryImage};
+use asap_sim::{Cycle, EventQueue, MemConfig, Stats};
+
+use crate::persist::{MemEvent, OpId, PersistKind, PersistOp};
+use crate::rid::Rid;
+
+/// An accepted WPQ entry.
+#[derive(Clone, Debug)]
+struct WpqSlot {
+    id: OpId,
+    op: PersistOp,
+    /// FIFO drain order within the channel.
+    seq: u64,
+    /// Acceptance time (drains after the residency window).
+    accepted_at: Cycle,
+}
+
+/// Internal channel events.
+#[derive(Clone, Debug)]
+enum ChEvent {
+    Arrive(OpId, PersistOp),
+    WriteDone(OpId),
+    /// Residency expiry check: start draining if an entry is overdue.
+    DrainCheck,
+}
+
+/// One memory channel: WPQ plus the PM write engine.
+#[derive(Debug)]
+struct Channel {
+    capacity: usize,
+    wpq: Vec<WpqSlot>,
+    /// Arrived while the WPQ was full; accepted as slots free (FIFO).
+    pending: VecDeque<(OpId, PersistOp)>,
+    /// Entry currently being written to the media, if any.
+    writing: Option<OpId>,
+    next_seq: u64,
+}
+
+impl Channel {
+    fn new(capacity: usize) -> Self {
+        Channel {
+            capacity,
+            wpq: Vec::new(),
+            pending: VecDeque::new(),
+            writing: None,
+            next_seq: 0,
+        }
+    }
+
+    fn has_free_slot(&self) -> bool {
+        self.wpq.len() < self.capacity
+    }
+
+    fn slot_index(&self, id: OpId) -> Option<usize> {
+        self.wpq.iter().position(|s| s.id == id)
+    }
+
+    /// Oldest accepted entry not currently being written.
+    fn next_to_write(&self) -> Option<&WpqSlot> {
+        self.wpq
+            .iter()
+            .filter(|s| Some(s.id) != self.writing)
+            .min_by_key(|s| s.seq)
+    }
+}
+
+/// The memory system: all channels, their WPQs, and PM/DRAM timing.
+///
+/// Drive it with [`submit`](Self::submit) (send a persist op), then
+/// [`advance_to`](Self::advance_to) (process internal events up to a time)
+/// and [`pop_event`](Self::pop_event) (collect acceptance/write
+/// notifications).
+///
+/// # Example
+///
+/// ```
+/// use asap_mem::{MemSystem, PersistKind, PersistOp, MemEvent};
+/// use asap_pmem::{LineAddr, MemoryImage, PM_BASE};
+/// use asap_sim::{Cycle, SystemConfig};
+///
+/// let cfg = SystemConfig::small();
+/// let mut image = MemoryImage::new();
+/// let mut mem = MemSystem::new(&cfg);
+/// let line = LineAddr(PM_BASE / 64);
+/// let op = PersistOp::new(PersistKind::Dpo, line, [9u8; 64], None);
+/// mem.submit(op, Cycle(0));
+/// mem.advance_to(Cycle(10_000), &mut image);
+/// assert!(matches!(mem.pop_event(), Some(MemEvent::Accepted { .. })));
+/// assert!(matches!(mem.pop_event(), Some(MemEvent::PmWritten { .. })));
+/// assert_eq!(image.read_line(line)[0], 9);
+/// ```
+pub struct MemSystem {
+    cfg: MemConfig,
+    channels: Vec<Channel>,
+    events: EventQueue<(u32, ChEvent)>,
+    out: VecDeque<MemEvent>,
+    next_id: u64,
+    stats: Stats,
+}
+
+impl MemSystem {
+    /// Builds the memory system from a full system configuration.
+    pub fn new(cfg: &asap_sim::SystemConfig) -> Self {
+        let mem = cfg.mem;
+        let n = mem.num_channels();
+        MemSystem {
+            cfg: mem,
+            channels: (0..n).map(|_| Channel::new(mem.wpq_entries as usize)).collect(),
+            events: EventQueue::new(),
+            out: VecDeque::new(),
+            next_id: 0,
+            stats: Stats::new(),
+        }
+    }
+
+    /// The channel serving `line` (interleaved by line address).
+    pub fn channel_of(&self, line: LineAddr) -> u32 {
+        (line.0 % self.channels.len() as u64) as u32
+    }
+
+    /// Submits a persist operation at time `now`; it arrives at its channel
+    /// one on-chip hop later. Returns the op's id.
+    pub fn submit(&mut self, op: PersistOp, now: Cycle) -> OpId {
+        let id = OpId(self.next_id);
+        self.next_id += 1;
+        let ch = self.channel_of(op.target);
+        self.stats.bump(&format!("mem.submit.{}", op.kind.name()));
+        self.events.push(now + self.cfg.mc_hop_latency, (ch, ChEvent::Arrive(id, op)));
+        id
+    }
+
+    /// Latency of a demand read of `line` (beyond the LLC lookup): one hop
+    /// to the controller plus the media access.
+    pub fn read_latency(&self, line: LineAddr) -> u64 {
+        let media = if line.is_pm_region() {
+            self.cfg.pm_latency()
+        } else {
+            self.cfg.dram_latency
+        };
+        self.cfg.mc_hop_latency + media
+    }
+
+    /// Reads `line` for a cache fill, forwarding the newest matching write
+    /// wherever it currently is — resting in the WPQ, queued behind a full
+    /// WPQ, or still on the wire to its controller — before falling back
+    /// to the image. (A line evicted and immediately re-read must observe
+    /// its own writeback.) Returns the line data and its page-table
+    /// persistent bit.
+    pub fn read_for_fill(&mut self, line: LineAddr, image: &MemoryImage) -> ([u8; 64], bool) {
+        let ch = &self.channels[self.channel_of(line) as usize];
+        let newest = ch
+            .wpq
+            .iter()
+            .filter(|s| s.op.target == line)
+            .map(|s| (s.id, s.op.data))
+            .chain(
+                ch.pending
+                    .iter()
+                    .filter(|(_, op)| op.target == line)
+                    .map(|(id, op)| (*id, op.data)),
+            )
+            .chain(self.events.iter().filter_map(|(_, ev)| match ev {
+                ChEvent::Arrive(id, op) if op.target == line => Some((*id, op.data)),
+                _ => None,
+            }))
+            .max_by_key(|(id, _)| *id);
+        let pbit = image.line_is_persistent(line);
+        match newest {
+            Some((_, data)) => {
+                self.stats.bump("mem.read.forwarded");
+                (data, pbit)
+            }
+            None => (image.read_line(line), pbit),
+        }
+    }
+
+    /// Advances internal channel state to `now`, applying media writes to
+    /// `image` and queueing [`MemEvent`]s for [`pop_event`](Self::pop_event).
+    pub fn advance_to(&mut self, now: Cycle, image: &mut MemoryImage) {
+        while let Some((t, (ch, ev))) = self.events.pop_until(now) {
+            self.handle(t, ch as usize, ev, image);
+        }
+    }
+
+    /// Next internal event time, if any work is outstanding.
+    pub fn next_event_time(&self) -> Option<Cycle> {
+        self.events.peek_time()
+    }
+
+    /// Pops the next acceptance / PM-write notification.
+    pub fn pop_event(&mut self) -> Option<MemEvent> {
+        self.out.pop_front()
+    }
+
+    /// Whether all channels are fully drained and no events are pending.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+            && self.out.is_empty()
+            && self
+                .channels
+                .iter()
+                .all(|c| c.wpq.is_empty() && c.pending.is_empty() && c.writing.is_none())
+    }
+
+    fn handle(&mut self, t: Cycle, ch_idx: usize, ev: ChEvent, image: &mut MemoryImage) {
+        match ev {
+            ChEvent::Arrive(id, op) => {
+                let ch = &mut self.channels[ch_idx];
+                if ch.has_free_slot() {
+                    self.accept(t, ch_idx, id, op);
+                } else {
+                    ch.pending.push_back((id, op));
+                    self.stats.bump("mem.wpq.full_arrival");
+                }
+                self.maybe_start_write(t, ch_idx);
+            }
+            ChEvent::WriteDone(id) => {
+                let ch = &mut self.channels[ch_idx];
+                debug_assert_eq!(ch.writing, Some(id), "write-done for wrong op");
+                ch.writing = None;
+                let idx = ch.slot_index(id).expect("in-flight slot missing");
+                let slot = ch.wpq.remove(idx);
+                image.write_line(slot.op.target, &slot.op.data);
+                self.stats.bump(&format!("pm.write.{}", slot.op.kind.name()));
+                self.stats.bump("pm.write.total");
+                self.out.push_back(MemEvent::PmWritten { id: slot.id, op: slot.op, at: t });
+                // A slot freed: accept the oldest pending arrival, if any.
+                if let Some((pid, pop)) = self.channels[ch_idx].pending.pop_front() {
+                    self.accept(t, ch_idx, pid, pop);
+                }
+                self.maybe_start_write(t, ch_idx);
+            }
+            ChEvent::DrainCheck => {
+                self.maybe_start_write(t, ch_idx);
+            }
+        }
+    }
+
+    fn accept(&mut self, t: Cycle, ch_idx: usize, id: OpId, op: PersistOp) {
+        let ch = &mut self.channels[ch_idx];
+        debug_assert!(ch.has_free_slot());
+        let seq = ch.next_seq;
+        ch.next_seq += 1;
+        ch.wpq.push(WpqSlot { id, op, seq, accepted_at: t });
+        self.stats.sample("mem.wpq.occupancy", ch.wpq.len() as u64);
+        if self.cfg.wpq_residency > 0 {
+            // Lazy drain: revisit this entry when its residency expires.
+            self.events
+                .push(t + self.cfg.wpq_residency, (ch_idx as u32, ChEvent::DrainCheck));
+        }
+        self.out.push_back(MemEvent::Accepted {
+            id,
+            op,
+            at: t,
+            ack_at: t + self.cfg.mc_hop_latency,
+        });
+    }
+
+    /// Starts draining if warranted: always when an entry is past its
+    /// residency window or the queue is above the watermark; immediately
+    /// when residency is 0 (eager mode).
+    fn maybe_start_write(&mut self, t: Cycle, ch_idx: usize) {
+        let service = self.cfg.pm_write_service();
+        let residency = self.cfg.wpq_residency;
+        let watermark = self.cfg.wpq_drain_watermark as usize;
+        let ch = &mut self.channels[ch_idx];
+        if ch.writing.is_some() {
+            return;
+        }
+        let Some(slot) = ch.next_to_write() else { return };
+        let due = residency == 0
+            || ch.wpq.len() >= watermark
+            || slot.accepted_at + residency <= t;
+        if due {
+            let id = slot.id;
+            ch.writing = Some(id);
+            self.events.push(t + service, (ch_idx as u32, ChEvent::WriteDone(id)));
+        }
+    }
+
+    /// Drops a committed region's log writes (LPOs and log headers) still
+    /// sitting in WPQs — LPO dropping, §5.1. Returns how many were dropped.
+    pub fn drop_log_writes_of(&mut self, rid: Rid) -> u64 {
+        let mut dropped = 0;
+        for ch_idx in 0..self.channels.len() {
+            dropped += self.drop_matching(ch_idx, |op| {
+                matches!(op.kind, PersistKind::Lpo | PersistKind::LogHeader)
+                    && op.rid == Some(rid)
+            });
+        }
+        self.stats.add("pm.drop.lpo", dropped);
+        dropped
+    }
+
+    /// Drops an earlier region's pending DPO to `line` when a later
+    /// region's LPO for the same line arrives (they carry the same bytes) —
+    /// DPO dropping, §5.1. Returns how many were dropped (0 or 1).
+    pub fn drop_pending_dpo(&mut self, line: LineAddr, later_region: Rid) -> u64 {
+        let ch_idx = self.channel_of(line) as usize;
+        let dropped = self.drop_matching(ch_idx, |op| {
+            op.kind == PersistKind::Dpo && op.target == line && op.rid != Some(later_region)
+        });
+        self.stats.add("pm.drop.dpo", dropped);
+        dropped
+    }
+
+    /// Removes all non-in-flight WPQ slots matching `pred`; frees slots are
+    /// refilled from the pending queue. Dropped ops emit no events.
+    fn drop_matching(&mut self, ch_idx: usize, pred: impl Fn(&PersistOp) -> bool) -> u64 {
+        let writing = self.channels[ch_idx].writing;
+        let before = self.channels[ch_idx].wpq.len();
+        self.channels[ch_idx]
+            .wpq
+            .retain(|s| Some(s.id) == writing || !pred(&s.op));
+        let dropped = (before - self.channels[ch_idx].wpq.len()) as u64;
+        for _ in 0..dropped {
+            if !self.channels[ch_idx].has_free_slot() {
+                break;
+            }
+            match self.channels[ch_idx].pending.pop_front() {
+                Some((pid, pop)) => {
+                    // Accept at the time the channel last made progress; we
+                    // use the next event horizon conservatively: acceptance
+                    // is immediate bookkeeping, timestamped "now-ish" via
+                    // the earliest pending event or zero. The scheme only
+                    // cares about ordering, which is preserved.
+                    let t = self.events.peek_time().unwrap_or(Cycle::ZERO);
+                    self.accept(t, ch_idx, pid, pop);
+                }
+                None => break,
+            }
+        }
+        dropped
+    }
+
+    /// Power failure: ADR flushes every accepted WPQ entry (including the
+    /// in-flight one) to the media. Unaccepted pending arrivals are lost.
+    /// Internal state is cleared.
+    pub fn flush_to_image(&mut self, image: &mut MemoryImage) {
+        for ch in &mut self.channels {
+            let mut slots = std::mem::take(&mut ch.wpq);
+            slots.sort_by_key(|s| s.seq);
+            for s in &slots {
+                image.write_line(s.op.target, &s.op.data);
+                self.stats.bump("crash.flushed");
+            }
+            let lost = ch.pending.len() as u64;
+            self.stats.add("crash.lost_unaccepted", lost);
+            ch.pending.clear();
+            ch.writing = None;
+        }
+        // Ops still travelling to their controller (unprocessed arrival
+        // events) never reached the persistence domain either.
+        let mut on_the_wire = 0;
+        while let Some((_, (_, ev))) = self.events.pop() {
+            if matches!(ev, ChEvent::Arrive(..)) {
+                on_the_wire += 1;
+            }
+        }
+        self.stats.add("crash.lost_unaccepted", on_the_wire);
+        self.out.clear();
+    }
+
+    /// WPQ occupancy of channel `ch` (accepted entries).
+    pub fn wpq_len(&self, ch: u32) -> usize {
+        self.channels[ch as usize].wpq.len()
+    }
+
+    /// Unaccepted arrivals queued at channel `ch`.
+    pub fn pending_len(&self, ch: u32) -> usize {
+        self.channels[ch as usize].pending.len()
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> u32 {
+        self.channels.len() as u32
+    }
+
+    /// Statistics accumulated by the memory system.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Counts DRAM traffic for a dirty non-PM writeback (fire-and-forget:
+    /// DRAM writes are not persist operations and skip the WPQ).
+    pub fn dram_writeback(&mut self, image: &mut MemoryImage, line: LineAddr, data: &[u8; 64]) {
+        image.write_line(line, data);
+        self.stats.bump("dram.write.writeback");
+    }
+}
+
+impl std::fmt::Debug for MemSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemSystem")
+            .field("channels", &self.channels.len())
+            .field("pending_events", &self.events.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_pmem::PM_BASE;
+    use asap_sim::SystemConfig;
+
+    fn pm_line(i: u64) -> LineAddr {
+        LineAddr(PM_BASE / 64 + i)
+    }
+
+    /// Small config with the hop pinned to 16 cycles and eager draining so
+    /// the exact-time assertions below stay readable.
+    fn test_cfg() -> SystemConfig {
+        let mut c = SystemConfig::small();
+        c.mem.mc_hop_latency = 16;
+        c.mem.wpq_residency = 0;
+        c
+    }
+
+    fn setup() -> (MemSystem, MemoryImage) {
+        (MemSystem::new(&test_cfg()), MemoryImage::new())
+    }
+
+    fn dpo(line: LineAddr, byte: u8, rid: Option<Rid>) -> PersistOp {
+        PersistOp::new(PersistKind::Dpo, line, [byte; 64], rid)
+    }
+
+    #[test]
+    fn accept_then_write_reaches_image() {
+        let (mut mem, mut image) = setup();
+        mem.submit(dpo(pm_line(0), 5, None), Cycle(0));
+        mem.advance_to(Cycle(100_000), &mut image);
+        let mut accepted = 0;
+        let mut written = 0;
+        while let Some(e) = mem.pop_event() {
+            match e {
+                MemEvent::Accepted { at, ack_at, .. } => {
+                    accepted += 1;
+                    assert_eq!(at, Cycle(16)); // one hop
+                    assert_eq!(ack_at, Cycle(32));
+                }
+                MemEvent::PmWritten { at, .. } => {
+                    written += 1;
+                    assert_eq!(at, Cycle(16 + 12)); // + write service
+                }
+            }
+        }
+        assert_eq!((accepted, written), (1, 1));
+        assert_eq!(image.read_line(pm_line(0))[0], 5);
+        assert!(mem.is_idle());
+    }
+
+    #[test]
+    fn wpq_backpressure_queues_arrivals() {
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_entries = 2;
+        cfg.mem.controllers = 1;
+        cfg.mem.channels_per_mc = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        for i in 0..5 {
+            mem.submit(dpo(pm_line(i), i as u8, None), Cycle(0));
+        }
+        // Advance just past arrival: only 2 accepted, 3 pending.
+        mem.advance_to(Cycle(16), &mut image);
+        assert_eq!(mem.wpq_len(0), 2);
+        assert_eq!(mem.pending_len(0), 3);
+        // Full drain accepts and writes everything.
+        mem.advance_to(Cycle(100_000), &mut image);
+        assert_eq!(mem.wpq_len(0), 0);
+        assert_eq!(mem.stats().get("pm.write.total"), 5);
+        assert_eq!(mem.stats().get("mem.wpq.full_arrival"), 3);
+    }
+
+    #[test]
+    fn drain_is_bandwidth_limited() {
+        let mut cfg = test_cfg();
+        cfg.mem.controllers = 1;
+        cfg.mem.channels_per_mc = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        for i in 0..4 {
+            mem.submit(dpo(pm_line(i), 0, None), Cycle(0));
+        }
+        mem.advance_to(Cycle(1_000_000), &mut image);
+        let mut last_write = Cycle::ZERO;
+        let mut writes = Vec::new();
+        while let Some(e) = mem.pop_event() {
+            if let MemEvent::PmWritten { at, .. } = e {
+                writes.push(at);
+                last_write = at;
+            }
+        }
+        assert_eq!(writes.len(), 4);
+        // Serial service: 16 (hop) + 12*k.
+        assert_eq!(last_write, Cycle(16 + 12 * 4));
+    }
+
+    #[test]
+    fn pm_latency_multiplier_slows_service() {
+        let cfg = test_cfg().with_pm_latency_mult(4);
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        mem.submit(dpo(pm_line(0), 0, None), Cycle(0));
+        mem.advance_to(Cycle(1_000_000), &mut image);
+        let mut written_at = None;
+        while let Some(e) = mem.pop_event() {
+            if let MemEvent::PmWritten { at, .. } = e {
+                written_at = Some(at);
+            }
+        }
+        assert_eq!(written_at, Some(Cycle(16 + 48)));
+        assert_eq!(mem.read_latency(pm_line(0)), 16 + 600);
+        assert_eq!(mem.read_latency(LineAddr(0)), 16 + 150); // DRAM side
+    }
+
+    #[test]
+    fn read_forwards_from_wpq() {
+        let (mut mem, mut image) = setup();
+        image.write_line(pm_line(8), &[1u8; 64]);
+        mem.submit(dpo(pm_line(8), 2, None), Cycle(0));
+        mem.advance_to(Cycle(17), &mut image); // accepted, not yet written
+        let (data, _) = mem.read_for_fill(pm_line(8), &image);
+        assert_eq!(data[0], 2);
+        assert_eq!(mem.stats().get("mem.read.forwarded"), 1);
+    }
+
+    #[test]
+    fn read_forwards_newest_entry() {
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_entries = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        mem.submit(dpo(pm_line(4), 1, None), Cycle(0));
+        mem.submit(dpo(pm_line(4), 2, None), Cycle(0));
+        mem.advance_to(Cycle(16), &mut image); // first accepted, second pending
+        let (data, _) = mem.read_for_fill(pm_line(4), &image);
+        assert_eq!(data[0], 2, "must forward the newest (pending) write");
+    }
+
+    #[test]
+    fn read_forwards_from_ops_still_on_the_wire() {
+        let (mut mem, mut image) = setup();
+        image.write_line(pm_line(8), &[1u8; 64]);
+        mem.submit(dpo(pm_line(8), 3, None), Cycle(0));
+        // Do NOT advance: the op has not even arrived at its controller.
+        let (data, _) = mem.read_for_fill(pm_line(8), &image);
+        assert_eq!(data[0], 3, "a just-evicted line must read its own writeback");
+    }
+
+    #[test]
+    fn read_falls_back_to_image() {
+        let (mut mem, mut image) = setup();
+        image.write_line(pm_line(3), &[9u8; 64]);
+        image.mark_persistent(pm_line(3).base(), 64);
+        let (data, pbit) = mem.read_for_fill(pm_line(3), &image);
+        assert_eq!(data[0], 9);
+        assert!(pbit);
+    }
+
+    #[test]
+    fn lpo_dropping_removes_region_log_writes() {
+        let (mut mem, mut image) = setup();
+        let rid = Rid::new(0, 1);
+        let nch = mem.num_channels() as u64;
+        // All ops on one channel; the first occupies the write engine so
+        // the rest stay droppable in the WPQ.
+        mem.submit(dpo(pm_line(0), 0, None), Cycle(0));
+        let mut lpo = PersistOp::new(PersistKind::Lpo, pm_line(nch), [1; 64], Some(rid));
+        lpo.logged_data_line = Some(pm_line(9));
+        mem.submit(lpo, Cycle(0));
+        mem.submit(
+            PersistOp::new(PersistKind::LogHeader, pm_line(2 * nch), [2; 64], Some(rid)),
+            Cycle(0),
+        );
+        mem.submit(dpo(pm_line(3 * nch), 3, Some(rid)), Cycle(0));
+        mem.advance_to(Cycle(16), &mut image); // all accepted, first in flight
+        while mem.pop_event().is_some() {}
+        let dropped = mem.drop_log_writes_of(rid);
+        assert_eq!(dropped, 2, "both log writes dropped");
+        mem.advance_to(Cycle(100_000), &mut image);
+        let log_writes = mem.stats().get("pm.write.lpo") + mem.stats().get("pm.write.log_header");
+        assert_eq!(log_writes, 0);
+        assert_eq!(mem.stats().get("pm.write.dpo"), 2); // DPOs untouched
+    }
+
+    #[test]
+    fn dpo_dropping_matches_line_and_skips_own_region() {
+        let (mut mem, mut image) = setup();
+        let r1 = Rid::new(0, 1);
+        let r2 = Rid::new(0, 2);
+        // Occupy the write engine with an unrelated sacrificial op so the
+        // DPO of interest stays droppable (not in flight).
+        mem.submit(dpo(pm_line(4), 0, None), Cycle(0));
+        mem.submit(dpo(pm_line(0), 1, Some(r1)), Cycle(0));
+        mem.advance_to(Cycle(16), &mut image);
+        assert_eq!(mem.drop_pending_dpo(pm_line(0), r1), 0, "own region's DPO kept");
+        assert_eq!(mem.drop_pending_dpo(pm_line(8), r2), 0, "other line kept");
+        assert_eq!(mem.drop_pending_dpo(pm_line(0), r2), 1, "earlier region's DPO dropped");
+        mem.advance_to(Cycle(100_000), &mut image);
+        assert_eq!(mem.stats().get("pm.write.dpo"), 1); // only sacrificial one
+        assert_eq!(mem.stats().get("pm.drop.dpo"), 1);
+    }
+
+    #[test]
+    fn crash_flush_applies_accepted_discards_pending() {
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_entries = 1;
+        cfg.mem.controllers = 1;
+        cfg.mem.channels_per_mc = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        mem.submit(dpo(pm_line(0), 1, None), Cycle(0));
+        mem.submit(dpo(pm_line(1), 2, None), Cycle(0));
+        mem.advance_to(Cycle(16), &mut image); // first accepted, second pending
+        mem.flush_to_image(&mut image);
+        assert_eq!(image.read_line(pm_line(0))[0], 1, "accepted entry flushed (ADR)");
+        assert_eq!(image.read_line(pm_line(1))[0], 0, "unaccepted entry lost");
+        assert_eq!(mem.stats().get("crash.flushed"), 1);
+        assert_eq!(mem.stats().get("crash.lost_unaccepted"), 1);
+        assert!(mem.is_idle());
+    }
+
+    #[test]
+    fn same_line_writes_apply_in_order_on_flush() {
+        let (mut mem, mut image) = setup();
+        mem.submit(dpo(pm_line(0), 1, None), Cycle(0));
+        mem.submit(dpo(pm_line(0), 2, None), Cycle(0));
+        mem.advance_to(Cycle(16), &mut image);
+        mem.flush_to_image(&mut image);
+        assert_eq!(image.read_line(pm_line(0))[0], 2, "newest write wins");
+    }
+
+    #[test]
+    fn channel_interleaving_by_line() {
+        let (mem, _) = setup();
+        let n = mem.num_channels() as u64;
+        assert!(n >= 2);
+        assert_ne!(mem.channel_of(LineAddr(0)), mem.channel_of(LineAddr(1)));
+        assert_eq!(mem.channel_of(LineAddr(0)), mem.channel_of(LineAddr(n)));
+    }
+
+    #[test]
+    fn lazy_drain_waits_for_residency() {
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_residency = 500;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        mem.submit(dpo(pm_line(0), 1, None), Cycle(0));
+        // Long after acceptance but before residency expiry: still queued.
+        mem.advance_to(Cycle(400), &mut image);
+        assert_eq!(mem.stats().get("pm.write.total"), 0, "write rests in WPQ");
+        assert_eq!(mem.wpq_len(mem.channel_of(pm_line(0))), 1);
+        // After expiry it drains.
+        mem.advance_to(Cycle(10_000), &mut image);
+        assert_eq!(mem.stats().get("pm.write.total"), 1);
+        assert_eq!(image.read_line(pm_line(0))[0], 1);
+    }
+
+    #[test]
+    fn lazy_drain_gives_drops_a_window() {
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_residency = 1000;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        let rid = Rid::new(0, 1);
+        mem.submit(
+            PersistOp::new(PersistKind::Lpo, pm_line(0), [1; 64], Some(rid)),
+            Cycle(0),
+        );
+        mem.advance_to(Cycle(200), &mut image); // accepted, resting
+        assert_eq!(mem.drop_log_writes_of(rid), 1, "droppable while resting");
+        mem.advance_to(Cycle(10_000), &mut image);
+        assert_eq!(mem.stats().get("pm.write.total"), 0, "dropped, never written");
+    }
+
+    #[test]
+    fn watermark_overrides_residency() {
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_residency = 100_000;
+        cfg.mem.wpq_drain_watermark = 2;
+        cfg.mem.controllers = 1;
+        cfg.mem.channels_per_mc = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        for i in 0..4 {
+            mem.submit(dpo(pm_line(i), i as u8, None), Cycle(0));
+        }
+        // Occupancy (4) exceeds the watermark (2): drains without waiting
+        // out the residency.
+        mem.advance_to(Cycle(5_000), &mut image);
+        assert!(mem.stats().get("pm.write.total") >= 2);
+    }
+
+    #[test]
+    fn dram_writeback_is_immediate() {
+        let (mut mem, mut image) = setup();
+        mem.dram_writeback(&mut image, LineAddr(5), &[3u8; 64]);
+        assert_eq!(image.read_line(LineAddr(5))[0], 3);
+        assert_eq!(mem.stats().get("dram.write.writeback"), 1);
+        assert_eq!(mem.stats().get("pm.write.total"), 0);
+    }
+}

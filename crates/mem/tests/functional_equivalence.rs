@@ -1,0 +1,152 @@
+//! Functional equivalence of the cache hierarchy + memory system against
+//! a flat shadow memory.
+//!
+//! Whatever the timing model does — evictions, write-backs resting in
+//! WPQs, ops on the wire, channel backpressure — a read must always
+//! return the newest architectural value. Tiny caches force constant
+//! evictions; random advances interleave drain states.
+
+use std::collections::HashMap;
+
+use asap_mem::cache::AccessKind;
+use asap_mem::{CacheHierarchy, MemSystem, PersistKind, PersistOp};
+use asap_pmem::{LineAddr, MemoryImage, PM_BASE};
+use asap_sim::{CacheConfig, Cycle, SystemConfig};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { core: u8, line: u64, value: u8 },
+    Read { core: u8, line: u64 },
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..2, 0u64..96, 1u8..=255).prop_map(|(core, line, value)| Op::Write {
+            core,
+            line,
+            value
+        }),
+        3 => (0u8..2, 0u64..96).prop_map(|(core, line)| Op::Read { core, line }),
+        1 => (1u64..3000).prop_map(Op::Advance),
+    ]
+}
+
+/// A micro machine: tiny caches over the real memory system, mirroring
+/// the write/read paths the core crate uses.
+struct Micro {
+    caches: CacheHierarchy,
+    mem: MemSystem,
+    image: MemoryImage,
+    now: Cycle,
+}
+
+impl Micro {
+    fn new(residency: u64) -> Self {
+        let mut cfg = SystemConfig::small();
+        // Absurdly small caches: 16-line LLC over a 96-line working set.
+        cfg.l1 = CacheConfig { size_bytes: 4 * 64, ways: 2, latency: 4 };
+        cfg.l2 = CacheConfig { size_bytes: 8 * 64, ways: 2, latency: 14 };
+        cfg.llc = CacheConfig { size_bytes: 16 * 64, ways: 4, latency: 42 };
+        cfg.mem.wpq_entries = 2;
+        cfg.mem.wpq_residency = residency;
+        cfg.mem.wpq_drain_watermark = 1;
+        let mut image = MemoryImage::new();
+        image.mark_persistent(asap_pmem::PmAddr(PM_BASE), 96 * 64);
+        Micro {
+            caches: CacheHierarchy::new(&cfg),
+            mem: MemSystem::new(&cfg),
+            image,
+            now: Cycle(0),
+        }
+    }
+
+    fn line(&self, i: u64) -> LineAddr {
+        LineAddr(PM_BASE / 64 + i)
+    }
+
+    fn access(&mut self, core: usize, line: LineAddr, kind: AccessKind) {
+        self.mem.advance_to(self.now, &mut self.image);
+        while self.mem.pop_event().is_some() {}
+        let (fill, miss) = if self.caches.peek_level(core, line) == asap_mem::HitLevel::Memory {
+            (
+                Some(self.mem.read_for_fill(line, &self.image)),
+                self.mem.read_latency(line),
+            )
+        } else {
+            (None, 0)
+        };
+        let access = self.caches.access(core, line, kind, fill, miss);
+        self.now += access.latency;
+        for e in access.evicted {
+            if e.state.dirty {
+                let op = PersistOp::new(PersistKind::WriteBack, e.line, e.state.data, None);
+                self.mem.submit(op, self.now);
+            }
+        }
+    }
+
+    fn write(&mut self, core: usize, line: LineAddr, value: u8) {
+        self.access(core, line, AccessKind::Store);
+        let st = self.caches.line_mut(line).expect("filled");
+        st.data = [value; 64];
+        st.dirty = true;
+    }
+
+    fn read(&mut self, core: usize, line: LineAddr) -> u8 {
+        self.access(core, line, AccessKind::Load);
+        self.caches.line(line).expect("filled").data[0]
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn caches_plus_wpq_equal_flat_memory(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+        residency in prop_oneof![Just(0u64), Just(120), Just(4_000)],
+    ) {
+        let mut m = Micro::new(residency);
+        let mut shadow: HashMap<u64, u8> = HashMap::new();
+        for op in &ops {
+            match op {
+                Op::Write { core, line, value } => {
+                    let l = m.line(*line);
+                    m.write(*core as usize, l, *value);
+                    shadow.insert(*line, *value);
+                }
+                Op::Read { core, line } => {
+                    let l = m.line(*line);
+                    let got = m.read(*core as usize, l);
+                    let want = shadow.get(line).copied().unwrap_or(0);
+                    prop_assert_eq!(
+                        got, want,
+                        "line {} read {} want {} (residency {})",
+                        line, got, want, residency
+                    );
+                }
+                Op::Advance(d) => {
+                    m.now += *d;
+                    m.mem.advance_to(m.now, &mut m.image);
+                    while m.mem.pop_event().is_some() {}
+                }
+            }
+        }
+        // Final check: after a full drain, the image agrees for every
+        // line not still dirty in the cache.
+        while let Some(t) = m.mem.next_event_time() {
+            m.mem.advance_to(t, &mut m.image);
+            while m.mem.pop_event().is_some() {}
+        }
+        for (line, want) in &shadow {
+            let l = m.line(*line);
+            let arch = match m.caches.line(l) {
+                Some(st) => st.data[0],
+                None => m.image.read_line(l)[0],
+            };
+            prop_assert_eq!(arch, *want, "drained line {}", line);
+        }
+    }
+}

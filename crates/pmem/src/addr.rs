@@ -1,0 +1,205 @@
+//! Typed physical addresses and the DRAM/PM address-space split.
+
+use std::fmt;
+
+/// Cache line size in bytes (fixed at 64 throughout the model).
+pub const LINE_BYTES: u64 = 64;
+
+/// Page size in bytes. The persistent bit lives in the page table (§4.6),
+/// so persistence is tracked at this granularity.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Base of the DRAM region of the physical address space.
+pub const DRAM_BASE: u64 = 0;
+
+/// Base of the persistent-memory region of the physical address space.
+///
+/// Addresses at or above this point are backed by PM modules; below it, by
+/// DRAM. (Whether a *page* is persistent is still governed by the page-table
+/// bit — `asap_malloc` only hands out PM addresses and sets the bit.)
+pub const PM_BASE: u64 = 0x8000_0000;
+
+/// A physical byte address in the simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use asap_pmem::{PmAddr, PM_BASE};
+///
+/// let a = PmAddr(PM_BASE + 100);
+/// assert!(a.is_pm_region());
+/// assert_eq!(a.line().base().0, PM_BASE + 64);
+/// assert_eq!(a.offset_in_line(), 36);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PmAddr(pub u64);
+
+impl PmAddr {
+    /// The cache line containing this address.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// The page number containing this address.
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Byte offset of this address within its cache line.
+    #[inline]
+    pub fn offset_in_line(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// Whether this address falls in the PM-backed region.
+    #[inline]
+    pub fn is_pm_region(self) -> bool {
+        self.0 >= PM_BASE
+    }
+
+    /// The address `bytes` bytes after this one.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> PmAddr {
+        PmAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PmAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line number (byte address divided by 64).
+///
+/// Lines are the granularity of logging, ownership tracking and persist
+/// operations in ASAP.
+///
+/// # Example
+///
+/// ```
+/// use asap_pmem::{LineAddr, PmAddr};
+///
+/// let l = PmAddr(0x1000).line();
+/// assert_eq!(l, LineAddr(0x40));
+/// assert_eq!(l.base(), PmAddr(0x1000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first byte address of this line.
+    #[inline]
+    pub fn base(self) -> PmAddr {
+        PmAddr(self.0 * LINE_BYTES)
+    }
+
+    /// Whether this line falls in the PM-backed region.
+    #[inline]
+    pub fn is_pm_region(self) -> bool {
+        self.base().is_pm_region()
+    }
+
+    /// The page number containing this line.
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.base().page()
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Iterates over every cache line overlapped by `[addr, addr + len)`.
+///
+/// # Example
+///
+/// ```
+/// use asap_pmem::{addr::lines_touching, PmAddr};
+///
+/// let lines: Vec<_> = lines_touching(PmAddr(60), 8).collect();
+/// assert_eq!(lines.len(), 2); // straddles the 64-byte boundary
+/// ```
+pub fn lines_touching(addr: PmAddr, len: u64) -> impl Iterator<Item = LineAddr> {
+    let first = addr.0 / LINE_BYTES;
+    let last = if len == 0 { first } else { (addr.0 + len - 1) / LINE_BYTES };
+    (first..=last).map(LineAddr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_arithmetic() {
+        let a = PmAddr(PAGE_BYTES + 65);
+        assert_eq!(a.line(), LineAddr((PAGE_BYTES + 65) / 64));
+        assert_eq!(a.page(), 1);
+        assert_eq!(a.offset_in_line(), 1);
+        assert_eq!(a.offset(63).line(), LineAddr(a.line().0 + 1));
+    }
+
+    #[test]
+    fn pm_region_split() {
+        assert!(!PmAddr(0).is_pm_region());
+        assert!(!PmAddr(PM_BASE - 1).is_pm_region());
+        assert!(PmAddr(PM_BASE).is_pm_region());
+        assert!(LineAddr(PM_BASE / 64).is_pm_region());
+        assert!(!LineAddr(PM_BASE / 64 - 1).is_pm_region());
+    }
+
+    #[test]
+    fn line_base_roundtrip() {
+        let l = LineAddr(123);
+        assert_eq!(l.base().line(), l);
+        assert_eq!(l.base().0, 123 * 64);
+    }
+
+    #[test]
+    fn lines_touching_single() {
+        let v: Vec<_> = lines_touching(PmAddr(0), 64).collect();
+        assert_eq!(v, vec![LineAddr(0)]);
+    }
+
+    #[test]
+    fn lines_touching_straddle() {
+        let v: Vec<_> = lines_touching(PmAddr(32), 64).collect();
+        assert_eq!(v, vec![LineAddr(0), LineAddr(1)]);
+    }
+
+    #[test]
+    fn lines_touching_zero_len() {
+        let v: Vec<_> = lines_touching(PmAddr(10), 0).collect();
+        assert_eq!(v, vec![LineAddr(0)]);
+    }
+
+    #[test]
+    fn lines_touching_large_span() {
+        let v: Vec<_> = lines_touching(PmAddr(0), 2048).collect();
+        assert_eq!(v.len(), 32);
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(PmAddr(255).to_string(), "0xff");
+        assert_eq!(LineAddr(16).to_string(), "0x10");
+        assert_eq!(format!("{:?}", PmAddr(255)), "PmAddr(0xff)");
+    }
+}

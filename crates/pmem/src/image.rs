@@ -1,0 +1,271 @@
+//! The sparse, byte-accurate contents of main memory.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{LineAddr, PmAddr, LINE_BYTES, PAGE_BYTES};
+
+/// One 4KB page of memory plus its page-table persistent bit.
+struct Page {
+    bytes: Box<[u8; PAGE_BYTES as usize]>,
+    persistent: bool,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Page { bytes: Box::new([0u8; PAGE_BYTES as usize]), persistent: false }
+    }
+}
+
+/// Byte-accurate main-memory contents with per-page persistent bits.
+///
+/// In the machine model this image holds what is *in the memory modules*:
+/// for PM pages, that is the durable state (plus whatever the WPQ flushes on
+/// a crash — see `asap-mem`); caches hold newer dirty copies on top.
+///
+/// Unwritten memory reads as zero, like freshly mapped pages.
+///
+/// # Example
+///
+/// ```
+/// use asap_pmem::{MemoryImage, PmAddr};
+///
+/// let mut m = MemoryImage::new();
+/// m.write(PmAddr(10), &[1, 2, 3]);
+/// let mut buf = [0u8; 3];
+/// m.read(PmAddr(10), &mut buf);
+/// assert_eq!(buf, [1, 2, 3]);
+/// assert_eq!(m.read_u64(PmAddr(4096)), 0); // untouched memory is zero
+/// ```
+pub struct MemoryImage {
+    pages: BTreeMap<u64, Page>,
+}
+
+impl MemoryImage {
+    /// Creates an empty (all-zero) image.
+    pub fn new() -> Self {
+        MemoryImage { pages: BTreeMap::new() }
+    }
+
+    fn page_mut(&mut self, page_no: u64) -> &mut Page {
+        self.pages.entry(page_no).or_insert_with(Page::zeroed)
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: PmAddr, buf: &mut [u8]) {
+        let mut pos = addr.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let page_no = pos / PAGE_BYTES;
+            let off = (pos % PAGE_BYTES) as usize;
+            let n = (buf.len() - done).min(PAGE_BYTES as usize - off);
+            match self.pages.get(&page_no) {
+                Some(p) => buf[done..done + n].copy_from_slice(&p.bytes[off..off + n]),
+                None => buf[done..done + n].fill(0),
+            }
+            done += n;
+            pos += n as u64;
+        }
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write(&mut self, addr: PmAddr, data: &[u8]) {
+        let mut pos = addr.0;
+        let mut done = 0usize;
+        while done < data.len() {
+            let page_no = pos / PAGE_BYTES;
+            let off = (pos % PAGE_BYTES) as usize;
+            let n = (data.len() - done).min(PAGE_BYTES as usize - off);
+            self.page_mut(page_no).bytes[off..off + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+            pos += n as u64;
+        }
+    }
+
+    /// Reads a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: PmAddr) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: PmAddr, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads one whole cache line.
+    pub fn read_line(&self, line: LineAddr) -> [u8; LINE_BYTES as usize] {
+        let mut buf = [0u8; LINE_BYTES as usize];
+        self.read(line.base(), &mut buf);
+        buf
+    }
+
+    /// Writes one whole cache line.
+    pub fn write_line(&mut self, line: LineAddr, data: &[u8; LINE_BYTES as usize]) {
+        self.write(line.base(), data);
+    }
+
+    /// Sets the page-table persistent bit for every page overlapping
+    /// `[addr, addr + len)` — what `asap_malloc` does (§4.6).
+    pub fn mark_persistent(&mut self, addr: PmAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr.page();
+        let last = (addr.0 + len - 1) / PAGE_BYTES;
+        for p in first..=last {
+            self.page_mut(p).persistent = true;
+        }
+    }
+
+    /// Whether the page containing `addr` has its persistent bit set.
+    pub fn is_persistent(&self, addr: PmAddr) -> bool {
+        self.pages.get(&addr.page()).is_some_and(|p| p.persistent)
+    }
+
+    /// Whether the page containing `line` has its persistent bit set.
+    pub fn line_is_persistent(&self, line: LineAddr) -> bool {
+        self.is_persistent(line.base())
+    }
+
+    /// Number of pages that have ever been touched.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl Default for MemoryImage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for MemoryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryImage")
+            .field("touched_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn untouched_memory_is_zero() {
+        let m = MemoryImage::new();
+        let mut buf = [0xffu8; 16];
+        m.read(PmAddr(123456), &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(m.touched_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = MemoryImage::new();
+        m.write(PmAddr(100), b"hello world");
+        let mut buf = [0u8; 11];
+        m.read(PmAddr(100), &mut buf);
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut m = MemoryImage::new();
+        let addr = PmAddr(PAGE_BYTES - 4);
+        m.write(addr, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut buf = [0u8; 8];
+        m.read(addr, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.touched_pages(), 2);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = MemoryImage::new();
+        m.write_u64(PmAddr(8), u64::MAX - 1);
+        assert_eq!(m.read_u64(PmAddr(8)), u64::MAX - 1);
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let mut m = MemoryImage::new();
+        let mut line = [0u8; 64];
+        line[0] = 0xab;
+        line[63] = 0xcd;
+        m.write_line(LineAddr(5), &line);
+        assert_eq!(m.read_line(LineAddr(5)), line);
+    }
+
+    #[test]
+    fn persistent_bit_is_page_granular() {
+        let mut m = MemoryImage::new();
+        m.mark_persistent(PmAddr(PAGE_BYTES + 10), 1);
+        assert!(m.is_persistent(PmAddr(PAGE_BYTES)));
+        assert!(m.is_persistent(PmAddr(2 * PAGE_BYTES - 1)));
+        assert!(!m.is_persistent(PmAddr(0)));
+        assert!(!m.is_persistent(PmAddr(2 * PAGE_BYTES)));
+    }
+
+    #[test]
+    fn mark_persistent_spans_pages() {
+        let mut m = MemoryImage::new();
+        m.mark_persistent(PmAddr(0), 3 * PAGE_BYTES);
+        for p in 0..3 {
+            assert!(m.is_persistent(PmAddr(p * PAGE_BYTES)));
+        }
+        assert!(!m.is_persistent(PmAddr(3 * PAGE_BYTES)));
+    }
+
+    #[test]
+    fn mark_persistent_zero_len_is_noop() {
+        let mut m = MemoryImage::new();
+        m.mark_persistent(PmAddr(0), 0);
+        assert!(!m.is_persistent(PmAddr(0)));
+    }
+
+    #[test]
+    fn line_is_persistent_follows_page() {
+        let mut m = MemoryImage::new();
+        m.mark_persistent(PmAddr(0), 64);
+        assert!(m.line_is_persistent(LineAddr(0)));
+        assert!(m.line_is_persistent(LineAddr(63))); // same page
+        assert!(!m.line_is_persistent(LineAddr(64))); // next page
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(format!("{:?}", MemoryImage::new()).contains("MemoryImage"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_write_then_read_any_span(
+            addr in 0u64..3 * PAGE_BYTES,
+            data in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut m = MemoryImage::new();
+            m.write(PmAddr(addr), &data);
+            let mut buf = vec![0u8; data.len()];
+            m.read(PmAddr(addr), &mut buf);
+            prop_assert_eq!(buf, data);
+        }
+
+        #[test]
+        fn prop_disjoint_writes_do_not_interfere(
+            a in 0u64..1024,
+            b in 2048u64..4096,
+            va in any::<u64>(),
+            vb in any::<u64>(),
+        ) {
+            let mut m = MemoryImage::new();
+            m.write_u64(PmAddr(a), va);
+            m.write_u64(PmAddr(b), vb);
+            prop_assert_eq!(m.read_u64(PmAddr(a)), va);
+            prop_assert_eq!(m.read_u64(PmAddr(b)), vb);
+        }
+    }
+}

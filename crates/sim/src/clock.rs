@@ -1,0 +1,135 @@
+//! Virtual time: the [`Cycle`] newtype and arithmetic helpers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in CPU cycles since simulation start.
+///
+/// `Cycle` is an ordinary unsigned counter wrapped in a newtype so that cycle
+/// timestamps cannot be confused with other integer quantities (addresses,
+/// sizes, counts). Saturating subtraction is provided because durations are
+/// frequently computed between clocks that may race by a few cycles in the
+/// cycle-approximate model.
+///
+/// # Example
+///
+/// ```
+/// use asap_sim::Cycle;
+///
+/// let start = Cycle(100);
+/// let end = start + 42;
+/// assert_eq!(end - start, 42);
+/// assert_eq!(start.max(end), end);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero point of virtual time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating duration from `earlier` to `self` (0 if `earlier` is later).
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Saturating: a negative duration clamps to zero.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl Sum<u64> for Cycle {
+    fn sum<I: Iterator<Item = u64>>(iter: I) -> Cycle {
+        Cycle(iter.sum())
+    }
+}
+
+impl fmt::Debug for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycle({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sub() {
+        let c = Cycle(10);
+        assert_eq!(c + 5, Cycle(15));
+        assert_eq!(Cycle(15) - c, 5);
+    }
+
+    #[test]
+    fn sub_is_saturating() {
+        assert_eq!(Cycle(5) - Cycle(10), 0);
+        assert_eq!(Cycle(5).since(Cycle(10)), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(7).max(Cycle(3)), Cycle(7));
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut c = Cycle::ZERO;
+        c += 3;
+        assert_eq!(c, Cycle(3));
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", Cycle(9)), "9cy");
+        assert_eq!(format!("{:?}", Cycle(9)), "Cycle(9)");
+    }
+
+    #[test]
+    fn from_u64() {
+        assert_eq!(Cycle::from(4u64), Cycle(4));
+    }
+}

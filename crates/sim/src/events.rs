@@ -1,0 +1,200 @@
+//! A stable min-priority event queue keyed by [`Cycle`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycle;
+
+/// One scheduled entry: time, tie-break sequence number, payload.
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want min-time first and,
+        // within a time, FIFO insertion order.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Events with equal timestamps pop in insertion order, which keeps the
+/// whole simulation reproducible run-to-run.
+///
+/// # Example
+///
+/// ```
+/// use asap_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(3), 'x');
+/// q.push(Cycle(3), 'y');
+/// q.push(Cycle(1), 'z');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['z', 'x', 'y']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at time `at`.
+    pub fn push(&mut self, at: Cycle, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Removes the earliest event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: Cycle) -> Option<(Cycle, E)> {
+        if self.peek_time()? <= deadline {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Iterates over all pending payloads in unspecified order (used for
+    /// state queries such as store-forwarding against in-flight traffic).
+    pub fn iter(&self) -> impl Iterator<Item = &E> {
+        self.heap.iter().map(|e| &e.payload)
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_at", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(5), i)));
+        }
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), 'a');
+        q.push(Cycle(20), 'b');
+        assert_eq!(q.pop_until(Cycle(15)), Some((Cycle(10), 'a')));
+        assert_eq!(q.pop_until(Cycle(15)), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_empty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(2), "b");
+        q.push(Cycle(1), "a");
+        assert_eq!(q.pop(), Some((Cycle(1), "a")));
+        q.push(Cycle(1), "c"); // earlier than "b" even though pushed later
+        assert_eq!(q.pop(), Some((Cycle(1), "c")));
+        assert_eq!(q.pop(), Some((Cycle(2), "b")));
+    }
+
+    #[test]
+    fn iter_sees_all_pending() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), 'a');
+        q.push(Cycle(1), 'b');
+        let mut all: Vec<char> = q.iter().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, ['a', 'b']);
+        q.pop();
+        assert_eq!(q.iter().count(), 1);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), ());
+        assert!(format!("{q:?}").contains("EventQueue"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Virtual-time mutual exclusion.
+//!
+//! The paper's benchmarks nest atomic regions inside lock-guarded critical
+//! sections (ASAP guarantees atomic durability, not isolation — §2.1/§4.2).
+//! [`VirtualLock`] models such a lock in virtual time: acquisition at time
+//! `t` completes at `max(t, time the previous holder released)` plus the
+//! acquisition overhead, which both serializes critical sections and charges
+//! waiting threads for contention — the mechanism by which slow persist
+//! operations inside critical sections reduce throughput.
+
+use crate::clock::Cycle;
+
+/// A simulated mutex that serializes critical sections in timestamp order.
+///
+/// # Example
+///
+/// ```
+/// use asap_sim::{Cycle, VirtualLock};
+///
+/// let mut lock = VirtualLock::new(20); // 20-cycle acquire overhead
+/// let t1 = lock.acquire(Cycle(0));
+/// assert_eq!(t1, Cycle(20));
+/// lock.release(Cycle(100));
+/// // A second thread arriving at cycle 50 waits for the release at 100.
+/// let t2 = lock.acquire(Cycle(50));
+/// assert_eq!(t2, Cycle(120));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VirtualLock {
+    /// Virtual time at which the lock becomes free.
+    free_at: Cycle,
+    /// Fixed cost of a successful acquisition (CAS + fence).
+    acquire_cost: u64,
+    /// Whether the lock is currently held (for misuse detection).
+    held: bool,
+    /// Total cycles threads spent waiting on this lock.
+    contended_cycles: u64,
+    /// Number of acquisitions that had to wait.
+    contended_acquires: u64,
+    /// Total acquisitions.
+    acquires: u64,
+}
+
+impl VirtualLock {
+    /// Creates a free lock whose successful acquisition costs `acquire_cost`
+    /// cycles.
+    pub fn new(acquire_cost: u64) -> Self {
+        VirtualLock {
+            free_at: Cycle::ZERO,
+            acquire_cost,
+            held: false,
+            contended_cycles: 0,
+            contended_acquires: 0,
+            acquires: 0,
+        }
+    }
+
+    /// Acquires the lock for a thread whose clock reads `now`.
+    ///
+    /// Returns the thread's clock after the acquisition completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is already held and the caller's acquisition time
+    /// precedes the current holder's *acquisition* — the scheduler must run
+    /// threads in timestamp order, so this indicates a scheduling bug.
+    pub fn acquire(&mut self, now: Cycle) -> Cycle {
+        assert!(!self.held, "virtual lock acquired while held: scheduler bug");
+        let start = now.max(self.free_at);
+        let waited = start - now;
+        if waited > 0 {
+            self.contended_cycles += waited;
+            self.contended_acquires += 1;
+        }
+        self.acquires += 1;
+        self.held = true;
+        start + self.acquire_cost
+    }
+
+    /// Releases the lock at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is not held.
+    pub fn release(&mut self, now: Cycle) {
+        assert!(self.held, "virtual lock released while free");
+        self.held = false;
+        self.free_at = self.free_at.max(now);
+    }
+
+    /// Virtual time at which the lock next becomes free.
+    pub fn free_at(&self) -> Cycle {
+        self.free_at
+    }
+
+    /// Whether the lock is currently held.
+    pub fn is_held(&self) -> bool {
+        self.held
+    }
+
+    /// Total cycles spent waiting, across all acquisitions.
+    pub fn contended_cycles(&self) -> u64 {
+        self.contended_cycles
+    }
+
+    /// Number of acquisitions that waited at least one cycle.
+    pub fn contended_acquires(&self) -> u64 {
+        self.contended_acquires
+    }
+
+    /// Total number of acquisitions.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+}
+
+impl Default for VirtualLock {
+    /// A lock with a 20-cycle acquisition cost (uncontended CAS + fence).
+    fn default() -> Self {
+        VirtualLock::new(20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_acquire_costs_fixed_overhead() {
+        let mut l = VirtualLock::new(20);
+        assert_eq!(l.acquire(Cycle(5)), Cycle(25));
+        assert!(l.is_held());
+        assert_eq!(l.contended_cycles(), 0);
+    }
+
+    #[test]
+    fn contended_acquire_waits_for_release() {
+        let mut l = VirtualLock::new(10);
+        let t = l.acquire(Cycle(0));
+        assert_eq!(t, Cycle(10));
+        l.release(Cycle(200));
+        let t2 = l.acquire(Cycle(50));
+        assert_eq!(t2, Cycle(210));
+        assert_eq!(l.contended_cycles(), 150);
+        assert_eq!(l.contended_acquires(), 1);
+        assert_eq!(l.acquires(), 2);
+    }
+
+    #[test]
+    fn release_in_the_past_does_not_rewind() {
+        let mut l = VirtualLock::new(0);
+        l.acquire(Cycle(0));
+        l.release(Cycle(100));
+        l.acquire(Cycle(0));
+        l.release(Cycle(50)); // logically later but smaller timestamp
+        assert_eq!(l.free_at(), Cycle(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "while held")]
+    fn double_acquire_panics() {
+        let mut l = VirtualLock::new(0);
+        l.acquire(Cycle(0));
+        l.acquire(Cycle(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "while free")]
+    fn release_free_panics() {
+        let mut l = VirtualLock::new(0);
+        l.release(Cycle(0));
+    }
+
+    #[test]
+    fn default_has_nonzero_cost() {
+        let mut l = VirtualLock::default();
+        assert!(l.acquire(Cycle(0)) > Cycle(0));
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-thread virtual clocks and the min-clock scheduling rule.
+
+use crate::clock::Cycle;
+
+/// The local clocks of all simulated threads plus run/finish state.
+///
+/// The simulation driver repeatedly asks for [`next_runnable`], runs one
+/// *step* of that thread (typically one transaction — begin, critical
+/// section, end), and records the thread's new local clock. Picking the
+/// thread with the smallest clock keeps cross-thread interactions causally
+/// ordered at step granularity and makes the schedule deterministic (ties
+/// break toward the lowest thread id).
+///
+/// [`next_runnable`]: ThreadClocks::next_runnable
+///
+/// # Example
+///
+/// ```
+/// use asap_sim::{Cycle, ThreadClocks};
+///
+/// let mut clocks = ThreadClocks::new(2);
+/// assert_eq!(clocks.next_runnable(), Some(0));
+/// clocks.advance(0, Cycle(100));
+/// assert_eq!(clocks.next_runnable(), Some(1)); // thread 1 is now earliest
+/// clocks.finish(1);
+/// assert_eq!(clocks.next_runnable(), Some(0));
+/// clocks.finish(0);
+/// assert_eq!(clocks.next_runnable(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ThreadClocks {
+    clocks: Vec<Cycle>,
+    finished: Vec<bool>,
+}
+
+impl ThreadClocks {
+    /// Creates clocks for `n` threads, all at time zero and runnable.
+    pub fn new(n: usize) -> Self {
+        ThreadClocks { clocks: vec![Cycle::ZERO; n], finished: vec![false; n] }
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether there are no threads at all.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// The current local clock of thread `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn clock(&self, t: usize) -> Cycle {
+        self.clocks[t]
+    }
+
+    /// Sets thread `t`'s clock to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock would move backwards — local clocks are monotone.
+    pub fn advance(&mut self, t: usize, now: Cycle) {
+        assert!(
+            now >= self.clocks[t],
+            "thread {t} clock moved backwards: {:?} -> {now:?}",
+            self.clocks[t]
+        );
+        self.clocks[t] = now;
+    }
+
+    /// Marks thread `t` as finished: it will never be scheduled again.
+    pub fn finish(&mut self, t: usize) {
+        self.finished[t] = true;
+    }
+
+    /// Whether thread `t` has finished.
+    pub fn is_finished(&self, t: usize) -> bool {
+        self.finished[t]
+    }
+
+    /// The unfinished thread with the smallest local clock, if any.
+    ///
+    /// Ties break toward the lowest thread id, keeping schedules
+    /// deterministic.
+    pub fn next_runnable(&self) -> Option<usize> {
+        self.clocks
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| !self.finished[*t])
+            .min_by_key(|(t, c)| (**c, *t))
+            .map(|(t, _)| t)
+    }
+
+    /// The maximum clock across all threads — the makespan of the run.
+    pub fn makespan(&self) -> Cycle {
+        self.clocks.iter().copied().max().unwrap_or(Cycle::ZERO)
+    }
+
+    /// Whether every thread has finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished.iter().all(|f| *f)
+    }
+
+    /// Clears all finished flags (a new run over the same threads), keeping
+    /// the clocks monotone.
+    pub fn restart(&mut self) {
+        self.finished.fill(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_clock_scheduling_with_tiebreak() {
+        let mut c = ThreadClocks::new(3);
+        assert_eq!(c.next_runnable(), Some(0)); // tie -> lowest id
+        c.advance(0, Cycle(10));
+        c.advance(1, Cycle(5));
+        c.advance(2, Cycle(5));
+        assert_eq!(c.next_runnable(), Some(1));
+    }
+
+    #[test]
+    fn finished_threads_are_skipped() {
+        let mut c = ThreadClocks::new(2);
+        c.finish(0);
+        assert_eq!(c.next_runnable(), Some(1));
+        assert!(c.is_finished(0));
+        assert!(!c.all_finished());
+        c.finish(1);
+        assert_eq!(c.next_runnable(), None);
+        assert!(c.all_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "moved backwards")]
+    fn clocks_are_monotone() {
+        let mut c = ThreadClocks::new(1);
+        c.advance(0, Cycle(10));
+        c.advance(0, Cycle(5));
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let mut c = ThreadClocks::new(2);
+        c.advance(0, Cycle(7));
+        c.advance(1, Cycle(3));
+        assert_eq!(c.makespan(), Cycle(7));
+    }
+
+    #[test]
+    fn empty_makespan_is_zero() {
+        let c = ThreadClocks::new(0);
+        assert_eq!(c.makespan(), Cycle::ZERO);
+        assert!(c.is_empty());
+        assert_eq!(c.next_runnable(), None);
+    }
+
+    #[test]
+    fn len_reports_thread_count() {
+        assert_eq!(ThreadClocks::new(5).len(), 5);
+    }
+
+    #[test]
+    fn restart_clears_finished_keeps_clocks() {
+        let mut c = ThreadClocks::new(2);
+        c.advance(0, Cycle(9));
+        c.finish(0);
+        c.finish(1);
+        assert!(c.all_finished());
+        c.restart();
+        assert!(!c.is_finished(0));
+        assert_eq!(c.clock(0), Cycle(9));
+    }
+}

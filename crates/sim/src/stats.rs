@@ -1,0 +1,240 @@
+//! Simulation statistics: named counters and simple distributions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A running summary of an observed quantity (e.g. cycles per atomic region).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Summary {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A registry of named counters and summaries produced by a simulation run.
+///
+/// Names are free-form dotted strings (`"pm.write.lpo"`). The registry is
+/// ordered (BTreeMap) so reports are stable.
+///
+/// # Example
+///
+/// ```
+/// use asap_sim::Stats;
+///
+/// let mut s = Stats::new();
+/// s.add("pm.write", 3);
+/// s.bump("pm.write");
+/// assert_eq!(s.get("pm.write"), 4);
+/// s.sample("region.cycles", 120);
+/// assert_eq!(s.summary("region.cycles").unwrap().mean(), 120.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    summaries: BTreeMap<String, Summary>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `v` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, v: u64) {
+        if v == 0 {
+            return;
+        }
+        *self.counters.entry(name.to_owned()).or_insert(0) += v;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn bump(&mut self, name: &str) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into summary `name`.
+    pub fn sample(&mut self, name: &str, v: u64) {
+        self.summaries.entry(name.to_owned()).or_default().record(v);
+    }
+
+    /// Returns summary `name`, if any samples were recorded.
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.get(name)
+    }
+
+    /// Discards all samples of summary `name` (e.g. to exclude a setup
+    /// phase from steady-state measurements).
+    pub fn reset_summary(&mut self, name: &str) {
+        self.summaries.remove(name);
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all summaries in name order.
+    pub fn summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
+        self.summaries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry into this one (counters add, samples merge).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, s) in &other.summaries {
+            let dst = self.summaries.entry(k.clone()).or_default();
+            if s.count > 0 {
+                if dst.count == 0 {
+                    *dst = *s;
+                } else {
+                    dst.count += s.count;
+                    dst.sum += s.sum;
+                    dst.min = dst.min.min(s.min);
+                    dst.max = dst.max.max(s.max);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, s) in &self.summaries {
+            writeln!(
+                f,
+                "{k}: n={} mean={:.1} min={} max={}",
+                s.count,
+                s.mean(),
+                s.min,
+                s.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.add("a", 2);
+        s.add("a", 3);
+        s.bump("a");
+        assert_eq!(s.get("a"), 6);
+        assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn add_zero_does_not_create_counter() {
+        let mut s = Stats::new();
+        s.add("z", 0);
+        assert_eq!(s.counters().count(), 0);
+    }
+
+    #[test]
+    fn summary_tracks_min_max_mean() {
+        let mut s = Stats::new();
+        s.sample("lat", 10);
+        s.sample("lat", 30);
+        s.sample("lat", 20);
+        let sum = s.summary("lat").unwrap();
+        assert_eq!(sum.count, 3);
+        assert_eq!(sum.min, 10);
+        assert_eq!(sum.max, 30);
+        assert!((sum.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        assert_eq!(Summary::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = Stats::new();
+        a.add("c", 1);
+        a.sample("s", 5);
+        let mut b = Stats::new();
+        b.add("c", 2);
+        b.sample("s", 15);
+        b.sample("t", 1);
+        a.merge(&b);
+        assert_eq!(a.get("c"), 3);
+        let s = a.summary("s").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 20);
+        assert_eq!(a.summary("t").unwrap().count, 1);
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let mut s = Stats::new();
+        s.add("x", 1);
+        s.sample("y", 2);
+        let out = s.to_string();
+        assert!(out.contains("x = 1"));
+        assert!(out.contains("y: n=1"));
+    }
+
+    #[test]
+    fn reset_summary_discards_samples() {
+        let mut s = Stats::new();
+        s.sample("x", 5);
+        s.reset_summary("x");
+        assert!(s.summary("x").is_none());
+        s.sample("x", 7);
+        assert_eq!(s.summary("x").unwrap().count, 1);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order() {
+        let mut s = Stats::new();
+        s.add("b", 1);
+        s.add("a", 1);
+        let names: Vec<&str> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Turns a [`WorkloadSpec`] into a simulated run and its measurements.
+
+use asap_core::machine::{Machine, MachineConfig, RunOutcome, StepFn, ThreadCtx};
+use asap_core::scheme::RecoveryReport;
+use asap_sim::Stats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::spec::WorkloadSpec;
+use crate::structures::{AnyBench, Benchmark};
+
+/// Everything a figure needs from one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The spec that produced this result.
+    pub spec: WorkloadSpec,
+    /// Transactions completed.
+    pub tx: u64,
+    /// Execution makespan in cycles (excludes the post-run drain tail).
+    pub exec_cycles: u64,
+    /// Makespan after draining all asynchronous work.
+    pub drained_cycles: u64,
+    /// Transactions per kilocycle.
+    pub throughput: f64,
+    /// 64-byte writes that reached the PM media.
+    pub pm_writes: u64,
+    /// Mean cycles per atomic region (Fig. 8's metric).
+    pub region_cycles_mean: f64,
+    /// Full statistics registry.
+    pub stats: Stats,
+    /// Whether the run completed or crashed.
+    pub outcome: RunOutcome,
+    /// Recovery report when the run crashed and recovered.
+    pub recovery: Option<RecoveryReport>,
+}
+
+impl RunResult {
+    /// Throughput of `self` relative to `base`.
+    pub fn speedup_over(&self, base: &RunResult) -> f64 {
+        if base.throughput == 0.0 {
+            0.0
+        } else {
+            self.throughput / base.throughput
+        }
+    }
+
+    /// PM write traffic of `self` relative to `base`.
+    pub fn traffic_ratio_to(&self, base: &RunResult) -> f64 {
+        if base.pm_writes == 0 {
+            0.0
+        } else {
+            self.pm_writes as f64 / base.pm_writes as f64
+        }
+    }
+}
+
+/// Builds the machine for a spec.
+fn machine_for(spec: &WorkloadSpec) -> Machine {
+    let mut cfg = MachineConfig::new(spec.scheme, spec.threads).with_system(spec.system);
+    if spec.track {
+        cfg = cfg.with_tracking();
+    }
+    Machine::new(cfg)
+}
+
+/// Runs a spec end to end: setup, timed run, drain, verification.
+///
+/// When the spec arms a crash, the run stops at the power failure and
+/// recovery executes (with shadow verification if tracking is on); the
+/// result then reports the crashed outcome and the recovery report.
+///
+/// # Examples
+///
+/// Compare ASAP against the software baseline on the hash-map benchmark:
+///
+/// ```
+/// use asap_core::scheme::SchemeKind;
+/// use asap_workloads::{run, BenchId, WorkloadSpec};
+///
+/// let sw = run(&WorkloadSpec::small(BenchId::Hm, SchemeKind::SwUndo).with_ops(10));
+/// let asap = run(&WorkloadSpec::small(BenchId::Hm, SchemeKind::Asap).with_ops(10));
+/// assert!(asap.speedup_over(&sw) > 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if a structural invariant or crash-consistency check fails —
+/// that is a bug in the scheme under test, which is the point.
+pub fn run(spec: &WorkloadSpec) -> RunResult {
+    let mut m = machine_for(spec);
+    let mut bench = AnyBench::create(&mut m, spec);
+    bench.setup(&mut m, spec);
+    // Steady state starts here: drain setup persists, barrier the thread
+    // clocks, and exclude setup from the per-region and traffic metrics.
+    m.drain();
+    m.sync_thread_clocks();
+    m.reset_summary("region.cycles");
+    let pm_writes_setup = m.pm_write_traffic();
+    // Arm the crash counter only after setup so setup always survives.
+    if let Some(n) = spec.crash_after {
+        m.arm_crash_after_additional(n);
+    }
+    let setup_end = m.makespan();
+    let mut steps: Vec<StepFn> = (0..spec.threads as usize)
+        .map(|t| {
+            let b = bench;
+            let s = *spec;
+            let mut rng = StdRng::seed_from_u64(s.seed ^ (t as u64).wrapping_mul(0x9e37));
+            let mut remaining = s.ops_per_thread;
+            Box::new(move |ctx: &mut ThreadCtx| {
+                if remaining == 0 {
+                    return false;
+                }
+                b.step(ctx, &mut rng, &s);
+                ctx.complete_tx();
+                remaining -= 1;
+                remaining > 0
+            }) as StepFn
+        })
+        .collect();
+    let outcome = m.run(&mut steps);
+    drop(steps);
+    let (exec, drained, recovery) = match outcome {
+        RunOutcome::Completed => {
+            let exec = m.makespan();
+            let drained = m.drain();
+            bench.verify(&mut m).expect("structural invariants after run");
+            (exec, drained, None)
+        }
+        RunOutcome::Crashed => {
+            let exec = m.makespan();
+            let report = m.recover(); // panics on a consistency violation
+            // Atomic durability means structural invariants hold at region
+            // boundaries — so they must hold in the recovered image too.
+            bench.verify(&mut m).expect("structural invariants after recovery");
+            (exec, exec, Some(report))
+        }
+    };
+    let stats = m.stats();
+    let tx = m.tx_count();
+    let cycles = exec.raw().saturating_sub(setup_end.raw()).max(1);
+    RunResult {
+        spec: *spec,
+        tx,
+        exec_cycles: cycles,
+        drained_cycles: drained.raw(),
+        throughput: tx as f64 * 1000.0 / cycles as f64,
+        pm_writes: stats.get("pm.write.total").saturating_sub(pm_writes_setup),
+        region_cycles_mean: stats.summary("region.cycles").map_or(0.0, |s| s.mean()),
+        stats,
+        outcome,
+        recovery,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BenchId;
+    use asap_core::scheme::SchemeKind;
+
+    fn small(bench: BenchId, scheme: SchemeKind) -> WorkloadSpec {
+        WorkloadSpec::small(bench, scheme).with_ops(20)
+    }
+
+    #[test]
+    fn every_benchmark_runs_under_np_and_asap() {
+        for bench in BenchId::all() {
+            for scheme in [SchemeKind::NoPersist, SchemeKind::Asap] {
+                let r = run(&small(bench, scheme));
+                assert_eq!(r.outcome, RunOutcome::Completed, "{bench}/{scheme}");
+                assert_eq!(r.tx, 2 * 20, "{bench}/{scheme}");
+                assert!(r.throughput > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn asap_outperforms_sw_on_a_tree() {
+        let sw = run(&small(BenchId::Bn, SchemeKind::SwUndo));
+        let asap = run(&small(BenchId::Bn, SchemeKind::Asap));
+        assert!(
+            asap.speedup_over(&sw) > 1.0,
+            "ASAP {:.4} vs SW {:.4}",
+            asap.throughput,
+            sw.throughput
+        );
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = run(&small(BenchId::Hm, SchemeKind::Asap));
+        let b = run(&small(BenchId::Hm, SchemeKind::Asap));
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert_eq!(a.pm_writes, b.pm_writes);
+        assert_eq!(a.tx, b.tx);
+    }
+
+    #[test]
+    fn crash_run_recovers_consistently() {
+        for scheme in [SchemeKind::Asap, SchemeKind::HwUndo] {
+            let spec = small(BenchId::Hm, scheme).with_tracking().with_crash_after(40);
+            let r = run(&spec);
+            assert_eq!(r.outcome, RunOutcome::Crashed, "{scheme}");
+            assert!(r.recovery.is_some());
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! BN: an unbalanced binary search tree with out-of-line values.
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field, NULL};
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+// Node layout (8-byte fields): key, value ptr, left, right.
+const KEY: u64 = 0;
+const VAL: u64 = 1;
+const LEFT: u64 = 2;
+const RIGHT: u64 = 3;
+const NODE_BYTES: u64 = 32;
+
+/// The BN benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct BinTree {
+    root_cell: PmAddr,
+    lock: usize,
+}
+
+impl BinTree {
+    /// Allocates the tree anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
+        BinTree { root_cell: m.pm_alloc(8).expect("heap"), lock: 0 }
+    }
+
+    fn alloc_node(ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) -> PmAddr {
+        let node = ctx.pm_alloc(NODE_BYTES).expect("heap");
+        let val = ctx.pm_alloc(value_bytes).expect("heap");
+        write_field(ctx, node, KEY, key);
+        write_field(ctx, node, VAL, val.0);
+        write_field(ctx, node, LEFT, NULL);
+        write_field(ctx, node, RIGHT, NULL);
+        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        node
+    }
+
+    /// Inserts `key` or updates its value, inside the current region.
+    pub fn put(&self, ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) {
+        let root = ctx.read_u64(self.root_cell);
+        let Some(mut cur) = as_ptr(root) else {
+            let node = Self::alloc_node(ctx, key, tag, value_bytes);
+            ctx.write_u64(self.root_cell, node.0);
+            return;
+        };
+        loop {
+            let k = read_field(ctx, cur, KEY);
+            if k == key {
+                let val = PmAddr(read_field(ctx, cur, VAL));
+                ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                return;
+            }
+            let dir = if key < k { LEFT } else { RIGHT };
+            match as_ptr(read_field(ctx, cur, dir)) {
+                Some(next) => cur = next,
+                None => {
+                    let node = Self::alloc_node(ctx, key, tag, value_bytes);
+                    write_field(ctx, cur, dir, node.0);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Looks `key` up, returning its value bytes.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64, value_bytes: u64) -> Option<Vec<u8>> {
+        let mut cur = as_ptr(ctx.read_u64(self.root_cell))?;
+        loop {
+            let k = read_field(ctx, cur, KEY);
+            if k == key {
+                let mut buf = vec![0u8; value_bytes as usize];
+                let val = read_field(ctx, cur, VAL);
+                ctx.read_bytes(PmAddr(val), &mut buf);
+                return Some(buf);
+            }
+            cur = as_ptr(read_field(ctx, cur, if key < k { LEFT } else { RIGHT }))?;
+        }
+    }
+
+    /// In-order key walk via debug reads.
+    pub fn debug_keys(&self, m: &mut Machine) -> Vec<u64> {
+        fn walk(m: &mut Machine, node: u64, out: &mut Vec<u64>) {
+            let Some(n) = as_ptr(node) else { return };
+            let left = debug_field(m, n, LEFT);
+            walk(m, left, out);
+            out.push(debug_field(m, n, KEY));
+            let right = debug_field(m, n, RIGHT);
+            walk(m, right, out);
+        }
+        let root = m.debug_read_u64(self.root_cell);
+        let mut out = Vec::new();
+        walk(m, root, &mut out);
+        out
+    }
+}
+
+impl Benchmark for BinTree {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        let tree = *self;
+        let spec = *spec;
+        // Populate with a mid-first insertion order for rough balance.
+        let mut keys: Vec<u64> = Vec::new();
+        let mut ranges = vec![(0, spec.setup_keys)];
+        while let Some((lo, hi)) = ranges.pop() {
+            if lo >= hi {
+                continue;
+            }
+            let mid = (lo + hi) / 2;
+            keys.push(mid * spec.keyspace / spec.setup_keys.max(1));
+            ranges.push((lo, mid));
+            ranges.push((mid + 1, hi));
+        }
+        for chunk in keys.chunks(8) {
+            let chunk = chunk.to_vec();
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for k in chunk {
+                    tree.put(ctx, k, 0, spec.value_bytes);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        let key = rng.random_range(0..spec.keyspace);
+        let tag = rng.random::<u64>();
+        let tree = *self;
+        ctx.compute(60); // key generation / hashing work
+        ctx.locked_region(tree.lock, |ctx| {
+            tree.put(ctx, key, tag, spec.value_bytes);
+        });
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        let keys = self.debug_keys(m);
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("binary tree keys not strictly sorted in-order".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness() -> (Machine, BinTree, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Bn, SchemeKind::NoPersist);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let t = BinTree::create(&mut m, &spec);
+        (m, t, spec)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (mut m, t, _spec) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.put(ctx, 5, 1, 64);
+            t.put(ctx, 3, 2, 64);
+            t.put(ctx, 8, 3, 64);
+            ctx.end_region();
+            assert_eq!(t.get(ctx, 5, 64).unwrap(), payload(5, 1, 64));
+            assert_eq!(t.get(ctx, 3, 64).unwrap(), payload(3, 2, 64));
+            assert_eq!(t.get(ctx, 9, 64), None);
+        });
+    }
+
+    #[test]
+    fn update_overwrites_value() {
+        let (mut m, t, _spec) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.put(ctx, 7, 1, 64);
+            t.put(ctx, 7, 2, 64);
+            ctx.end_region();
+            assert_eq!(t.get(ctx, 7, 64).unwrap(), payload(7, 2, 64));
+        });
+        assert_eq!(t.debug_keys(&mut m), vec![7]);
+    }
+
+    #[test]
+    fn inorder_is_sorted_after_random_ops() {
+        let (mut m, mut t, spec) = harness();
+        t.setup(&mut m, &spec);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        t.verify(&mut m).unwrap();
+        assert!(!t.debug_keys(&mut m).is_empty());
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let (mut m, t, _spec) = harness();
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..60u64 {
+            let key = rng.random_range(0..32u64);
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                t.put(ctx, key, i, 64);
+                ctx.end_region();
+            });
+            model.insert(key, i);
+        }
+        for (k, tag) in model {
+            m.run_thread(0, |ctx| {
+                assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64));
+            });
+        }
+    }
+}

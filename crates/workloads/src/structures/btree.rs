@@ -1,0 +1,357 @@
+//! BT: a B-tree with fanout 8 (up to 7 keys per node).
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field};
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+// Node layout (24 × 8B = 192B): leaf flag, key count, 7 keys, 7 value
+// pointers, 8 children.
+const LEAF: u64 = 0;
+const N: u64 = 1;
+const KEYS: u64 = 2;
+const VALS: u64 = 9;
+const CHILD: u64 = 16;
+const MAX_KEYS: u64 = 7;
+const NODE_BYTES: u64 = 192;
+
+/// The BT benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct BTree {
+    root_cell: PmAddr,
+    lock: usize,
+}
+
+impl BTree {
+    /// Allocates the tree anchor with an empty leaf root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
+        let root_cell = m.pm_alloc(8).expect("heap");
+        BTree { root_cell, lock: 0 }
+    }
+
+    fn new_node(ctx: &mut ThreadCtx, leaf: bool) -> PmAddr {
+        let node = ctx.pm_alloc(NODE_BYTES).expect("heap");
+        write_field(ctx, node, LEAF, u64::from(leaf));
+        write_field(ctx, node, N, 0);
+        node
+    }
+
+    fn new_value(ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) -> u64 {
+        let val = ctx.pm_alloc(value_bytes).expect("heap");
+        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        val.0
+    }
+
+    /// Splits the full `i`-th child of `parent` (preemptive split).
+    fn split_child(ctx: &mut ThreadCtx, parent: PmAddr, i: u64) {
+        let child = PmAddr(read_field(ctx, parent, CHILD + i));
+        let leaf = read_field(ctx, child, LEAF) != 0;
+        let right = Self::new_node(ctx, leaf);
+        // Left keeps keys 0..3, key 3 moves up, right takes keys 4..7.
+        for j in 0..3 {
+            let k = read_field(ctx, child, KEYS + 4 + j);
+            let v = read_field(ctx, child, VALS + 4 + j);
+            write_field(ctx, right, KEYS + j, k);
+            write_field(ctx, right, VALS + j, v);
+        }
+        if !leaf {
+            for j in 0..4 {
+                let c = read_field(ctx, child, CHILD + 4 + j);
+                write_field(ctx, right, CHILD + j, c);
+            }
+        }
+        write_field(ctx, right, N, 3);
+        let mid_key = read_field(ctx, child, KEYS + 3);
+        let mid_val = read_field(ctx, child, VALS + 3);
+        write_field(ctx, child, N, 3);
+        // Shift the parent's keys/children right of slot i.
+        let pn = read_field(ctx, parent, N);
+        let mut j = pn;
+        while j > i {
+            let k = read_field(ctx, parent, KEYS + j - 1);
+            let v = read_field(ctx, parent, VALS + j - 1);
+            write_field(ctx, parent, KEYS + j, k);
+            write_field(ctx, parent, VALS + j, v);
+            let c = read_field(ctx, parent, CHILD + j);
+            write_field(ctx, parent, CHILD + j + 1, c);
+            j -= 1;
+        }
+        write_field(ctx, parent, KEYS + i, mid_key);
+        write_field(ctx, parent, VALS + i, mid_val);
+        write_field(ctx, parent, CHILD + i + 1, right.0);
+        write_field(ctx, parent, N, pn + 1);
+    }
+
+    /// Inserts `key` or updates its value, inside the current region.
+    pub fn put(&self, ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) {
+        let mut root = match as_ptr(ctx.read_u64(self.root_cell)) {
+            Some(r) => r,
+            None => {
+                let r = Self::new_node(ctx, true);
+                ctx.write_u64(self.root_cell, r.0);
+                r
+            }
+        };
+        if read_field(ctx, root, N) == MAX_KEYS {
+            let new_root = Self::new_node(ctx, false);
+            write_field(ctx, new_root, CHILD, root.0);
+            Self::split_child(ctx, new_root, 0);
+            ctx.write_u64(self.root_cell, new_root.0);
+            root = new_root;
+        }
+        let mut node = root;
+        loop {
+            let n = read_field(ctx, node, N);
+            // Exact-match scan: update in place.
+            let mut idx = n;
+            for i in 0..n {
+                let k = read_field(ctx, node, KEYS + i);
+                if k == key {
+                    let val = PmAddr(read_field(ctx, node, VALS + i));
+                    ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                    return;
+                }
+                if key < k && idx == n {
+                    idx = i;
+                }
+            }
+            if read_field(ctx, node, LEAF) != 0 {
+                // Shift and insert.
+                let mut j = n;
+                while j > idx {
+                    let k = read_field(ctx, node, KEYS + j - 1);
+                    let v = read_field(ctx, node, VALS + j - 1);
+                    write_field(ctx, node, KEYS + j, k);
+                    write_field(ctx, node, VALS + j, v);
+                    j -= 1;
+                }
+                write_field(ctx, node, KEYS + idx, key);
+                let val = Self::new_value(ctx, key, tag, value_bytes);
+                write_field(ctx, node, VALS + idx, val);
+                write_field(ctx, node, N, n + 1);
+                return;
+            }
+            let child = PmAddr(read_field(ctx, node, CHILD + idx));
+            if read_field(ctx, child, N) == MAX_KEYS {
+                Self::split_child(ctx, node, idx);
+                let up = read_field(ctx, node, KEYS + idx);
+                if up == key {
+                    let val = PmAddr(read_field(ctx, node, VALS + idx));
+                    ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                    return;
+                }
+                let idx2 = if key > up { idx + 1 } else { idx };
+                node = PmAddr(read_field(ctx, node, CHILD + idx2));
+            } else {
+                node = child;
+            }
+        }
+    }
+
+    /// Looks `key` up.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64, value_bytes: u64) -> Option<Vec<u8>> {
+        let mut node = as_ptr(ctx.read_u64(self.root_cell))?;
+        loop {
+            let n = read_field(ctx, node, N);
+            let mut idx = n;
+            for i in 0..n {
+                let k = read_field(ctx, node, KEYS + i);
+                if k == key {
+                    let mut buf = vec![0u8; value_bytes as usize];
+                    let val = read_field(ctx, node, VALS + i);
+                    ctx.read_bytes(PmAddr(val), &mut buf);
+                    return Some(buf);
+                }
+                if key < k && idx == n {
+                    idx = i;
+                }
+            }
+            if read_field(ctx, node, LEAF) != 0 {
+                return None;
+            }
+            node = PmAddr(read_field(ctx, node, CHILD + idx));
+        }
+    }
+
+    fn debug_walk(m: &mut Machine, node: u64, depth: u64, out: &mut Vec<u64>, leaf_depths: &mut Vec<u64>) {
+        let Some(n) = as_ptr(node) else { return };
+        let count = debug_field(m, n, N);
+        let leaf = debug_field(m, n, LEAF) != 0;
+        if leaf {
+            leaf_depths.push(depth);
+            for i in 0..count {
+                out.push(debug_field(m, n, KEYS + i));
+            }
+            return;
+        }
+        for i in 0..count {
+            let child = debug_field(m, n, CHILD + i);
+            Self::debug_walk(m, child, depth + 1, out, leaf_depths);
+            out.push(debug_field(m, n, KEYS + i));
+        }
+        let last = debug_field(m, n, CHILD + count);
+        Self::debug_walk(m, last, depth + 1, out, leaf_depths);
+    }
+
+    /// In-order key walk.
+    pub fn debug_keys(&self, m: &mut Machine) -> Vec<u64> {
+        let root = m.debug_read_u64(self.root_cell);
+        let mut keys = Vec::new();
+        let mut depths = Vec::new();
+        Self::debug_walk(m, root, 0, &mut keys, &mut depths);
+        keys
+    }
+}
+
+impl Benchmark for BTree {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        let tree = *self;
+        let spec = *spec;
+        let stride = (spec.keyspace / spec.setup_keys.max(1)).max(1);
+        for start in (0..spec.setup_keys).step_by(8) {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for i in start..(start + 8).min(spec.setup_keys) {
+                    tree.put(ctx, i * stride, 0, spec.value_bytes);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        let key = rng.random_range(0..spec.keyspace);
+        let tag = rng.random::<u64>();
+        let tree = *self;
+        ctx.compute(80);
+        ctx.locked_region(tree.lock, |ctx| {
+            tree.put(ctx, key, tag, spec.value_bytes);
+        });
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        let root = m.debug_read_u64(self.root_cell);
+        let mut keys = Vec::new();
+        let mut depths = Vec::new();
+        Self::debug_walk(m, root, 0, &mut keys, &mut depths);
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("B-tree keys not strictly sorted in-order".into());
+        }
+        depths.dedup();
+        if depths.len() > 1 {
+            return Err(format!("B-tree leaves at unequal depths: {depths:?}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness() -> (Machine, BTree, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Bt, SchemeKind::NoPersist);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let t = BTree::create(&mut m, &spec);
+        (m, t, spec)
+    }
+
+    #[test]
+    fn sequential_inserts_split_and_stay_sorted() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            for k in 0..40u64 {
+                ctx.begin_region();
+                t.put(ctx, k, k, 64);
+                ctx.end_region();
+            }
+        });
+        assert_eq!(t.debug_keys(&mut m), (0..40).collect::<Vec<_>>());
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn reverse_and_shuffled_inserts() {
+        let (mut m, t, _s) = harness();
+        let keys: Vec<u64> = (0..60).map(|i| (i * 37) % 61).collect();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            for &k in &keys {
+                t.put(ctx, k, k, 64);
+            }
+            ctx.end_region();
+        });
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(t.debug_keys(&mut m), sorted);
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn update_hits_keys_in_internal_nodes() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            for k in 0..20u64 {
+                t.put(ctx, k, 1, 64);
+            }
+            // Every key updated, including ones promoted to internals.
+            for k in 0..20u64 {
+                t.put(ctx, k, 2, 64);
+            }
+            ctx.end_region();
+            for k in 0..20u64 {
+                assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, 2, 64), "key {k}");
+            }
+            assert_eq!(t.get(ctx, 99, 64), None);
+        });
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let (mut m, t, _s) = harness();
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        for i in 0..150u64 {
+            let key = rng.random_range(0..64u64);
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                t.put(ctx, key, i, 64);
+                ctx.end_region();
+            });
+            model.insert(key, i);
+        }
+        assert_eq!(t.debug_keys(&mut m), model.keys().copied().collect::<Vec<_>>());
+        for (k, tag) in model {
+            m.run_thread(0, |ctx| {
+                assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64));
+            });
+        }
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn random_steps_keep_invariants() {
+        let (mut m, mut t, spec) = harness();
+        t.setup(&mut m, &spec);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..80 {
+            m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        t.verify(&mut m).unwrap();
+    }
+}

@@ -1,0 +1,274 @@
+//! CT: a crit-bit tree (bitwise trie), the "c-tree" of WHISPER.
+//!
+//! Internal nodes test one bit of the key (most-significant differing bit
+//! first); leaves hold a key and an out-of-line value. Pointers are tagged
+//! in their LSB to distinguish leaves (all allocations are 64-byte
+//! aligned, so the bit is free).
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::{debug_field, payload, read_field, write_field, NULL};
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+// Leaf layout: key, value ptr.
+const LKEY: u64 = 0;
+const LVAL: u64 = 1;
+// Internal layout: bit index, left, right.
+const IBIT: u64 = 0;
+const ILEFT: u64 = 1;
+const IRIGHT: u64 = 2;
+
+const LEAF_TAG: u64 = 1;
+
+fn is_leaf(p: u64) -> bool {
+    p & LEAF_TAG != 0
+}
+
+fn untag(p: u64) -> PmAddr {
+    PmAddr(p & !LEAF_TAG)
+}
+
+/// The CT benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct CritBitTree {
+    root_cell: PmAddr,
+    lock: usize,
+}
+
+impl CritBitTree {
+    /// Allocates the tree anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
+        CritBitTree { root_cell: m.pm_alloc(8).expect("heap"), lock: 0 }
+    }
+
+    fn new_leaf(ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) -> u64 {
+        let leaf = ctx.pm_alloc(16).expect("heap");
+        let val = ctx.pm_alloc(value_bytes).expect("heap");
+        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_field(ctx, leaf, LKEY, key);
+        write_field(ctx, leaf, LVAL, val.0);
+        leaf.0 | LEAF_TAG
+    }
+
+    /// Inserts `key` or updates its value, inside the current region.
+    pub fn put(&self, ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) {
+        let root = ctx.read_u64(self.root_cell);
+        if root == NULL {
+            let leaf = Self::new_leaf(ctx, key, tag, value_bytes);
+            ctx.write_u64(self.root_cell, leaf);
+            return;
+        }
+        // Walk to the best-matching leaf.
+        let mut p = root;
+        while !is_leaf(p) {
+            let bit = read_field(ctx, untag(p), IBIT);
+            let dir = if (key >> bit) & 1 == 1 { IRIGHT } else { ILEFT };
+            p = read_field(ctx, untag(p), dir);
+        }
+        let found_key = read_field(ctx, untag(p), LKEY);
+        if found_key == key {
+            let val = PmAddr(read_field(ctx, untag(p), LVAL));
+            ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+            return;
+        }
+        // Most-significant differing bit decides the new node's position.
+        let crit = 63 - (key ^ found_key).leading_zeros() as u64;
+        // Re-descend to the first edge whose subtree tests a less
+        // significant bit than `crit` (or a leaf).
+        let mut parent_cell = self.root_cell;
+        let mut cur = ctx.read_u64(parent_cell);
+        while !is_leaf(cur) {
+            let node = untag(cur);
+            let bit = read_field(ctx, node, IBIT);
+            if bit < crit {
+                break;
+            }
+            let dir = if (key >> bit) & 1 == 1 { IRIGHT } else { ILEFT };
+            parent_cell = node.offset(8 * dir);
+            cur = ctx.read_u64(parent_cell);
+        }
+        let leaf = Self::new_leaf(ctx, key, tag, value_bytes);
+        let inner = ctx.pm_alloc(24).expect("heap");
+        write_field(ctx, inner, IBIT, crit);
+        if (key >> crit) & 1 == 1 {
+            write_field(ctx, inner, IRIGHT, leaf);
+            write_field(ctx, inner, ILEFT, cur);
+        } else {
+            write_field(ctx, inner, ILEFT, leaf);
+            write_field(ctx, inner, IRIGHT, cur);
+        }
+        ctx.write_u64(parent_cell, inner.0);
+    }
+
+    /// Looks `key` up.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64, value_bytes: u64) -> Option<Vec<u8>> {
+        let mut p = ctx.read_u64(self.root_cell);
+        if p == NULL {
+            return None;
+        }
+        while !is_leaf(p) {
+            let bit = read_field(ctx, untag(p), IBIT);
+            let dir = if (key >> bit) & 1 == 1 { IRIGHT } else { ILEFT };
+            p = read_field(ctx, untag(p), dir);
+        }
+        if read_field(ctx, untag(p), LKEY) != key {
+            return None;
+        }
+        let mut buf = vec![0u8; value_bytes as usize];
+        let val = read_field(ctx, untag(p), LVAL);
+        ctx.read_bytes(PmAddr(val), &mut buf);
+        Some(buf)
+    }
+
+    fn debug_walk(m: &mut Machine, p: u64, bound: u64, out: &mut Vec<u64>) -> Result<(), String> {
+        if p == NULL {
+            return Ok(());
+        }
+        if is_leaf(p) {
+            out.push(debug_field(m, untag(p), LKEY));
+            return Ok(());
+        }
+        let bit = debug_field(m, untag(p), IBIT);
+        if bit >= bound {
+            return Err(format!("crit-bit order violated: bit {bit} under bound {bound}"));
+        }
+        let l = debug_field(m, untag(p), ILEFT);
+        let r = debug_field(m, untag(p), IRIGHT);
+        Self::debug_walk(m, l, bit, out)?;
+        Self::debug_walk(m, r, bit, out)
+    }
+
+    /// In-order key walk.
+    pub fn debug_keys(&self, m: &mut Machine) -> Vec<u64> {
+        let root = m.debug_read_u64(self.root_cell);
+        let mut out = Vec::new();
+        Self::debug_walk(m, root, 64, &mut out).expect("valid trie");
+        out
+    }
+}
+
+impl Benchmark for CritBitTree {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        let tree = *self;
+        let spec = *spec;
+        let stride = (spec.keyspace / spec.setup_keys.max(1)).max(1);
+        for start in (0..spec.setup_keys).step_by(8) {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for i in start..(start + 8).min(spec.setup_keys) {
+                    tree.put(ctx, i * stride, 0, spec.value_bytes);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        let key = rng.random_range(0..spec.keyspace);
+        let tag = rng.random::<u64>();
+        let tree = *self;
+        ctx.compute(50);
+        ctx.locked_region(tree.lock, |ctx| {
+            tree.put(ctx, key, tag, spec.value_bytes);
+        });
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        let root = m.debug_read_u64(self.root_cell);
+        let mut keys = Vec::new();
+        Self::debug_walk(m, root, 64, &mut keys)?;
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("crit-bit in-order keys not strictly sorted".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness() -> (Machine, CritBitTree, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Ct, SchemeKind::NoPersist);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let t = CritBitTree::create(&mut m, &spec);
+        (m, t, spec)
+    }
+
+    #[test]
+    fn put_get_update() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.put(ctx, 0b1010, 1, 64);
+            t.put(ctx, 0b1000, 2, 64);
+            t.put(ctx, 0b0001, 3, 64);
+            t.put(ctx, 0b1010, 4, 64); // update
+            ctx.end_region();
+            assert_eq!(t.get(ctx, 0b1010, 64).unwrap(), payload(0b1010, 4, 64));
+            assert_eq!(t.get(ctx, 0b1000, 64).unwrap(), payload(0b1000, 2, 64));
+            assert_eq!(t.get(ctx, 0b0001, 64).unwrap(), payload(0b0001, 3, 64));
+            assert_eq!(t.get(ctx, 0b1111, 64), None);
+        });
+        assert_eq!(t.debug_keys(&mut m), vec![0b0001, 0b1000, 0b1010]);
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let (mut m, t, _s) = harness();
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..120u64 {
+            let key = rng.random_range(0..200u64);
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                t.put(ctx, key, i, 64);
+                ctx.end_region();
+            });
+            model.insert(key, i);
+        }
+        assert_eq!(t.debug_keys(&mut m), model.keys().copied().collect::<Vec<_>>());
+        for (k, tag) in model {
+            m.run_thread(0, |ctx| {
+                assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64));
+            });
+        }
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn random_steps_keep_invariants() {
+        let (mut m, mut t, spec) = harness();
+        t.setup(&mut m, &spec);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..60 {
+            m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn zero_key_works() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.put(ctx, 0, 7, 64);
+            t.put(ctx, u32::MAX as u64, 8, 64);
+            ctx.end_region();
+            assert_eq!(t.get(ctx, 0, 64).unwrap(), payload(0, 7, 64));
+        });
+        t.verify(&mut m).unwrap();
+    }
+}

@@ -1,0 +1,218 @@
+//! EO: Echo, a scalable versioned key-value store for PM.
+//!
+//! Modeled after the Echo store used by the paper's benchmark suite: a
+//! hash index whose entries carry a monotonically increasing version; a
+//! put installs a freshly allocated value snapshot and bumps the version
+//! (out-of-place value update, in-place index update).
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field};
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+// Entry layout: key, version, value ptr, next.
+const KEY: u64 = 0;
+const VER: u64 = 1;
+const VAL: u64 = 2;
+const NEXT: u64 = 3;
+const ENTRY_BYTES: u64 = 32;
+
+/// Number of index buckets.
+pub const BUCKETS: u64 = 256;
+
+/// The EO benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Echo {
+    buckets: PmAddr,
+    num_locks: u64,
+}
+
+impl Echo {
+    /// Allocates the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
+        Echo {
+            buckets: m.pm_alloc(BUCKETS * 8).expect("heap"),
+            num_locks: m.config().num_locks as u64,
+        }
+    }
+
+    fn bucket(&self, key: u64) -> u64 {
+        (key.wrapping_mul(0xff51_afd7_ed55_8ccd) >> 33) % BUCKETS
+    }
+
+    /// The lock guarding `key`'s bucket.
+    pub fn lock_for(&self, key: u64) -> usize {
+        (self.bucket(key) % self.num_locks) as usize
+    }
+
+    /// Stores a new version of `key`, inside the current region.
+    pub fn put(&self, ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) {
+        let head_cell = self.buckets.offset(self.bucket(key) * 8);
+        let mut cur = as_ptr(ctx.read_u64(head_cell));
+        while let Some(e) = cur {
+            if read_field(ctx, e, KEY) == key {
+                // Out-of-place update: new snapshot, bump version, swing
+                // the pointer, retire the old snapshot.
+                let old = PmAddr(read_field(ctx, e, VAL));
+                let new = ctx.pm_alloc(value_bytes).expect("heap");
+                ctx.write_bytes(new, &payload(key, tag, value_bytes as usize));
+                let ver = read_field(ctx, e, VER);
+                write_field(ctx, e, VAL, new.0);
+                write_field(ctx, e, VER, ver + 1);
+                ctx.pm_free(old).expect("old snapshot allocated");
+                return;
+            }
+            cur = as_ptr(read_field(ctx, e, NEXT));
+        }
+        let entry = ctx.pm_alloc(ENTRY_BYTES).expect("heap");
+        let val = ctx.pm_alloc(value_bytes).expect("heap");
+        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_field(ctx, entry, KEY, key);
+        write_field(ctx, entry, VER, 1);
+        write_field(ctx, entry, VAL, val.0);
+        let head = ctx.read_u64(head_cell);
+        write_field(ctx, entry, NEXT, head);
+        ctx.write_u64(head_cell, entry.0);
+    }
+
+    /// Reads `key`'s latest version: `(version, bytes)`.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64, value_bytes: u64) -> Option<(u64, Vec<u8>)> {
+        let head_cell = self.buckets.offset(self.bucket(key) * 8);
+        let mut cur = as_ptr(ctx.read_u64(head_cell));
+        while let Some(e) = cur {
+            if read_field(ctx, e, KEY) == key {
+                let ver = read_field(ctx, e, VER);
+                let mut buf = vec![0u8; value_bytes as usize];
+                let val = read_field(ctx, e, VAL);
+                ctx.read_bytes(PmAddr(val), &mut buf);
+                return Some((ver, buf));
+            }
+            cur = as_ptr(read_field(ctx, e, NEXT));
+        }
+        None
+    }
+
+    /// `(key, version)` pairs by debug walk.
+    pub fn debug_entries(&self, m: &mut Machine) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for b in 0..BUCKETS {
+            let mut cur = m.debug_read_u64(self.buckets.offset(b * 8));
+            while let Some(e) = as_ptr(cur) {
+                out.push((debug_field(m, e, KEY), debug_field(m, e, VER)));
+                cur = debug_field(m, e, NEXT);
+            }
+        }
+        out
+    }
+}
+
+impl Benchmark for Echo {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        let store = *self;
+        let spec = *spec;
+        let stride = (spec.keyspace / spec.setup_keys.max(1)).max(1);
+        for start in (0..spec.setup_keys).step_by(8) {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for i in start..(start + 8).min(spec.setup_keys) {
+                    store.put(ctx, i * stride, 0, spec.value_bytes);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        let key = rng.random_range(0..spec.keyspace);
+        let tag = rng.random::<u64>();
+        let store = *self;
+        ctx.compute(50);
+        ctx.locked_region(store.lock_for(key), |ctx| {
+            store.put(ctx, key, tag, spec.value_bytes);
+        });
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        let entries = self.debug_entries(m);
+        let mut keys: Vec<u64> = entries.iter().map(|(k, _)| *k).collect();
+        let n = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        if keys.len() != n {
+            return Err("echo index has duplicate keys".into());
+        }
+        if entries.iter().any(|(_, v)| *v == 0) {
+            return Err("echo entry with version 0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness() -> (Machine, Echo, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Eo, SchemeKind::NoPersist);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let t = Echo::create(&mut m, &spec);
+        (m, t, spec)
+    }
+
+    #[test]
+    fn versions_increment_per_put() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.put(ctx, 10, 1, 64);
+            t.put(ctx, 10, 2, 64);
+            t.put(ctx, 10, 3, 64);
+            ctx.end_region();
+            let (ver, bytes) = t.get(ctx, 10, 64).unwrap();
+            assert_eq!(ver, 3);
+            assert_eq!(bytes, payload(10, 3, 64));
+            assert_eq!(t.get(ctx, 11, 64), None);
+        });
+    }
+
+    #[test]
+    fn old_snapshots_are_reclaimed() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.put(ctx, 5, 1, 64);
+            ctx.end_region();
+        });
+        let after_insert = m.hw().heap.live_bytes();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.put(ctx, 5, 2, 64);
+            ctx.end_region();
+        });
+        assert_eq!(m.hw().heap.live_bytes(), after_insert, "update is allocation-neutral");
+    }
+
+    #[test]
+    fn random_steps_keep_invariants() {
+        let (mut m, mut t, spec) = harness();
+        t.setup(&mut m, &spec);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..60 {
+            m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        t.verify(&mut m).unwrap();
+        assert!(t.debug_entries(&mut m).len() >= spec.setup_keys as usize);
+    }
+}

@@ -1,0 +1,126 @@
+//! Persistent data structures implementing the Table 3 benchmarks.
+//!
+//! Each structure is a small `Copy` handle (root pointers, array bases)
+//! onto state that lives entirely in the simulated persistent heap; all
+//! mutation flows through [`ThreadCtx`] so every access is timed, logged
+//! and crash-consistent per the active scheme.
+
+pub mod bintree;
+pub mod btree;
+pub mod ctree;
+pub mod echo;
+pub mod hashmap;
+pub mod queue;
+pub mod rbtree;
+pub mod stringswap;
+pub mod tpcc;
+
+use asap_core::machine::{Machine, ThreadCtx};
+use rand::rngs::StdRng;
+
+use crate::spec::{BenchId, WorkloadSpec};
+
+/// A runnable benchmark: setup, per-transaction step, verification.
+pub trait Benchmark {
+    /// Populates persistent state (runs setup regions on thread 0).
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec);
+
+    /// Executes one transaction (one lock-guarded atomic region).
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec);
+
+    /// Checks structural invariants on a drained machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    fn verify(&self, m: &mut Machine) -> Result<(), String>;
+}
+
+/// A clonable handle to any benchmark (handles are `Copy` so per-thread
+/// step closures can own one).
+#[derive(Clone, Copy, Debug)]
+pub enum AnyBench {
+    /// BN.
+    Bn(bintree::BinTree),
+    /// BT.
+    Bt(btree::BTree),
+    /// CT.
+    Ct(ctree::CritBitTree),
+    /// EO.
+    Eo(echo::Echo),
+    /// HM.
+    Hm(hashmap::HashTable),
+    /// Q.
+    Q(queue::Queue),
+    /// RB.
+    Rb(rbtree::RbTree),
+    /// SS.
+    Ss(stringswap::StringSwap),
+    /// TPCC.
+    Tpcc(tpcc::Tpcc),
+}
+
+impl AnyBench {
+    /// Allocates the benchmark's anchors for `spec` on `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the persistent heap is exhausted.
+    pub fn create(m: &mut Machine, spec: &WorkloadSpec) -> Self {
+        match spec.bench {
+            BenchId::Bn => AnyBench::Bn(bintree::BinTree::create(m, spec)),
+            BenchId::Bt => AnyBench::Bt(btree::BTree::create(m, spec)),
+            BenchId::Ct => AnyBench::Ct(ctree::CritBitTree::create(m, spec)),
+            BenchId::Eo => AnyBench::Eo(echo::Echo::create(m, spec)),
+            BenchId::Hm => AnyBench::Hm(hashmap::HashTable::create(m, spec)),
+            BenchId::Q => AnyBench::Q(queue::Queue::create(m, spec)),
+            BenchId::Rb => AnyBench::Rb(rbtree::RbTree::create(m, spec)),
+            BenchId::Ss => AnyBench::Ss(stringswap::StringSwap::create(m, spec)),
+            BenchId::Tpcc => AnyBench::Tpcc(tpcc::Tpcc::create(m, spec)),
+        }
+    }
+}
+
+impl Benchmark for AnyBench {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        match self {
+            AnyBench::Bn(b) => b.setup(m, spec),
+            AnyBench::Bt(b) => b.setup(m, spec),
+            AnyBench::Ct(b) => b.setup(m, spec),
+            AnyBench::Eo(b) => b.setup(m, spec),
+            AnyBench::Hm(b) => b.setup(m, spec),
+            AnyBench::Q(b) => b.setup(m, spec),
+            AnyBench::Rb(b) => b.setup(m, spec),
+            AnyBench::Ss(b) => b.setup(m, spec),
+            AnyBench::Tpcc(b) => b.setup(m, spec),
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        match self {
+            AnyBench::Bn(b) => b.step(ctx, rng, spec),
+            AnyBench::Bt(b) => b.step(ctx, rng, spec),
+            AnyBench::Ct(b) => b.step(ctx, rng, spec),
+            AnyBench::Eo(b) => b.step(ctx, rng, spec),
+            AnyBench::Hm(b) => b.step(ctx, rng, spec),
+            AnyBench::Q(b) => b.step(ctx, rng, spec),
+            AnyBench::Rb(b) => b.step(ctx, rng, spec),
+            AnyBench::Ss(b) => b.step(ctx, rng, spec),
+            AnyBench::Tpcc(b) => b.step(ctx, rng, spec),
+        }
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        match self {
+            AnyBench::Bn(b) => b.verify(m),
+            AnyBench::Bt(b) => b.verify(m),
+            AnyBench::Ct(b) => b.verify(m),
+            AnyBench::Eo(b) => b.verify(m),
+            AnyBench::Hm(b) => b.verify(m),
+            AnyBench::Q(b) => b.verify(m),
+            AnyBench::Rb(b) => b.verify(m),
+            AnyBench::Ss(b) => b.verify(m),
+            AnyBench::Tpcc(b) => b.verify(m),
+        }
+    }
+}

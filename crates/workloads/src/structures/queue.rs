@@ -1,0 +1,209 @@
+//! Q: a linked FIFO queue.
+//!
+//! The queue's head/tail anchor lines are touched by every transaction,
+//! which gives Q the highest rate of cross-region data dependencies of the
+//! suite — the paper singles it out as the benchmark where DPO dropping is
+//! most effective (§7.2).
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field, NULL};
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+// Anchor layout: head, tail, length.
+const HEAD: u64 = 0;
+const TAIL: u64 = 1;
+const LEN: u64 = 2;
+// Node layout: value ptr, next, key (for verification).
+const VAL: u64 = 0;
+const NEXT: u64 = 1;
+const NKEY: u64 = 2;
+const NODE_BYTES: u64 = 24;
+
+/// The Q benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Queue {
+    anchor: PmAddr,
+    lock: usize,
+}
+
+impl Queue {
+    /// Allocates the queue anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
+        Queue { anchor: m.pm_alloc(24).expect("heap"), lock: 0 }
+    }
+
+    /// Appends `key` with a fresh payload, inside the current region.
+    pub fn enqueue(&self, ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) {
+        let node = ctx.pm_alloc(NODE_BYTES).expect("heap");
+        let val = ctx.pm_alloc(value_bytes).expect("heap");
+        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_field(ctx, node, VAL, val.0);
+        write_field(ctx, node, NEXT, NULL);
+        write_field(ctx, node, NKEY, key);
+        match as_ptr(read_field(ctx, self.anchor, TAIL)) {
+            Some(tail) => write_field(ctx, tail, NEXT, node.0),
+            None => write_field(ctx, self.anchor, HEAD, node.0),
+        }
+        write_field(ctx, self.anchor, TAIL, node.0);
+        let len = read_field(ctx, self.anchor, LEN);
+        write_field(ctx, self.anchor, LEN, len + 1);
+    }
+
+    /// Pops the oldest element, returning its key. Inside the current
+    /// region.
+    pub fn dequeue(&self, ctx: &mut ThreadCtx) -> Option<u64> {
+        let head = as_ptr(read_field(ctx, self.anchor, HEAD))?;
+        let key = read_field(ctx, head, NKEY);
+        let next = read_field(ctx, head, NEXT);
+        write_field(ctx, self.anchor, HEAD, next);
+        if next == NULL {
+            write_field(ctx, self.anchor, TAIL, NULL);
+        }
+        let len = read_field(ctx, self.anchor, LEN);
+        write_field(ctx, self.anchor, LEN, len - 1);
+        let val = PmAddr(read_field(ctx, head, VAL));
+        ctx.pm_free(val).expect("queue value allocated");
+        ctx.pm_free(head).expect("queue node allocated");
+        Some(key)
+    }
+
+    /// Queue length per the anchor.
+    pub fn debug_len(&self, m: &mut Machine) -> u64 {
+        debug_field(m, self.anchor, LEN)
+    }
+
+    /// Keys front-to-back, by debug walk.
+    pub fn debug_keys(&self, m: &mut Machine) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = debug_field(m, self.anchor, HEAD);
+        while let Some(n) = as_ptr(cur) {
+            out.push(debug_field(m, n, NKEY));
+            cur = debug_field(m, n, NEXT);
+        }
+        out
+    }
+}
+
+impl Benchmark for Queue {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        let q = *self;
+        let spec = *spec;
+        for start in (0..spec.setup_keys).step_by(8) {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for k in start..(start + 8).min(spec.setup_keys) {
+                    q.enqueue(ctx, k, 0, spec.value_bytes);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        let q = *self;
+        let key = rng.random_range(0..spec.keyspace);
+        let tag = rng.random::<u64>();
+        let do_dequeue = rng.random_bool(0.5);
+        ctx.compute(30);
+        ctx.locked_region(q.lock, |ctx| {
+            if do_dequeue {
+                if q.dequeue(ctx).is_none() {
+                    q.enqueue(ctx, key, tag, spec.value_bytes);
+                }
+            } else {
+                q.enqueue(ctx, key, tag, spec.value_bytes);
+            }
+        });
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        let walked = self.debug_keys(m).len() as u64;
+        let len = self.debug_len(m);
+        if walked != len {
+            return Err(format!("queue length field {len} != walked nodes {walked}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness() -> (Machine, Queue, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Q, SchemeKind::NoPersist);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let q = Queue::create(&mut m, &spec);
+        (m, q, spec)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (mut m, q, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            for k in [3u64, 1, 4, 1, 5] {
+                q.enqueue(ctx, k, 0, 64);
+            }
+            ctx.end_region();
+            ctx.begin_region();
+            assert_eq!(q.dequeue(ctx), Some(3));
+            assert_eq!(q.dequeue(ctx), Some(1));
+            ctx.end_region();
+        });
+        assert_eq!(q.debug_keys(&mut m), vec![4, 1, 5]);
+        assert_eq!(q.debug_len(&mut m), 3);
+    }
+
+    #[test]
+    fn drain_to_empty_and_refill() {
+        let (mut m, q, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            q.enqueue(ctx, 1, 0, 64);
+            assert_eq!(q.dequeue(ctx), Some(1));
+            assert_eq!(q.dequeue(ctx), None);
+            q.enqueue(ctx, 2, 0, 64);
+            ctx.end_region();
+        });
+        assert_eq!(q.debug_keys(&mut m), vec![2]);
+        q.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn random_steps_keep_len_consistent() {
+        let (mut m, mut q, spec) = harness();
+        q.setup(&mut m, &spec);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..60 {
+            m.run_thread(0, |ctx| q.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        q.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn freed_nodes_are_reusable() {
+        let (mut m, q, _s) = harness();
+        let before = m.hw().heap.live_bytes();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            q.enqueue(ctx, 9, 0, 64);
+            q.dequeue(ctx);
+            ctx.end_region();
+        });
+        assert_eq!(m.hw().heap.live_bytes(), before, "enqueue+dequeue is balanced");
+    }
+}

@@ -1,0 +1,317 @@
+//! RB: a red-black tree with parent pointers.
+//!
+//! Insertion rebalancing (recolors and rotations) touches many lines per
+//! region, making RB the most pointer-write-intensive tree of the suite.
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field, NULL};
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+// Node layout: key, value ptr, left, right, parent, color.
+const KEY: u64 = 0;
+const VAL: u64 = 1;
+const LEFT: u64 = 2;
+const RIGHT: u64 = 3;
+const PARENT: u64 = 4;
+const COLOR: u64 = 5;
+const NODE_BYTES: u64 = 48;
+
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+/// The RB benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct RbTree {
+    root_cell: PmAddr,
+    lock: usize,
+}
+
+impl RbTree {
+    /// Allocates the tree anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
+        RbTree { root_cell: m.pm_alloc(8).expect("heap"), lock: 0 }
+    }
+
+    fn color(ctx: &mut ThreadCtx, node: u64) -> u64 {
+        match as_ptr(node) {
+            Some(n) => read_field(ctx, n, COLOR),
+            None => BLACK, // nil nodes are black
+        }
+    }
+
+    fn set_child(&self, ctx: &mut ThreadCtx, parent: u64, dir: u64, child: u64) {
+        match as_ptr(parent) {
+            Some(p) => write_field(ctx, p, dir, child),
+            None => ctx.write_u64(self.root_cell, child),
+        }
+        if let Some(c) = as_ptr(child) {
+            write_field(ctx, c, PARENT, parent);
+        }
+    }
+
+    /// Rotates around `x` bringing its `dir`-side child up
+    /// (`dir == RIGHT` is a left-rotation).
+    fn rotate(&self, ctx: &mut ThreadCtx, x: PmAddr, dir: u64) {
+        let other = if dir == RIGHT { LEFT } else { RIGHT };
+        let y = PmAddr(read_field(ctx, x, dir));
+        let beta = read_field(ctx, y, other);
+        let xp = read_field(ctx, x, PARENT);
+        write_field(ctx, x, dir, beta);
+        if let Some(b) = as_ptr(beta) {
+            write_field(ctx, b, PARENT, x.0);
+        }
+        // Hook y where x was.
+        let x_dir = match as_ptr(xp) {
+            Some(p) if read_field(ctx, p, LEFT) == x.0 => Some(LEFT),
+            Some(_) => Some(RIGHT),
+            None => None,
+        };
+        match x_dir {
+            Some(d) => self.set_child(ctx, xp, d, y.0),
+            None => self.set_child(ctx, NULL, LEFT, y.0),
+        }
+        write_field(ctx, y, other, x.0);
+        write_field(ctx, x, PARENT, y.0);
+    }
+
+    fn fixup(&self, ctx: &mut ThreadCtx, mut z: PmAddr) {
+        loop {
+            let zp = read_field(ctx, z, PARENT);
+            if Self::color(ctx, zp) == BLACK {
+                break;
+            }
+            let p = PmAddr(zp);
+            let g = PmAddr(read_field(ctx, p, PARENT)); // red parent ⇒ has grandparent
+            let p_is_left = read_field(ctx, g, LEFT) == p.0;
+            let (side, other) = if p_is_left { (LEFT, RIGHT) } else { (RIGHT, LEFT) };
+            let uncle = read_field(ctx, g, other);
+            if Self::color(ctx, uncle) == RED {
+                write_field(ctx, p, COLOR, BLACK);
+                write_field(ctx, PmAddr(uncle), COLOR, BLACK);
+                write_field(ctx, g, COLOR, RED);
+                z = g;
+            } else {
+                if read_field(ctx, p, other) == z.0 {
+                    // Inner child: rotate parent outward first.
+                    self.rotate(ctx, p, other);
+                    z = p;
+                }
+                let p2 = PmAddr(read_field(ctx, z, PARENT));
+                let g2 = PmAddr(read_field(ctx, p2, PARENT));
+                write_field(ctx, p2, COLOR, BLACK);
+                write_field(ctx, g2, COLOR, RED);
+                self.rotate(ctx, g2, side);
+                break;
+            }
+        }
+        let root = ctx.read_u64(self.root_cell);
+        write_field(ctx, PmAddr(root), COLOR, BLACK);
+    }
+
+    /// Inserts `key` or updates its value, inside the current region.
+    pub fn put(&self, ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) {
+        let mut parent = NULL;
+        let mut dir = LEFT;
+        let mut cur = ctx.read_u64(self.root_cell);
+        while let Some(n) = as_ptr(cur) {
+            let k = read_field(ctx, n, KEY);
+            if k == key {
+                let val = PmAddr(read_field(ctx, n, VAL));
+                ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                return;
+            }
+            parent = cur;
+            dir = if key < k { LEFT } else { RIGHT };
+            cur = read_field(ctx, n, dir);
+        }
+        let node = ctx.pm_alloc(NODE_BYTES).expect("heap");
+        let val = ctx.pm_alloc(value_bytes).expect("heap");
+        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_field(ctx, node, KEY, key);
+        write_field(ctx, node, VAL, val.0);
+        write_field(ctx, node, LEFT, NULL);
+        write_field(ctx, node, RIGHT, NULL);
+        write_field(ctx, node, COLOR, RED);
+        write_field(ctx, node, PARENT, parent);
+        self.set_child(ctx, parent, dir, node.0);
+        self.fixup(ctx, node);
+    }
+
+    /// Looks `key` up.
+    pub fn get(&self, ctx: &mut ThreadCtx, key: u64, value_bytes: u64) -> Option<Vec<u8>> {
+        let mut cur = as_ptr(ctx.read_u64(self.root_cell))?;
+        loop {
+            let k = read_field(ctx, cur, KEY);
+            if k == key {
+                let mut buf = vec![0u8; value_bytes as usize];
+                let val = read_field(ctx, cur, VAL);
+                ctx.read_bytes(PmAddr(val), &mut buf);
+                return Some(buf);
+            }
+            cur = as_ptr(read_field(ctx, cur, if key < k { LEFT } else { RIGHT }))?;
+        }
+    }
+
+    /// Checks the red-black invariants, returning `(keys, black_height)`.
+    fn check(m: &mut Machine, node: u64, keys: &mut Vec<u64>) -> Result<u64, String> {
+        let Some(n) = as_ptr(node) else { return Ok(1) };
+        let color = debug_field(m, n, COLOR);
+        let left = debug_field(m, n, LEFT);
+        let right = debug_field(m, n, RIGHT);
+        if color == RED {
+            for c in [left, right] {
+                if let Some(cp) = as_ptr(c) {
+                    if debug_field(m, cp, COLOR) == RED {
+                        return Err(format!("red-red violation at key {}", debug_field(m, n, KEY)));
+                    }
+                }
+            }
+        }
+        let lh = Self::check(m, left, keys)?;
+        keys.push(debug_field(m, n, KEY));
+        let rh = Self::check(m, right, keys)?;
+        if lh != rh {
+            return Err(format!(
+                "black-height mismatch at key {}: {lh} vs {rh}",
+                debug_field(m, n, KEY)
+            ));
+        }
+        Ok(lh + u64::from(color == BLACK))
+    }
+
+    /// In-order key walk.
+    pub fn debug_keys(&self, m: &mut Machine) -> Vec<u64> {
+        let root = m.debug_read_u64(self.root_cell);
+        let mut keys = Vec::new();
+        Self::check(m, root, &mut keys).expect("valid red-black tree");
+        keys
+    }
+}
+
+impl Benchmark for RbTree {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        let tree = *self;
+        let spec = *spec;
+        let stride = (spec.keyspace / spec.setup_keys.max(1)).max(1);
+        for start in (0..spec.setup_keys).step_by(8) {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for i in start..(start + 8).min(spec.setup_keys) {
+                    tree.put(ctx, i * stride, 0, spec.value_bytes);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        let key = rng.random_range(0..spec.keyspace);
+        let tag = rng.random::<u64>();
+        let tree = *self;
+        ctx.compute(80);
+        ctx.locked_region(tree.lock, |ctx| {
+            tree.put(ctx, key, tag, spec.value_bytes);
+        });
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        let root = m.debug_read_u64(self.root_cell);
+        if let Some(r) = as_ptr(root) {
+            if debug_field(m, r, COLOR) != BLACK {
+                return Err("red root".into());
+            }
+        }
+        let mut keys = Vec::new();
+        Self::check(m, root, &mut keys)?;
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("red-black tree keys not strictly sorted".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness() -> (Machine, RbTree, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Rb, SchemeKind::NoPersist);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let t = RbTree::create(&mut m, &spec);
+        (m, t, spec)
+    }
+
+    #[test]
+    fn ascending_inserts_stay_balanced() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            for k in 0..64u64 {
+                t.put(ctx, k, k, 64);
+            }
+            ctx.end_region();
+        });
+        assert_eq!(t.debug_keys(&mut m), (0..64).collect::<Vec<_>>());
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn descending_inserts_stay_balanced() {
+        let (mut m, t, _s) = harness();
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            for k in (0..64u64).rev() {
+                t.put(ctx, k, k, 64);
+            }
+            ctx.end_region();
+        });
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        let (mut m, t, _s) = harness();
+        let mut model = std::collections::BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(12);
+        for i in 0..150u64 {
+            let key = rng.random_range(0..80u64);
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                t.put(ctx, key, i, 64);
+                ctx.end_region();
+            });
+            model.insert(key, i);
+        }
+        assert_eq!(t.debug_keys(&mut m), model.keys().copied().collect::<Vec<_>>());
+        for (k, tag) in model {
+            m.run_thread(0, |ctx| {
+                assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64), "key {k}");
+            });
+        }
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn random_steps_keep_invariants() {
+        let (mut m, mut t, spec) = harness();
+        t.setup(&mut m, &spec);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..80 {
+            m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        t.verify(&mut m).unwrap();
+    }
+}

@@ -1,0 +1,215 @@
+//! SS: random swaps in an array of fixed-size strings.
+//!
+//! Each transaction reads two random slots and writes them back swapped —
+//! the whole payload moves, so region size tracks `value_bytes` exactly
+//! (64B or 2KB in the paper). Slots are tagged with their original key in
+//! the first 8 bytes, so verification checks that swapping preserved the
+//! multiset of strings.
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::payload;
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+/// Number of string slots.
+pub const SLOTS: u64 = 256;
+
+/// The SS benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct StringSwap {
+    base: PmAddr,
+    slot_bytes: u64,
+    num_locks: u64,
+}
+
+impl StringSwap {
+    /// Allocates the string array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, spec: &WorkloadSpec) -> Self {
+        let slot_bytes = spec.value_bytes.max(8).div_ceil(64) * 64;
+        StringSwap {
+            base: m.pm_alloc(SLOTS * slot_bytes).expect("heap"),
+            slot_bytes,
+            num_locks: m.config().num_locks as u64,
+        }
+    }
+
+    fn slot(&self, i: u64) -> PmAddr {
+        self.base.offset(i * self.slot_bytes)
+    }
+
+    /// The lock guarding slot `i`.
+    pub fn lock_for(&self, i: u64) -> usize {
+        (i % self.num_locks) as usize
+    }
+
+    /// The deterministic initial string for slot key `k`.
+    pub fn string_for(&self, k: u64, value_bytes: u64) -> Vec<u8> {
+        let mut s = payload(k, 0xD00D, value_bytes as usize);
+        s[..8].copy_from_slice(&k.to_le_bytes());
+        s
+    }
+
+    /// Swaps slots `i` and `j`, inside the current region.
+    pub fn swap(&self, ctx: &mut ThreadCtx, i: u64, j: u64, value_bytes: u64) {
+        if i == j {
+            return;
+        }
+        let n = value_bytes as usize;
+        let mut a = vec![0u8; n];
+        let mut b = vec![0u8; n];
+        ctx.read_bytes(self.slot(i), &mut a);
+        ctx.read_bytes(self.slot(j), &mut b);
+        ctx.write_bytes(self.slot(i), &b);
+        ctx.write_bytes(self.slot(j), &a);
+    }
+
+    /// Keys currently in each slot, by debug reads.
+    pub fn debug_slot_keys(&self, m: &mut Machine) -> Vec<u64> {
+        (0..SLOTS).map(|i| m.debug_read_u64(self.slot(i))).collect()
+    }
+}
+
+impl Benchmark for StringSwap {
+    fn setup(&mut self, m: &mut Machine, spec: &WorkloadSpec) {
+        let ss = *self;
+        let spec = *spec;
+        for start in (0..SLOTS).step_by(8) {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for k in start..(start + 8).min(SLOTS) {
+                    let s = ss.string_for(k, spec.value_bytes);
+                    ctx.write_bytes(ss.slot(k), &s);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, spec: &WorkloadSpec) {
+        let ss = *self;
+        let i = rng.random_range(0..SLOTS);
+        let j = rng.random_range(0..SLOTS);
+        ctx.compute(30);
+        // Take both slot locks in index order (virtual locks cannot
+        // deadlock in the serialized executor, but order them anyway).
+        let (la, lb) = (ss.lock_for(i.min(j)), ss.lock_for(i.max(j)));
+        if ss.num_locks > 1 && la != lb {
+            if spec.scheme.commits_asynchronously() {
+                ctx.lock(la);
+                ctx.lock(lb);
+                ctx.begin_region();
+                ss.swap(ctx, i, j, spec.value_bytes);
+                ctx.unlock(lb);
+                ctx.unlock(la);
+                ctx.end_region();
+            } else {
+                ctx.lock(la);
+                ctx.lock(lb);
+                ctx.begin_region();
+                ss.swap(ctx, i, j, spec.value_bytes);
+                ctx.end_region();
+                ctx.unlock(lb);
+                ctx.unlock(la);
+            }
+        } else {
+            ctx.locked_region(la, |ctx| ss.swap(ctx, i, j, spec.value_bytes));
+        }
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        let mut keys = self.debug_slot_keys(m);
+        keys.sort_unstable();
+        let expect: Vec<u64> = (0..SLOTS).collect();
+        if keys != expect {
+            return Err("string multiset not preserved by swaps".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness(value_bytes: u64) -> (Machine, StringSwap, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Ss, SchemeKind::NoPersist)
+            .with_value_bytes(value_bytes);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let mut t = StringSwap::create(&mut m, &spec);
+        t.setup(&mut m, &spec);
+        (m, t, spec)
+    }
+
+    #[test]
+    fn setup_fills_identity() {
+        let (mut m, t, _s) = harness(64);
+        assert_eq!(t.debug_slot_keys(&mut m), (0..SLOTS).collect::<Vec<_>>());
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn one_swap_exchanges_whole_strings() {
+        let (mut m, t, spec) = harness(64);
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.swap(ctx, 3, 7, spec.value_bytes);
+            ctx.end_region();
+        });
+        let keys = t.debug_slot_keys(&mut m);
+        assert_eq!(keys[3], 7);
+        assert_eq!(keys[7], 3);
+        // The full string moved, not just the key prefix.
+        let mut buf = vec![0u8; 64];
+        m.debug_read(t.slot(3), &mut buf);
+        assert_eq!(buf, t.string_for(7, 64));
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn swap_with_self_is_noop() {
+        let (mut m, t, spec) = harness(64);
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.swap(ctx, 5, 5, spec.value_bytes);
+            ctx.end_region();
+        });
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn large_strings_span_many_lines() {
+        let (mut m, t, spec) = harness(2048);
+        assert_eq!(t.slot_bytes, 2048);
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            t.swap(ctx, 0, 1, spec.value_bytes);
+            ctx.end_region();
+        });
+        let mut buf = vec![0u8; 2048];
+        m.debug_read(t.slot(0), &mut buf);
+        assert_eq!(buf, t.string_for(1, 2048));
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn random_steps_preserve_multiset() {
+        let (mut m, t, spec) = harness(64);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..80 {
+            m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        t.verify(&mut m).unwrap();
+    }
+}

@@ -1,0 +1,275 @@
+//! TPCC: the TPC-C New Order transaction (Table 3).
+//!
+//! A trimmed in-memory TPC-C: one warehouse, [`DISTRICTS`] districts,
+//! [`ITEMS`] stock rows, and per-district order / order-line rings. Each
+//! transaction picks a district, takes its lock, and inside one atomic
+//! region allocates the next order id, inserts the order row, and for 5-15
+//! items decrements stock and appends an order line. For the paper's 2KB
+//! region-size variant, an order-info blob of `value_bytes` is written too.
+
+use asap_core::machine::{Machine, ThreadCtx};
+use asap_pmem::PmAddr;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::pmops::{payload, read_field, write_field};
+use crate::spec::WorkloadSpec;
+use crate::structures::Benchmark;
+
+/// Districts per warehouse.
+pub const DISTRICTS: u64 = 8;
+/// Stock items.
+pub const ITEMS: u64 = 128;
+/// Order ring capacity per district.
+pub const ORDERS_PER_DISTRICT: u64 = 256;
+/// Maximum order lines per order.
+pub const MAX_LINES: u64 = 15;
+/// Initial stock quantity.
+pub const INIT_QTY: u64 = 1_000_000;
+/// First order id.
+pub const FIRST_O_ID: u64 = 3001;
+
+// District row: next_o_id, ytd.
+const D_NEXT_O_ID: u64 = 0;
+const D_YTD: u64 = 1;
+// Stock row: qty, ytd, order_cnt.
+const S_QTY: u64 = 0;
+const S_YTD: u64 = 1;
+const S_ORDER_CNT: u64 = 2;
+// Order row: o_id, d_id, ol_cnt, c_id.
+const O_ID: u64 = 0;
+const O_DID: u64 = 1;
+const O_OL_CNT: u64 = 2;
+const O_CID: u64 = 3;
+// Order line row: o_id, ol_num, item, qty, amount.
+const OL_OID: u64 = 0;
+const OL_NUM: u64 = 1;
+const OL_ITEM: u64 = 2;
+const OL_QTY: u64 = 3;
+const OL_AMOUNT: u64 = 4;
+
+const ROW: u64 = 64; // one cache line per row
+
+/// The TPCC benchmark handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Tpcc {
+    districts: PmAddr,
+    stock: PmAddr,
+    orders: PmAddr,
+    order_lines: PmAddr,
+    order_info: PmAddr,
+    info_bytes: u64,
+}
+
+impl Tpcc {
+    /// Allocates all tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the heap is exhausted.
+    pub fn create(m: &mut Machine, spec: &WorkloadSpec) -> Self {
+        let info_bytes = if spec.value_bytes > 64 { spec.value_bytes.div_ceil(64) * 64 } else { 0 };
+        Tpcc {
+            districts: m.pm_alloc(DISTRICTS * ROW).expect("heap"),
+            stock: m.pm_alloc(ITEMS * ROW).expect("heap"),
+            orders: m.pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * ROW).expect("heap"),
+            order_lines: m
+                .pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * MAX_LINES * ROW)
+                .expect("heap"),
+            order_info: if info_bytes > 0 {
+                m.pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * info_bytes).expect("heap")
+            } else {
+                PmAddr(0)
+            },
+            info_bytes,
+        }
+    }
+
+    fn district_row(&self, d: u64) -> PmAddr {
+        self.districts.offset(d * ROW)
+    }
+
+    fn stock_row(&self, item: u64) -> PmAddr {
+        self.stock.offset(item * ROW)
+    }
+
+    fn order_row(&self, d: u64, slot: u64) -> PmAddr {
+        self.orders.offset((d * ORDERS_PER_DISTRICT + slot) * ROW)
+    }
+
+    fn line_row(&self, d: u64, slot: u64, l: u64) -> PmAddr {
+        self.order_lines
+            .offset(((d * ORDERS_PER_DISTRICT + slot) * MAX_LINES + l) * ROW)
+    }
+
+    /// Executes one New Order transaction body inside the current region.
+    pub fn new_order(&self, ctx: &mut ThreadCtx, d: u64, rng: &mut StdRng) {
+        let drow = self.district_row(d);
+        let o_id = read_field(ctx, drow, D_NEXT_O_ID);
+        write_field(ctx, drow, D_NEXT_O_ID, o_id + 1);
+        let slot = o_id % ORDERS_PER_DISTRICT;
+        let ol_cnt = rng.random_range(5..=MAX_LINES);
+        let c_id = rng.random_range(0..3000u64);
+        let orow = self.order_row(d, slot);
+        write_field(ctx, orow, O_ID, o_id);
+        write_field(ctx, orow, O_DID, d);
+        write_field(ctx, orow, O_OL_CNT, ol_cnt);
+        write_field(ctx, orow, O_CID, c_id);
+        let mut total = 0u64;
+        for l in 0..ol_cnt {
+            let item = rng.random_range(0..ITEMS);
+            let srow = self.stock_row(item);
+            let qty = read_field(ctx, srow, S_QTY);
+            let ytd = read_field(ctx, srow, S_YTD);
+            let cnt = read_field(ctx, srow, S_ORDER_CNT);
+            write_field(ctx, srow, S_QTY, qty - 1);
+            write_field(ctx, srow, S_YTD, ytd + 1);
+            write_field(ctx, srow, S_ORDER_CNT, cnt + 1);
+            let amount = (item + 1) * 7;
+            total += amount;
+            let lrow = self.line_row(d, slot, l);
+            write_field(ctx, lrow, OL_OID, o_id);
+            write_field(ctx, lrow, OL_NUM, l);
+            write_field(ctx, lrow, OL_ITEM, item);
+            write_field(ctx, lrow, OL_QTY, 1);
+            write_field(ctx, lrow, OL_AMOUNT, amount);
+        }
+        let ytd = read_field(ctx, drow, D_YTD);
+        write_field(ctx, drow, D_YTD, ytd + total);
+        if self.info_bytes > 0 {
+            let blob = self
+                .order_info
+                .offset((d * ORDERS_PER_DISTRICT + slot) * self.info_bytes);
+            ctx.write_bytes(blob, &payload(o_id, d, self.info_bytes as usize));
+        }
+    }
+
+    /// Orders committed to district `d` so far (debug).
+    pub fn debug_orders(&self, m: &mut Machine, d: u64) -> u64 {
+        m.debug_read_u64(self.district_row(d).offset(8 * D_NEXT_O_ID)) - FIRST_O_ID
+    }
+}
+
+impl Benchmark for Tpcc {
+    fn setup(&mut self, m: &mut Machine, _spec: &WorkloadSpec) {
+        let t = *self;
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            for d in 0..DISTRICTS {
+                write_field(ctx, t.district_row(d), D_NEXT_O_ID, FIRST_O_ID);
+                write_field(ctx, t.district_row(d), D_YTD, 0);
+            }
+            ctx.end_region();
+        });
+        for start in (0..ITEMS).step_by(16) {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                for i in start..(start + 16).min(ITEMS) {
+                    write_field(ctx, t.stock_row(i), S_QTY, INIT_QTY);
+                    write_field(ctx, t.stock_row(i), S_YTD, 0);
+                    write_field(ctx, t.stock_row(i), S_ORDER_CNT, 0);
+                }
+                ctx.end_region();
+            });
+        }
+    }
+
+    fn step(&self, ctx: &mut ThreadCtx, rng: &mut StdRng, _spec: &WorkloadSpec) {
+        let t = *self;
+        let d = rng.random_range(0..DISTRICTS);
+        ctx.compute(120); // item lookups, pricing
+        ctx.locked_region(d as usize, |ctx| {
+            t.new_order(ctx, d, rng);
+        });
+    }
+
+    fn verify(&self, m: &mut Machine) -> Result<(), String> {
+        // Stock conservation: qty + order_cnt is constant per item.
+        for i in 0..ITEMS {
+            let qty = m.debug_read_u64(self.stock_row(i).offset(8 * S_QTY));
+            let cnt = m.debug_read_u64(self.stock_row(i).offset(8 * S_ORDER_CNT));
+            if qty + cnt != INIT_QTY {
+                return Err(format!("stock row {i}: qty {qty} + cnt {cnt} != {INIT_QTY}"));
+            }
+            let ytd = m.debug_read_u64(self.stock_row(i).offset(8 * S_YTD));
+            if ytd != cnt {
+                return Err(format!("stock row {i}: ytd {ytd} != order_cnt {cnt}"));
+            }
+        }
+        // Order ids are dense per district; the last ring entries match.
+        for d in 0..DISTRICTS {
+            let n = self.debug_orders(m, d);
+            let checked = n.min(ORDERS_PER_DISTRICT);
+            for k in 0..checked {
+                let o_id = FIRST_O_ID + n - 1 - k;
+                let slot = o_id % ORDERS_PER_DISTRICT;
+                let row = self.order_row(d, slot);
+                let got = m.debug_read_u64(row.offset(8 * O_ID));
+                if got != o_id {
+                    return Err(format!("district {d} slot {slot}: o_id {got} != {o_id}"));
+                }
+                let ol_cnt = m.debug_read_u64(row.offset(8 * O_OL_CNT));
+                if !(5..=MAX_LINES).contains(&ol_cnt) {
+                    return Err(format!("district {d} order {o_id}: bad ol_cnt {ol_cnt}"));
+                }
+                // Spot-check the first order line.
+                let l0 = self.line_row(d, slot, 0);
+                if m.debug_read_u64(l0.offset(8 * OL_OID)) != o_id {
+                    return Err(format!("district {d} order {o_id}: line 0 mismatch"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_core::machine::MachineConfig;
+    use asap_core::scheme::SchemeKind;
+    use rand::SeedableRng;
+
+    fn harness(value_bytes: u64) -> (Machine, Tpcc, WorkloadSpec) {
+        let spec = WorkloadSpec::small(crate::BenchId::Tpcc, SchemeKind::NoPersist)
+            .with_value_bytes(value_bytes);
+        let mut m = Machine::new(MachineConfig::small(spec.scheme, spec.threads));
+        let mut t = Tpcc::create(&mut m, &spec);
+        t.setup(&mut m, &spec);
+        (m, t, spec)
+    }
+
+    #[test]
+    fn one_new_order_updates_everything() {
+        let (mut m, t, spec) = harness(64);
+        let mut rng = StdRng::seed_from_u64(30);
+        m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        m.drain();
+        let total: u64 = (0..DISTRICTS).map(|d| t.debug_orders(&mut m, d)).sum();
+        assert_eq!(total, 1);
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn many_orders_conserve_stock() {
+        let (mut m, t, spec) = harness(64);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..40 {
+            m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        }
+        m.drain();
+        let total: u64 = (0..DISTRICTS).map(|d| t.debug_orders(&mut m, d)).sum();
+        assert_eq!(total, 40);
+        t.verify(&mut m).unwrap();
+    }
+
+    #[test]
+    fn big_variant_writes_order_info_blob() {
+        let (mut m, t, spec) = harness(2048);
+        assert_eq!(t.info_bytes, 2048);
+        let mut rng = StdRng::seed_from_u64(32);
+        m.run_thread(0, |ctx| t.step(ctx, &mut rng, &spec));
+        m.drain();
+        t.verify(&mut m).unwrap();
+    }
+}

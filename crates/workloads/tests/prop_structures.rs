@@ -1,0 +1,158 @@
+//! Property-based model checking of the persistent structures.
+//!
+//! Random insert/update sequences are applied both to the PM structure
+//! (running on a NoPersist machine for speed) and to `BTreeMap` as the
+//! reference model; lookups, in-order walks and structural invariants
+//! must agree. Every op runs inside an atomic region, as the benchmarks
+//! do.
+
+use asap_core::machine::{Machine, MachineConfig};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::pmops::payload;
+use asap_workloads::structures::{
+    bintree::BinTree, btree::BTree, ctree::CritBitTree, echo::Echo, hashmap::HashTable,
+    queue::Queue, rbtree::RbTree, Benchmark,
+};
+use asap_workloads::{BenchId, WorkloadSpec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn harness(bench: BenchId) -> (Machine, WorkloadSpec) {
+    let spec = WorkloadSpec::small(bench, SchemeKind::NoPersist);
+    let m = Machine::new(MachineConfig::small(spec.scheme, 1));
+    (m, spec)
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..96, 1u64..u64::MAX), 1..120)
+}
+
+macro_rules! tree_model_check {
+    ($name:ident, $ty:ident, $bench:expr, $sorted_walk:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+            #[test]
+            fn $name(ops in ops_strategy()) {
+                let (mut m, spec) = harness($bench);
+                let t = $ty::create(&mut m, &spec);
+                let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+                for (key, tag) in &ops {
+                    m.run_thread(0, |ctx| {
+                        ctx.begin_region();
+                        t.put(ctx, *key, *tag, 64);
+                        ctx.end_region();
+                    });
+                    model.insert(*key, *tag);
+                }
+                // Structural invariants.
+                t.verify(&mut m).unwrap();
+                // Key set (in order for trees).
+                if $sorted_walk {
+                    prop_assert_eq!(
+                        t.debug_keys(&mut m),
+                        model.keys().copied().collect::<Vec<_>>()
+                    );
+                }
+                // Every key's payload matches the model's latest tag, plus
+                // a few misses.
+                for (k, tag) in &model {
+                    let (k, tag) = (*k, *tag);
+                    m.run_thread(0, |ctx| {
+                        assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64));
+                    });
+                }
+                for miss in [1000u64, 5000] {
+                    m.run_thread(0, |ctx| {
+                        assert_eq!(t.get(ctx, miss, 64), None);
+                    });
+                }
+            }
+        }
+    };
+}
+
+tree_model_check!(bintree_matches_model, BinTree, BenchId::Bn, true);
+tree_model_check!(btree_matches_model, BTree, BenchId::Bt, true);
+tree_model_check!(ctree_matches_model, CritBitTree, BenchId::Ct, true);
+tree_model_check!(rbtree_matches_model, RbTree, BenchId::Rb, true);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn hashmap_matches_model(ops in ops_strategy()) {
+        let (mut m, spec) = harness(BenchId::Hm);
+        let t = HashTable::create(&mut m, &spec);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (key, tag) in &ops {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                t.put(ctx, *key, *tag, 64);
+                ctx.end_region();
+            });
+            model.insert(*key, *tag);
+        }
+        t.verify(&mut m).unwrap();
+        let mut keys = t.debug_keys(&mut m);
+        keys.sort_unstable();
+        prop_assert_eq!(keys, model.keys().copied().collect::<Vec<_>>());
+        for (k, tag) in &model {
+            let (k, tag) = (*k, *tag);
+            m.run_thread(0, |ctx| {
+                assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64));
+            });
+        }
+    }
+
+    #[test]
+    fn echo_versions_match_model(ops in ops_strategy()) {
+        let (mut m, spec) = harness(BenchId::Eo);
+        let t = Echo::create(&mut m, &spec);
+        let mut model: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // key -> (ver, tag)
+        for (key, tag) in &ops {
+            m.run_thread(0, |ctx| {
+                ctx.begin_region();
+                t.put(ctx, *key, *tag, 64);
+                ctx.end_region();
+            });
+            let e = model.entry(*key).or_insert((0, 0));
+            *e = (e.0 + 1, *tag);
+        }
+        t.verify(&mut m).unwrap();
+        for (k, (ver, tag)) in &model {
+            let (k, ver, tag) = (*k, *ver, *tag);
+            m.run_thread(0, |ctx| {
+                let (v, bytes) = t.get(ctx, k, 64).unwrap();
+                assert_eq!(v, ver, "version of key {k}");
+                assert_eq!(bytes, payload(k, tag, 64));
+            });
+        }
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..100)) {
+        let (mut m, spec) = harness(BenchId::Q);
+        let q = Queue::create(&mut m, &spec);
+        let mut model = std::collections::VecDeque::new();
+        for (deq, key) in &ops {
+            if *deq {
+                let expect = model.pop_front();
+                m.run_thread(0, |ctx| {
+                    ctx.begin_region();
+                    assert_eq!(q.dequeue(ctx), expect);
+                    ctx.end_region();
+                });
+            } else {
+                model.push_back(*key);
+                m.run_thread(0, |ctx| {
+                    ctx.begin_region();
+                    q.enqueue(ctx, *key, 7, 64);
+                    ctx.end_region();
+                });
+            }
+        }
+        q.verify(&mut m).unwrap();
+        prop_assert_eq!(q.debug_keys(&mut m), model.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(q.debug_len(&mut m), model.len() as u64);
+    }
+}

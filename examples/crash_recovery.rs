@@ -1,0 +1,66 @@
+//! A guided tour of ASAP's crash-recovery machinery (§5.5).
+//!
+//! Builds a dependence chain across two threads, crashes at a chosen
+//! moment, and walks through what recovery found: which regions were
+//! uncommitted, the order they were undone in, and the resulting state.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use asap_core::machine::{Machine, MachineConfig};
+use asap_core::scheme::SchemeKind;
+
+fn main() {
+    println!("--- ASAP crash & recovery walkthrough ---\n");
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 2).with_tracking());
+    let shared = m.pm_alloc(8).unwrap();
+    let log_a = m.pm_alloc(8 * 4).unwrap();
+    let log_b = m.pm_alloc(8 * 4).unwrap();
+
+    // Interleave producer/consumer regions across two threads: each region
+    // reads the shared cell, increments it, and journals what it saw. The
+    // hardware records a data dependence for every hand-off.
+    for round in 0..4u64 {
+        m.run_thread(0, |ctx| {
+            ctx.locked_region(0, |ctx| {
+                let v = ctx.read_u64(shared);
+                ctx.write_u64(shared, v + 1);
+                ctx.write_u64(log_a.offset(round * 8), v + 1);
+            });
+        });
+        m.run_thread(1, |ctx| {
+            ctx.locked_region(0, |ctx| {
+                let v = ctx.read_u64(shared);
+                ctx.write_u64(shared, v + 1);
+                ctx.write_u64(log_b.offset(round * 8), v + 1);
+            });
+        });
+    }
+    println!("executed 8 chained regions (4 per thread), all asynchronous");
+    println!("uncommitted work is still draining toward the WPQ...\n");
+
+    // Power failure right now: caches are lost; the WPQs, LH-WPQ and
+    // Dependence List flush (ADR); recovery walks the dependence DAG and
+    // undoes uncommitted regions newest-first.
+    m.crash_now();
+    let report = m.recover();
+    println!("power failure!");
+    println!("  uncommitted regions rolled back : {:?}", report.uncommitted);
+    println!("  log entries restored            : {}", report.restored_lines);
+
+    let survived = m.debug_read_u64(shared);
+    println!("\nshared counter after recovery: {survived} (of 8 increments)");
+    // The survivors must be exactly the first `survived` increments,
+    // alternating thread 0 / thread 1 — a dependence-closed prefix.
+    let mut expected = Vec::new();
+    for i in 0..survived {
+        let journal = if i % 2 == 0 { log_a } else { log_b };
+        let v = m.debug_read_u64(journal.offset(i / 2 * 8));
+        expected.push(v);
+        assert_eq!(v, i + 1, "journal entry {i}");
+    }
+    println!("surviving journal entries: {expected:?}");
+    println!("every surviving region's dependencies also survived — Fig. 2's");
+    println!("unrecoverable interleavings cannot happen under ASAP.");
+}

@@ -1,0 +1,46 @@
+//! Multi-threaded persistent key-value store across all schemes.
+//!
+//! Runs the HM (hash map) workload of Table 3 — the store itself lives in
+//! simulated persistent memory — under every persistence scheme and
+//! prints a small performance/traffic comparison, a miniature of the
+//! paper's Figure 7 / Figure 9b.
+//!
+//! ```sh
+//! cargo run --release --example kv_store
+//! ```
+
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{run, BenchId, WorkloadSpec};
+
+fn main() {
+    println!("--- persistent KV store (HM), 4 threads, 64B values ---\n");
+    println!(
+        "{:10} {:>12} {:>14} {:>12} {:>16}",
+        "scheme", "tx/kcycle", "vs SW", "PM writes", "cycles/region"
+    );
+    let sw = run(&WorkloadSpec::new(BenchId::Hm, SchemeKind::SwUndo)
+        .with_threads(4)
+        .with_ops(300));
+    for scheme in [
+        SchemeKind::SwUndo,
+        SchemeKind::HwRedo,
+        SchemeKind::HwUndo,
+        SchemeKind::Asap,
+        SchemeKind::NoPersist,
+    ] {
+        let r = run(&WorkloadSpec::new(BenchId::Hm, scheme).with_threads(4).with_ops(300));
+        println!(
+            "{:10} {:>12.3} {:>13.2}x {:>12} {:>16.0}",
+            scheme.name(),
+            r.throughput,
+            r.speedup_over(&sw),
+            r.pm_writes,
+            r.region_cycles_mean,
+        );
+    }
+    println!(
+        "\nASAP commits regions asynchronously: its regions cost barely more\n\
+         than no-persistence, and the §5.1 optimizations drop most log\n\
+         traffic before it ever reaches the persistent media."
+    );
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the ASAP reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency root.
+
+pub use asap_core as core;
+pub use asap_mem as mem;
+pub use asap_pmem as pmem;
+pub use asap_sim as sim;
+pub use asap_workloads as workloads;

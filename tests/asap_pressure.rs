@@ -1,0 +1,192 @@
+//! Driving every ASAP hardware structure to its capacity limit.
+//!
+//! The paper sizes the CL List (4 entries/core × 8 CLPtrs), Dependence
+//! List (128 entries × 4 Dep slots) and LH-WPQ (128 entries) so stalls are
+//! rare; these tests shrink the structures (and slow the WPQ so regions
+//! stay uncommitted) to force each stall path and prove forward progress
+//! and crash consistency under pressure.
+
+use asap_core::machine::{Machine, MachineConfig};
+use asap_core::scheme::{AsapOpts, SchemeKind};
+use asap_sim::SystemConfig;
+
+/// A system whose WPQ accepts slowly: one slot per channel and a huge
+/// drain residency keep persist ops pending for a long time, so regions
+/// pile up uncommitted.
+fn congested_system() -> SystemConfig {
+    let mut sys = SystemConfig::small();
+    sys.mem.wpq_entries = 1;
+    sys.mem.wpq_residency = 50_000;
+    sys.mem.wpq_drain_watermark = 1_000;
+    sys
+}
+
+fn machine_with(sys: SystemConfig, threads: u32) -> Machine {
+    machine_with_scheme(sys, threads, SchemeKind::Asap)
+}
+
+fn machine_with_scheme(sys: SystemConfig, threads: u32, scheme: SchemeKind) -> Machine {
+    Machine::new(MachineConfig::small(scheme, threads).with_system(sys).with_tracking())
+}
+
+#[test]
+fn cl_entry_pressure_stalls_then_progresses() {
+    // >4 back-to-back regions per core while persists crawl: the 5th
+    // begin must wait for a CL List entry (Done@L1 of an older region).
+    let mut m = machine_with(congested_system(), 1);
+    let a = m.pm_alloc(64 * 16).unwrap();
+    m.run_thread(0, |ctx| {
+        for i in 0..12u64 {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i % 16 * 64), i + 1);
+            ctx.end_region();
+        }
+    });
+    m.drain();
+    let s = m.stats();
+    assert!(s.get("asap.stall.cl_entries") > 0, "CL List filled: {s}");
+    assert_eq!(s.get("region.committed"), 12, "all regions still committed");
+    m.crash_now();
+    let r = m.recover();
+    assert!(r.uncommitted.is_empty());
+}
+
+#[test]
+fn clptr_slot_pressure_stalls_then_progresses() {
+    // One region writing 16 distinct lines with 8 CLPtr slots and a
+    // crawling WPQ: slot allocation must stall and recover.
+    let mut m = machine_with(congested_system(), 1);
+    let a = m.pm_alloc(64 * 16).unwrap();
+    m.run_thread(0, |ctx| {
+        ctx.begin_region();
+        for i in 0..16u64 {
+            ctx.write_u64(a.offset(i * 64), i + 1);
+        }
+        ctx.end_region();
+    });
+    m.drain();
+    let s = m.stats();
+    assert!(s.get("asap.stall.clptr_slots") > 0, "CLPtr slots filled: {s}");
+    for i in 0..16u64 {
+        assert_eq!(m.debug_read_u64(a.offset(i * 64)), i + 1);
+    }
+}
+
+#[test]
+fn dep_slot_pressure_stalls_then_progresses() {
+    // Thread 1 leaves six uncommitted owner regions behind: their DPOs
+    // all target the same memory channel, whose single WPQ slot is held
+    // for the whole residency window, so only the first can complete.
+    // Thread 0 then touches all six lines in one region — more distinct
+    // dependencies than the 4 Dep slots.
+    let mut sys = congested_system();
+    sys.asap.cl_list_entries = 8; // let thread 1 keep 6 regions in flight
+    // LPO dropping would recycle the congested WPQ slots at each commit
+    // and let the pipeline cascade; turn the optimizations off so the
+    // regions genuinely stay uncommitted.
+    let mut m = machine_with_scheme(sys, 2, SchemeKind::AsapWith(AsapOpts::none()));
+    let channels = u64::from(sys.mem.num_channels());
+    // Same-channel lines: stride of `channels` lines.
+    let a = m.pm_alloc(64 * channels * 6).unwrap();
+    let line = |i: u64| a.offset(i * channels * 64);
+    for i in 0..6u64 {
+        m.run_thread(1, |ctx| {
+            ctx.locked_region(0, |ctx| {
+                ctx.write_u64(line(i), 100 + i);
+            });
+        });
+    }
+    // Reads record data dependencies without any LPO-lock wait, so all
+    // six owners are still uncommitted when the 5th dependence arrives.
+    let sink = m.pm_alloc(8).unwrap();
+    m.run_thread(0, |ctx| {
+        ctx.locked_region(0, |ctx| {
+            let mut sum = 0;
+            for i in 0..6u64 {
+                sum += ctx.read_u64(line(i));
+            }
+            ctx.write_u64(sink, sum);
+        });
+    });
+    m.drain();
+    let s = m.stats();
+    assert!(s.get("asap.stall.dep_slots") > 0, "Dep slots filled: {s}");
+    let expect: u64 = (0..6u64).map(|i| 100 + i).sum();
+    assert_eq!(m.debug_read_u64(sink), expect);
+    m.crash_now();
+    let r = m.recover();
+    assert!(r.uncommitted.is_empty());
+}
+
+#[test]
+fn dep_entry_pressure_stalls_then_progresses() {
+    // One Dependence List entry per channel: two same-channel uncommitted
+    // regions cannot coexist, so begins stall on entry reclamation.
+    let mut sys = congested_system();
+    sys.asap.dep_list_entries = 1;
+    let mut m = machine_with(sys, 1);
+    let a = m.pm_alloc(64 * 16).unwrap();
+    m.run_thread(0, |ctx| {
+        for i in 0..10u64 {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i % 16 * 64), i + 1);
+            ctx.end_region();
+        }
+    });
+    m.drain();
+    let s = m.stats();
+    assert!(s.get("asap.stall.dep_entries") > 0, "Dependence List filled: {s}");
+    assert_eq!(s.get("region.committed"), 10);
+}
+
+#[test]
+fn lh_wpq_pressure_stalls_then_progresses() {
+    let mut sys = congested_system();
+    sys.asap.lh_wpq_entries = 1;
+    let mut m = machine_with(sys, 1);
+    let a = m.pm_alloc(64 * 16).unwrap();
+    m.run_thread(0, |ctx| {
+        for i in 0..10u64 {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i % 16 * 64), i + 1);
+            ctx.end_region();
+        }
+    });
+    m.drain();
+    let s = m.stats();
+    assert!(s.get("asap.stall.lh_wpq") > 0, "LH-WPQ filled: {s}");
+    assert_eq!(s.get("region.committed"), 10);
+}
+
+#[test]
+fn crash_under_full_pressure_recovers() {
+    // Everything tiny at once, plus a crash mid-flight.
+    let mut sys = congested_system();
+    sys.asap.dep_list_entries = 2;
+    sys.asap.lh_wpq_entries = 2;
+    for crash_at in [3u64, 11, 23, 41] {
+        let mut m = machine_with(sys, 2);
+        let a = m.pm_alloc(64 * 8).unwrap();
+        m.arm_crash_after_additional(crash_at);
+        let mut crashed = false;
+        'outer: for i in 0..10u64 {
+            for t in 0..2usize {
+                let o = m.run_thread(t, |ctx| {
+                    ctx.locked_region(0, |ctx| {
+                        let line = (i * 2 + t as u64) % 8;
+                        let v = ctx.read_u64(a.offset(line * 64));
+                        ctx.write_u64(a.offset(line * 64), v + 1);
+                    });
+                });
+                if o == asap_core::machine::RunOutcome::Crashed {
+                    crashed = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !crashed {
+            m.crash_now();
+        }
+        m.recover(); // panics on any inconsistency
+    }
+}

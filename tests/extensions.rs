@@ -1,0 +1,108 @@
+//! Tests for the paper's discussion-section behaviours: the §7.3 NUMA
+//! broadcast filter and §5.4's non-persistent-memory dependence policy.
+
+use asap_core::machine::{Machine, MachineConfig};
+use asap_core::scheme::SchemeKind;
+use asap_sim::SystemConfig;
+
+/// §7.3: "the Dependence List's entries can be extended to include
+/// information about whether an RID exists as a dependence in a remote
+/// Dependence List, which makes broadcasting the completion of an atomic
+/// region more efficient." With the filter on, commit broadcasts message
+/// only the channels that actually hold the dependence.
+#[test]
+fn numa_filter_reduces_broadcast_messages() {
+    let run = |filter: bool| -> (u64, u64) {
+        let mut sys = SystemConfig::small();
+        sys.asap.numa_broadcast_filter = filter;
+        let mut m = Machine::new(
+            MachineConfig::small(SchemeKind::Asap, 2).with_system(sys).with_tracking(),
+        );
+        let a = m.pm_alloc(64 * 8).unwrap();
+        for i in 0..12u64 {
+            let t = (i % 2) as usize;
+            m.run_thread(t, |ctx| {
+                ctx.locked_region(0, |ctx| {
+                    let v = ctx.read_u64(a.offset(i % 8 * 64));
+                    ctx.write_u64(a.offset(i % 8 * 64), v + 1);
+                });
+            });
+        }
+        m.drain();
+        let s = m.stats();
+        (s.get("asap.broadcast.messages"), s.get("region.committed"))
+    };
+    let (unfiltered, commits_a) = run(false);
+    let (filtered, commits_b) = run(true);
+    assert_eq!(commits_a, commits_b, "same commits either way");
+    assert_eq!(unfiltered, commits_a * 4, "unfiltered: one message per channel");
+    assert!(
+        filtered < unfiltered,
+        "filter must reduce messages: {filtered} vs {unfiltered}"
+    );
+}
+
+/// §5.4: dependences via non-persistent (DRAM) memory are deliberately
+/// not tracked — data handed between regions that matters after a crash
+/// should live in persistent memory. This test documents both halves:
+/// DRAM hand-off creates no hardware dependence, and the paper's
+/// suggested workaround (allocate the scratch data in PM) does.
+#[test]
+fn non_persistent_dependences_are_not_tracked() {
+    // DRAM hand-off: no dependence edge; both regions commit freely.
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 2));
+    let scratch = m.dram_alloc(64).unwrap();
+    let out = m.pm_alloc(8).unwrap();
+    m.run_thread(0, |ctx| {
+        ctx.locked_region(0, |ctx| {
+            ctx.write_u64(scratch, 5); // DRAM: no LPO, no owner
+        });
+    });
+    m.run_thread(1, |ctx| {
+        ctx.locked_region(0, |ctx| {
+            let v = ctx.read_u64(scratch);
+            ctx.write_u64(out, v * 2);
+        });
+    });
+    m.drain();
+    let s = m.stats();
+    assert_eq!(m.debug_read_u64(out), 10);
+    assert_eq!(s.get("asap.lpo"), 1, "only the PM write was logged");
+
+    // The workaround: the same hand-off through PM is tracked (and hence
+    // crash-ordered).
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 2).with_tracking());
+    let scratch = m.pm_alloc(64).unwrap();
+    let out = m.pm_alloc(8).unwrap();
+    m.run_thread(0, |ctx| {
+        ctx.locked_region(0, |ctx| ctx.write_u64(scratch, 5));
+    });
+    m.run_thread(1, |ctx| {
+        ctx.locked_region(0, |ctx| {
+            let v = ctx.read_u64(scratch);
+            ctx.write_u64(out, v * 2);
+        });
+    });
+    m.crash_now();
+    m.recover(); // the tracker would flag a consumer-without-producer
+    let (s, o) = (m.debug_read_u64(scratch), m.debug_read_u64(out));
+    if o != 0 {
+        assert_eq!(s, 5, "consumer survived, so the PM producer did too");
+    }
+}
+
+/// Writes to persistent memory outside any region are legal but carry no
+/// atomicity guarantee; the machine counts them for visibility.
+#[test]
+fn non_region_pm_writes_are_counted_not_logged() {
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
+    let a = m.pm_alloc(8).unwrap();
+    m.run_thread(0, |ctx| {
+        ctx.write_u64(a, 3); // outside any region
+    });
+    m.drain();
+    let s = m.stats();
+    assert_eq!(s.get("machine.nonregion_pm_write"), 1);
+    assert_eq!(s.get("asap.lpo"), 0);
+    assert_eq!(m.debug_read_u64(a), 3);
+}

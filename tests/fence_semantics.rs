@@ -1,0 +1,112 @@
+//! §5.2: synchronous persistence via `asap_fence`.
+//!
+//! ASAP guarantees only commit *order*, not commit *time*. A fence blocks
+//! until the thread's last region — and transitively everything it depends
+//! on — has committed, giving I/O-style synchronous points.
+
+use asap_core::machine::{Machine, MachineConfig};
+use asap_core::scheme::SchemeKind;
+
+fn machine(threads: u32) -> Machine {
+    Machine::new(MachineConfig::small(SchemeKind::Asap, threads).with_tracking())
+}
+
+#[test]
+fn fence_forces_durability_of_all_prior_regions() {
+    let mut m = machine(1);
+    let a = m.pm_alloc(8 * 16).unwrap();
+    m.run_thread(0, |ctx| {
+        for i in 0..16u64 {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i * 8), i + 1);
+            ctx.end_region();
+        }
+        ctx.fence(); // "print the confirmation after the batch" (§5.2)
+    });
+    m.crash_now();
+    let report = m.recover();
+    assert!(report.uncommitted.is_empty(), "fence left nothing uncommitted");
+    for i in 0..16u64 {
+        assert_eq!(m.debug_read_u64(a.offset(i * 8)), i + 1);
+    }
+}
+
+#[test]
+fn fence_covers_cross_thread_dependencies() {
+    let mut m = machine(2);
+    let x = m.pm_alloc(8).unwrap();
+    let y = m.pm_alloc(8).unwrap();
+    // Producer on thread 0 — NOT fenced.
+    m.run_thread(0, |ctx| {
+        ctx.locked_region(0, |ctx| ctx.write_u64(x, 5));
+    });
+    // Consumer on thread 1 — fenced. Its region depends on the producer,
+    // so the fence must make the producer durable too.
+    m.run_thread(1, |ctx| {
+        ctx.locked_region(0, |ctx| {
+            let v = ctx.read_u64(x);
+            ctx.write_u64(y, v * 10);
+        });
+        ctx.fence();
+    });
+    m.crash_now();
+    m.recover();
+    assert_eq!(m.debug_read_u64(y), 50, "fenced consumer durable");
+    assert_eq!(m.debug_read_u64(x), 5, "its producer dependence durable too");
+}
+
+#[test]
+fn without_fence_commits_are_asynchronous_but_ordered() {
+    // No fence: a crash right after execution may lose a suffix of the
+    // regions — but only ever a suffix (never a gap).
+    let mut m = machine(1);
+    let a = m.pm_alloc(8 * 8).unwrap();
+    m.run_thread(0, |ctx| {
+        for i in 0..8u64 {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i * 8), i + 1);
+            ctx.end_region();
+        }
+    });
+    m.crash_now(); // before draining
+    m.recover();
+    let survived: Vec<bool> =
+        (0..8u64).map(|i| m.debug_read_u64(a.offset(i * 8)) != 0).collect();
+    let first_lost = survived.iter().position(|s| !s).unwrap_or(8);
+    assert!(
+        survived[first_lost..].iter().all(|s| !s),
+        "regions survive as a prefix, never with gaps: {survived:?}"
+    );
+}
+
+#[test]
+fn fence_on_thread_without_regions_is_a_noop() {
+    let mut m = machine(1);
+    m.run_thread(0, |ctx| {
+        let before = ctx.now();
+        ctx.fence();
+        assert_eq!(ctx.now(), before);
+    });
+}
+
+#[test]
+fn fence_degenerates_to_sync_commit_per_region() {
+    // §6.4: with a fence after every region ASAP degenerates to HWUndo-
+    // like behaviour — every region is durable when the next begins.
+    let mut m = machine(1);
+    let a = m.pm_alloc(8 * 4).unwrap();
+    m.run_thread(0, |ctx| {
+        for i in 0..4u64 {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i * 8), i + 1);
+            ctx.end_region();
+            ctx.fence();
+        }
+    });
+    m.crash_now();
+    let report = m.recover();
+    assert!(report.uncommitted.is_empty());
+    for i in 0..4u64 {
+        assert_eq!(m.debug_read_u64(a.offset(i * 8)), i + 1);
+    }
+}
