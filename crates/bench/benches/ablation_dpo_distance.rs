@@ -35,7 +35,9 @@ fn main() {
     }
     row(
         "GeoMean",
-        &geo.iter().map(|g| format!("{:.2}", geomean(g))).collect::<Vec<_>>(),
+        &geo.iter()
+            .map(|g| format!("{:.2}", geomean(g)))
+            .collect::<Vec<_>>(),
     );
     println!("(expected: traffic falls up to d≈4, little benefit beyond — §4.6.2)");
 }

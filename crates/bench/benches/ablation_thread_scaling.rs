@@ -21,7 +21,9 @@ const SCHEMES: [(&str, SchemeKind); 4] = [
 ];
 
 fn main() {
-    println!("\n=== Ablation: throughput vs threads on Q (global lock), normalized to 1-thread SW ===");
+    println!(
+        "\n=== Ablation: throughput vs threads on Q (global lock), normalized to 1-thread SW ==="
+    );
     header("scheme", &["t=1", "t=2", "t=4", "t=8", "t=16"]);
     let base = run(&WorkloadSpec::new(BenchId::Q, SchemeKind::SwUndo)
         .with_threads(1)
@@ -31,7 +33,9 @@ fn main() {
     for (si, (_, scheme)) in SCHEMES.iter().enumerate() {
         let mut vals = Vec::new();
         for t in THREADS {
-            let r = run(&WorkloadSpec::new(BenchId::Q, *scheme).with_threads(t).with_ops(ops()));
+            let r = run(&WorkloadSpec::new(BenchId::Q, *scheme)
+                .with_threads(t)
+                .with_ops(ops()));
             vals.push(r.speedup_over(&base));
         }
         rows.push((si, vals));

@@ -24,7 +24,11 @@ fn main() {
         full.push(fr);
         row(
             bench.label(),
-            &[format!("{:.2}", 1.0), format!("{dr:.2}"), format!("{fr:.2}")],
+            &[
+                format!("{:.2}", 1.0),
+                format!("{dr:.2}"),
+                format!("{fr:.2}"),
+            ],
         );
     }
     row(

@@ -18,10 +18,16 @@ fn main() {
     let variants = [
         ("No-Opt", SchemeKind::AsapWith(AsapOpts::none())),
         ("+C", SchemeKind::AsapWith(AsapOpts::coalescing_only())),
-        ("+C+LP", SchemeKind::AsapWith(AsapOpts::coalescing_and_lpo())),
+        (
+            "+C+LP",
+            SchemeKind::AsapWith(AsapOpts::coalescing_and_lpo()),
+        ),
         ("ASAP", SchemeKind::Asap),
     ];
-    header("bench", &variants.iter().map(|(n, _)| *n).collect::<Vec<_>>());
+    header(
+        "bench",
+        &variants.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+    );
     let mut geo_a = vec![Vec::new(); variants.len()];
     let the_benches = benches(&BenchId::all());
     for bench in &the_benches {
@@ -40,7 +46,10 @@ fn main() {
     }
     row(
         "GeoMean",
-        &geo_a.iter().map(|g| format!("{:.2}", geomean(g))).collect::<Vec<_>>(),
+        &geo_a
+            .iter()
+            .map(|g| format!("{:.2}", geomean(g)))
+            .collect::<Vec<_>>(),
     );
     println!("(paper: +C saves ~8%, +LP another ~33%, DPO dropping another ~31%)");
 
@@ -51,7 +60,10 @@ fn main() {
         ("HWUndo", SchemeKind::HwUndo),
         ("ASAP", SchemeKind::Asap),
     ];
-    header("bench", &schemes.iter().map(|(n, _)| *n).collect::<Vec<_>>());
+    header(
+        "bench",
+        &schemes.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+    );
     let mut geo_b = vec![Vec::new(); schemes.len()];
     for bench in &the_benches {
         let asap = run(&fig_spec(*bench, SchemeKind::Asap));
@@ -69,7 +81,10 @@ fn main() {
     }
     row(
         "GeoMean",
-        &geo_b.iter().map(|g| format!("{:.2}", geomean(g))).collect::<Vec<_>>(),
+        &geo_b
+            .iter()
+            .map(|g| format!("{:.2}", geomean(g)))
+            .collect::<Vec<_>>(),
     );
     println!("(paper: ASAP traffic is 0.39x SW, 0.52x HWUndo, 0.62x HWRedo — i.e. SW 2.56, HWUndo 1.92, HWRedo 1.61 normalized to ASAP)");
 }

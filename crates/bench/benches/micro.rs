@@ -1,9 +1,13 @@
-//! Criterion microbenchmarks of the simulator substrates: cache hierarchy
-//! access, WPQ submit/drain, log-record encode/decode, Dependence List
-//! broadcast, bloom filter probes, and an end-to-end small transaction.
+//! Microbenchmarks of the simulator substrates: cache hierarchy access, WPQ
+//! submit/drain, log-record encode/decode, Dependence List broadcast, bloom
+//! filter probes, and an end-to-end small transaction.
+//!
+//! Plain `fn main` harness (no criterion — the build environment is offline):
+//! each benchmark warms up, then runs timed batches and reports ns/iter with
+//! the standard deviation across batches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use asap_core::logbuf::RecordHeader;
 use asap_core::machine::{Machine, MachineConfig};
@@ -12,107 +16,147 @@ use asap_core::scheme::SchemeKind;
 use asap_mem::cache::AccessKind;
 use asap_mem::{BloomFilter, CacheHierarchy, MemSystem, PersistKind, PersistOp, Rid};
 use asap_pmem::{LineAddr, MemoryImage, PmAddr, PM_BASE};
-use asap_sim::{Cycle, SystemConfig};
+use asap_sim::{Cycle, Summary, SystemConfig};
 
-fn bench_cache(c: &mut Criterion) {
-    let cfg = SystemConfig::table2();
-    c.bench_function("cache_hit_l1", |b| {
-        let mut h = CacheHierarchy::new(&cfg);
-        h.access(0, LineAddr(1), AccessKind::Load, Some(([0u8; 64], false)), 150);
-        b.iter(|| black_box(h.access(0, LineAddr(1), AccessKind::Load, None, 150).latency));
-    });
-    c.bench_function("cache_miss_fill_evict", |b| {
-        let mut h = CacheHierarchy::new(&SystemConfig::small());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(
-                h.access(0, LineAddr(i % 8192), AccessKind::Load, Some(([0u8; 64], true)), 150)
-                    .latency,
-            )
-        });
-    });
+const WARMUP_ITERS: u64 = 2_000;
+const BATCHES: u64 = 10;
+
+fn iters_per_batch() -> u64 {
+    std::env::var("ASAP_MICRO_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000)
 }
 
-fn bench_wpq(c: &mut Criterion) {
-    c.bench_function("wpq_submit_drain", |b| {
-        let cfg = SystemConfig::table2();
-        let mut mem = MemSystem::new(&cfg);
-        let mut image = MemoryImage::new();
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 100;
-            let line = LineAddr(PM_BASE / 64 + t % 1024);
-            mem.submit(PersistOp::new(PersistKind::Dpo, line, [0u8; 64], None), Cycle(t));
-            mem.advance_to(Cycle(t), &mut image);
-            while mem.pop_event().is_some() {}
-        });
-    });
-}
-
-fn bench_log(c: &mut Criterion) {
-    c.bench_function("record_header_encode_decode", |b| {
-        let mut h = RecordHeader::new(Rid::new(3, 99), Some(PmAddr(0x8000_1000)));
-        for i in 0..7 {
-            h.push_entry(LineAddr(0x200_0000 + i));
+/// Runs `f` repeatedly and prints mean ± stddev ns/iter over the batches.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let iters = iters_per_batch();
+    let mut per_batch = Summary::default();
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
         }
-        b.iter(|| {
-            let bytes = black_box(h.encode());
-            black_box(RecordHeader::decode(&bytes))
-        });
+        per_batch.record(t0.elapsed().as_nanos() as u64 / iters);
+    }
+    println!(
+        "{name:<28} {:>8.1} ns/iter  (stddev {:>6.1}, {BATCHES} batches x {iters} iters)",
+        per_batch.mean(),
+        per_batch.stddev(),
+    );
+}
+
+fn bench_cache() {
+    let cfg = SystemConfig::table2();
+    let mut h = CacheHierarchy::new(&cfg);
+    h.access(
+        0,
+        LineAddr(1),
+        AccessKind::Load,
+        Some(([0u8; 64], false)),
+        150,
+    );
+    bench("cache_hit_l1", || {
+        black_box(
+            h.access(0, LineAddr(1), AccessKind::Load, None, 150)
+                .latency,
+        );
+    });
+
+    let mut h = CacheHierarchy::new(&SystemConfig::small());
+    let mut i = 0u64;
+    bench("cache_miss_fill_evict", || {
+        i += 1;
+        black_box(
+            h.access(
+                0,
+                LineAddr(i % 8192),
+                AccessKind::Load,
+                Some(([0u8; 64], true)),
+                150,
+            )
+            .latency,
+        );
     });
 }
 
-fn bench_deplist(c: &mut Criterion) {
-    c.bench_function("deplist_insert_broadcast", |b| {
-        b.iter(|| {
-            let mut d = DepLists::new(4, 128, 4);
-            for i in 0..64 {
-                d.insert(Rid::new(0, i));
-                if i > 0 {
-                    d.add_dep(Rid::new(0, i), Rid::new(0, i - 1));
-                }
+fn bench_wpq() {
+    let cfg = SystemConfig::table2();
+    let mut mem = MemSystem::new(&cfg);
+    let mut image = MemoryImage::new();
+    let mut t = 0u64;
+    bench("wpq_submit_drain", || {
+        t += 100;
+        let line = LineAddr(PM_BASE / 64 + t % 1024);
+        mem.submit(
+            PersistOp::new(PersistKind::Dpo, line, [0u8; 64], None),
+            Cycle(t),
+        );
+        mem.advance_to(Cycle(t), &mut image);
+        while mem.pop_event().is_some() {}
+    });
+}
+
+fn bench_log() {
+    let mut h = RecordHeader::new(Rid::new(3, 99), Some(PmAddr(0x8000_1000)));
+    for i in 0..7 {
+        h.push_entry(LineAddr(0x200_0000 + i));
+    }
+    bench("record_header_encode_decode", || {
+        let bytes = black_box(h.encode());
+        black_box(RecordHeader::decode(&bytes));
+    });
+}
+
+fn bench_deplist() {
+    bench("deplist_insert_broadcast", || {
+        let mut d = DepLists::new(4, 128, 4);
+        for i in 0..64 {
+            d.insert(Rid::new(0, i));
+            if i > 0 {
+                d.add_dep(Rid::new(0, i), Rid::new(0, i - 1));
             }
-            for i in 0..64 {
-                d.get_mut(Rid::new(0, i)).unwrap().done = true;
-                d.remove(Rid::new(0, i));
-                black_box(d.clear_dep_everywhere(Rid::new(0, i)));
-            }
+        }
+        for i in 0..64 {
+            d.get_mut(Rid::new(0, i)).unwrap().done = true;
+            d.remove(Rid::new(0, i));
+            black_box(d.clear_dep_everywhere(Rid::new(0, i)));
+        }
+    });
+}
+
+fn bench_bloom() {
+    let mut bf = BloomFilter::new(8 * 1024);
+    let mut i = 0u64;
+    bench("bloom_insert_probe", || {
+        i += 1;
+        bf.insert(LineAddr(i));
+        black_box(bf.may_contain(LineAddr(i + 1)));
+    });
+}
+
+fn bench_transaction() {
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
+    let a = m.pm_alloc(64 * 16).unwrap();
+    let mut i = 0u64;
+    bench("asap_small_transaction", || {
+        i += 1;
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i % 16 * 64), i);
+            ctx.end_region();
         });
     });
 }
 
-fn bench_bloom(c: &mut Criterion) {
-    c.bench_function("bloom_insert_probe", |b| {
-        let mut bf = BloomFilter::new(8 * 1024);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            bf.insert(LineAddr(i));
-            black_box(bf.may_contain(LineAddr(i + 1)))
-        });
-    });
+fn main() {
+    bench_cache();
+    bench_wpq();
+    bench_log();
+    bench_deplist();
+    bench_bloom();
+    bench_transaction();
 }
-
-fn bench_transaction(c: &mut Criterion) {
-    c.bench_function("asap_small_transaction", |b| {
-        let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
-        let a = m.pm_alloc(64 * 16).unwrap();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            m.run_thread(0, |ctx| {
-                ctx.begin_region();
-                ctx.write_u64(a.offset(i % 16 * 64), i);
-                ctx.end_region();
-            });
-        });
-    });
-}
-
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_cache, bench_wpq, bench_log, bench_deplist, bench_bloom, bench_transaction
-);
-criterion_main!(micro);

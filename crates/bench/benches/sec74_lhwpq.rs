@@ -15,7 +15,10 @@ const THREADS: u32 = 16;
 
 fn main() {
     println!("\n=== Section 7.4: LH-WPQ size sensitivity (normalized to ASAP-128, 16 threads) ===");
-    header("bench", &["ASAP-128", "ASAP-4", "ASAP-1", "HWUndo", "HWRedo"]);
+    header(
+        "bench",
+        &["ASAP-128", "ASAP-4", "ASAP-1", "HWUndo", "HWRedo"],
+    );
     let mut geos = vec![Vec::new(); 4];
     for bench in benches(&BenchId::all()) {
         let base = run(&fig_spec(bench, SchemeKind::Asap).with_threads(THREADS));

@@ -9,38 +9,54 @@
 //!
 //! - `ASAP_OPS` — transactions per thread (default 200);
 //! - `ASAP_THREADS` — worker threads (default 4);
-//! - `ASAP_BENCHES` — comma-separated benchmark labels to restrict to.
+//! - `ASAP_BENCHES` — comma-separated benchmark labels to restrict to;
+//! - `ASAP_TRACE` / `ASAP_TRACE_CAP` — capture an event trace per run
+//!   (see the `trace_report` example and DESIGN.md's Observability
+//!   section).
 
 #![warn(missing_docs)]
 
 use asap_core::scheme::SchemeKind;
+use asap_sim::TraceSettings;
 use asap_workloads::{BenchId, WorkloadSpec};
 
 /// Transactions per thread, from `ASAP_OPS` (default 200).
 pub fn ops() -> u64 {
-    std::env::var("ASAP_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(200)
+    std::env::var("ASAP_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
 }
 
 /// Worker threads, from `ASAP_THREADS` (default 4).
 pub fn threads() -> u32 {
-    std::env::var("ASAP_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+    std::env::var("ASAP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
 }
 
 /// The benchmark set, optionally restricted by `ASAP_BENCHES`.
 pub fn benches(all: &[BenchId]) -> Vec<BenchId> {
     match std::env::var("ASAP_BENCHES") {
         Ok(list) => {
-            let want: Vec<String> =
-                list.split(',').map(|s| s.trim().to_uppercase()).collect();
-            all.iter().copied().filter(|b| want.contains(&b.label().to_string())).collect()
+            let want: Vec<String> = list.split(',').map(|s| s.trim().to_uppercase()).collect();
+            all.iter()
+                .copied()
+                .filter(|b| want.contains(&b.label().to_string()))
+                .collect()
         }
         Err(_) => all.to_vec(),
     }
 }
 
-/// The standard figure spec: Table 2 system, scaled ops/threads.
+/// The standard figure spec: Table 2 system, scaled ops/threads, tracing
+/// per the `ASAP_TRACE`/`ASAP_TRACE_CAP` environment knobs.
 pub fn fig_spec(bench: BenchId, scheme: SchemeKind) -> WorkloadSpec {
-    WorkloadSpec::new(bench, scheme).with_threads(threads()).with_ops(ops())
+    WorkloadSpec::new(bench, scheme)
+        .with_threads(threads())
+        .with_ops(ops())
+        .with_trace(TraceSettings::from_env())
 }
 
 /// Geometric mean (0.0 for an empty slice).
@@ -63,7 +79,10 @@ pub fn row(label: &str, cells: &[String]) {
 
 /// Prints a table header followed by a rule.
 pub fn header(label: &str, cols: &[&str]) {
-    row(label, &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    row(
+        label,
+        &cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(),
+    );
     println!("{}", "-".repeat(8 + cols.len() * 10));
 }
 

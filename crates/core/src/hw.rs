@@ -3,7 +3,9 @@
 use asap_mem::cache::AccessKind;
 use asap_mem::{Access, CacheHierarchy, Evicted, MemSystem, OpId, PersistKind, PersistOp, Rid};
 use asap_pmem::{LineAddr, MemoryImage, PmAddr, RangeAllocator, LINE_BYTES, PM_BASE};
-use asap_sim::{Cycle, Stats, SystemConfig};
+use asap_sim::{
+    Cycle, StallClass, StallReason, Stats, SystemConfig, Trace, TraceEvent, TraceSettings,
+};
 
 /// Size of the persistence-domain crash-dump area at the bottom of PM.
 ///
@@ -68,9 +70,15 @@ pub struct Hw {
     pub dram_heap: RangeAllocator,
     /// Machine-level statistics.
     pub stats: Stats,
+    /// CPU-side event trace (regions, stalls, persist issues). Disabled by
+    /// default; see [`Hw::set_trace_settings`].
+    pub trace: Trace,
     /// Core each thread currently runs on (1:1 by default; §5.7 context
     /// switches can remap).
     pub thread_core: Vec<usize>,
+    /// Per-thread stall cycles of the current region, by [`StallClass`]
+    /// index. Reset at region begin, collected at region end.
+    stall_acc: Vec<[u64; 4]>,
 }
 
 impl Hw {
@@ -86,7 +94,11 @@ impl Hw {
             "threads ({threads}) must not exceed cores ({})",
             cfg.cores
         );
-        let layout = PmLayout { log_bytes, threads, heap_bytes };
+        let layout = PmLayout {
+            log_bytes,
+            threads,
+            heap_bytes,
+        };
         let mut image = MemoryImage::new();
         // Dump area and log buffers are persistent by construction.
         image.mark_persistent(layout.dump_base(), DUMP_BYTES);
@@ -100,10 +112,55 @@ impl Hw {
             heap,
             dram_heap,
             stats: Stats::new(),
+            trace: Trace::disabled(),
             thread_core: (0..threads as usize).collect(),
+            stall_acc: vec![[0u64; 4]; threads as usize],
             cfg,
             layout,
         }
+    }
+
+    /// Switches tracing on/off for the CPU side and the memory system.
+    pub fn set_trace_settings(&mut self, settings: TraceSettings) {
+        self.trace = Trace::new(settings);
+        self.mem.set_trace_settings(settings);
+    }
+
+    /// Records a stall of `thread` on `reason` over `[from, to)`: feeds the
+    /// per-region breakdown accumulator, the aggregate
+    /// `machine.stall_cycles.<class>` counters and (when enabled) the
+    /// trace. Zero-length waits are ignored.
+    pub fn note_stall(&mut self, thread: usize, reason: StallReason, from: Cycle, to: Cycle) {
+        let cycles = to.since(from);
+        if cycles == 0 {
+            return;
+        }
+        let class = reason.class();
+        self.stall_acc[thread][class.index()] += cycles;
+        let counter = match class {
+            StallClass::LogFull => "machine.stall_cycles.log_full",
+            StallClass::WpqBackpressure => "machine.stall_cycles.wpq_backpressure",
+            StallClass::DependencyWait => "machine.stall_cycles.dependency_wait",
+            StallClass::CommitWait => "machine.stall_cycles.commit_wait",
+        };
+        self.stats.add(counter, cycles);
+        if self.trace.enabled() {
+            let t = thread as u32;
+            self.trace.emit(from, t, TraceEvent::StallBegin { reason });
+            self.trace
+                .emit(to, t, TraceEvent::StallEnd { reason, cycles });
+        }
+    }
+
+    /// Clears `thread`'s per-region stall accumulator (region begin).
+    pub fn reset_region_stalls(&mut self, thread: usize) {
+        self.stall_acc[thread] = [0; 4];
+    }
+
+    /// Takes `thread`'s per-region stall cycles by [`StallClass`] index
+    /// (region end), resetting the accumulator.
+    pub fn take_region_stalls(&mut self, thread: usize) -> [u64; 4] {
+        std::mem::take(&mut self.stall_acc[thread])
     }
 
     /// Advances the memory system's internal events to `now`.
@@ -149,7 +206,10 @@ impl Hw {
         offset: usize,
         bytes: &[u8],
     ) -> (u64, Vec<Evicted>) {
-        assert!(offset + bytes.len() <= LINE_BYTES as usize, "store crosses line");
+        assert!(
+            offset + bytes.len() <= LINE_BYTES as usize,
+            "store crosses line"
+        );
         let access = self.cache_access(thread, line, AccessKind::Store);
         let state = self.caches.line_mut(line).expect("just filled");
         state.data[offset..offset + bytes.len()].copy_from_slice(bytes);
@@ -285,7 +345,13 @@ mod tests {
     fn persist_uncached_line_is_none() {
         let mut h = hw();
         assert!(h
-            .persist_line(LineAddr(12345), PersistKind::SwPersist, None, None, Cycle(0))
+            .persist_line(
+                LineAddr(12345),
+                PersistKind::SwPersist,
+                None,
+                None,
+                Cycle(0)
+            )
             .is_none());
     }
 
@@ -307,16 +373,41 @@ mod tests {
         // Build evicted states manually.
         let mut st = asap_mem::LineState::from_bytes([3u8; 64]);
         st.dirty = true;
-        h.default_evict(&Evicted { line: dram, state: st.clone(), forced: false }, Cycle(0));
+        h.default_evict(
+            &Evicted {
+                line: dram,
+                state: st.clone(),
+                forced: false,
+            },
+            Cycle(0),
+        );
         assert_eq!(h.image.read_line(dram)[0], 3, "DRAM writeback immediate");
-        h.default_evict(&Evicted { line: pm, state: st.clone(), forced: false }, Cycle(0));
+        h.default_evict(
+            &Evicted {
+                line: pm,
+                state: st.clone(),
+                forced: false,
+            },
+            Cycle(0),
+        );
         h.advance_mem(Cycle(1_000_000));
         assert_eq!(h.image.read_line(pm)[0], 3, "PM writeback via WPQ");
         st.dirty = false;
         let clean = LineAddr(pm.0 + 1);
-        h.default_evict(&Evicted { line: clean, state: st, forced: false }, Cycle(0));
+        h.default_evict(
+            &Evicted {
+                line: clean,
+                state: st,
+                forced: false,
+            },
+            Cycle(0),
+        );
         h.advance_mem(Cycle(2_000_000));
-        assert_eq!(h.image.read_line(clean)[0], 0, "clean eviction writes nothing");
+        assert_eq!(
+            h.image.read_line(clean)[0],
+            0,
+            "clean eviction writes nothing"
+        );
     }
 
     #[test]

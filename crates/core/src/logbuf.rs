@@ -218,7 +218,12 @@ impl LogBuffer {
     pub fn new(base: PmAddr, bytes: u64) -> Self {
         let cap_lines = bytes / LINE_BYTES;
         assert!(cap_lines >= RECORD_LINES, "log too small for one record");
-        LogBuffer { base, cap_lines, head: 0, tail: 0 }
+        LogBuffer {
+            base,
+            cap_lines,
+            head: 0,
+            tail: 0,
+        }
     }
 
     /// Allocates one record (8 contiguous lines); returns its header's
@@ -237,7 +242,10 @@ impl LogBuffer {
         // pad into live data.
         if tail + RECORD_LINES > self.head + self.cap_lines {
             let free = self.cap_lines.saturating_sub(self.tail - self.head);
-            return Err(LogFull { requested: RECORD_LINES, free });
+            return Err(LogFull {
+                requested: RECORD_LINES,
+                free,
+            });
         }
         self.tail = tail + RECORD_LINES;
         Ok(self.base.offset((tail % self.cap_lines) * LINE_BYTES))

@@ -38,7 +38,10 @@ use std::panic::{self, AssertUnwindSafe};
 use asap_mem::cache::AccessKind;
 use asap_mem::Rid;
 use asap_pmem::{AllocError, LineAddr, PmAddr, LINE_BYTES};
-use asap_sim::{Cycle, Stats, SystemConfig, ThreadClocks, VirtualLock};
+use asap_sim::{
+    chrome_trace_json, Cycle, StallClass, Stats, SystemConfig, ThreadClocks, Trace, TraceEvent,
+    TracePart, TraceSettings, VirtualLock,
+};
 
 use crate::hw::Hw;
 use crate::scheme::{self, RecoveryReport, Scheme, SchemeKind};
@@ -80,6 +83,8 @@ pub struct MachineConfig {
     pub crash_after_pm_writes: Option<u64>,
     /// Size of the virtual lock table.
     pub num_locks: usize,
+    /// Event-trace settings (off by default; see [`TraceSettings`]).
+    pub trace: TraceSettings,
 }
 
 impl MachineConfig {
@@ -94,6 +99,7 @@ impl MachineConfig {
             track_regions: false,
             crash_after_pm_writes: None,
             num_locks: 64,
+            trace: TraceSettings::disabled(),
         }
     }
 
@@ -128,6 +134,13 @@ impl MachineConfig {
     /// size parameter, §4.4).
     pub fn with_log_bytes(mut self, bytes: u64) -> Self {
         self.log_bytes = bytes;
+        self
+    }
+
+    /// Enables event tracing with the given settings (e.g.
+    /// [`TraceSettings::from_env`] for the `ASAP_TRACE` knobs).
+    pub fn with_trace(mut self, trace: TraceSettings) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -173,14 +186,17 @@ impl Machine {
     /// cores).
     pub fn new(cfg: MachineConfig) -> Self {
         install_panic_hook();
-        let hw = Hw::new(cfg.system, cfg.threads, cfg.log_bytes, cfg.heap_bytes);
+        let mut hw = Hw::new(cfg.system, cfg.threads, cfg.log_bytes, cfg.heap_bytes);
+        hw.set_trace_settings(cfg.trace);
         let scheme = scheme::build(cfg.scheme, &cfg.system);
         let threads = cfg.threads as usize;
         Machine {
             hw,
             scheme,
             clocks: ThreadClocks::new(threads),
-            locks: (0..cfg.num_locks).map(|_| VirtualLock::new(cfg.system.lock_cost)).collect(),
+            locks: (0..cfg.num_locks)
+                .map(|_| VirtualLock::new(cfg.system.lock_cost))
+                .collect(),
             nest: vec![0; threads],
             local_rid: vec![0; threads],
             cur_rid: vec![None; threads],
@@ -263,7 +279,11 @@ impl Machine {
     /// Panics if `steps.len()` differs from the configured thread count.
     pub fn run(&mut self, steps: &mut [StepFn]) -> RunOutcome {
         assert!(!self.crashed, "machine crashed: call recover() first");
-        assert_eq!(steps.len(), self.cfg.threads as usize, "one step closure per thread");
+        assert_eq!(
+            steps.len(),
+            self.cfg.threads as usize,
+            "one step closure per thread"
+        );
         self.clocks.restart();
         while let Some(t) = self.clocks.next_runnable() {
             self.ensure_started(t);
@@ -340,6 +360,9 @@ impl Machine {
     fn perform_crash(&mut self) {
         assert!(!self.crashed, "already crashed");
         self.hw.stats.bump("crash.count");
+        self.hw
+            .trace
+            .emit(self.clocks.makespan(), 0, TraceEvent::CrashInjected);
         // Persistence domain flush: scheme structures, then the WPQs.
         self.scheme.on_crash(&mut self.hw);
         let mut image = std::mem::take(&mut self.hw.image);
@@ -432,11 +455,44 @@ impl Machine {
         }
     }
 
-    /// Merged machine + memory-system statistics.
+    /// Merged machine + memory-system statistics, with the cache
+    /// hierarchy's eviction counters folded in as `machine.evict.*`.
     pub fn stats(&self) -> Stats {
         let mut s = self.hw.stats.clone();
         s.merge(self.hw.mem.stats());
+        let ev = self.hw.caches.eviction_counts();
+        s.add("machine.evict.total", ev.total);
+        s.add("machine.evict.forced", ev.forced);
+        s.add("machine.evict.dirty", ev.dirty);
         s
+    }
+
+    /// Merged statistics as a JSON report (counters + histograms).
+    pub fn stats_json(&self) -> String {
+        self.stats().to_json()
+    }
+
+    /// The CPU-side event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.hw.trace
+    }
+
+    /// The whole run as Chrome trace-event JSON: CPU thread lanes under
+    /// pid 0, memory-system persist channels under pid 1. Open the output
+    /// in Perfetto (`ui.perfetto.dev`); one cycle renders as 1 µs.
+    pub fn trace_chrome_json(&self) -> String {
+        chrome_trace_json(&[
+            TracePart {
+                name: "cpu",
+                pid: 0,
+                trace: &self.hw.trace,
+            },
+            TracePart {
+                name: "pm",
+                pid: 1,
+                trace: self.hw.mem.trace(),
+            },
+        ])
     }
 
     /// The largest thread clock (execution makespan).
@@ -543,6 +599,14 @@ impl ThreadCtx<'_> {
         self.m.cur_rid[t] = Some(rid);
         self.m.region_start[t] = self.now;
         self.m.hw.stats.bump("region.begun");
+        self.m.hw.reset_region_stalls(t);
+        self.m.hw.trace.emit(
+            self.now,
+            t as u32,
+            TraceEvent::RegionBegin {
+                rid: (rid.thread(), rid.local()),
+            },
+        );
         if let Some(tr) = &mut self.m.tracker {
             tr.begin(rid);
         }
@@ -566,12 +630,36 @@ impl ThreadCtx<'_> {
         let rid = self.m.cur_rid[t].expect("region id set at begin");
         let m = &mut *self.m;
         self.now = m.scheme.on_end(&mut m.hw, t, rid, self.now);
-        if let Some(tr) = &mut self.m.tracker {
-            tr.end(rid);
+        if let Some(tr) = &mut m.tracker {
+            let (lines, deps) = tr.end(rid);
+            m.hw.stats.sample("region.lines_written", lines as u64);
+            m.hw.stats.sample("region.deps", deps as u64);
         }
-        let dur = self.now - self.m.region_start[t];
-        self.m.hw.stats.sample("region.cycles", dur);
-        self.m.hw.stats.bump("region.count");
+        m.hw.trace.emit(
+            self.now,
+            t as u32,
+            TraceEvent::RegionCommit {
+                rid: (rid.thread(), rid.local()),
+            },
+        );
+        let dur = self.now - m.region_start[t];
+        // Per-region cycle breakdown: the four stall classes plus compute
+        // sum exactly to the region's duration.
+        let stalls = m.hw.take_region_stalls(t);
+        let stalled: u64 = stalls.iter().sum();
+        for class in StallClass::all() {
+            let name = match class {
+                StallClass::LogFull => "region.stall.log_full",
+                StallClass::WpqBackpressure => "region.stall.wpq_backpressure",
+                StallClass::DependencyWait => "region.stall.dependency_wait",
+                StallClass::CommitWait => "region.stall.commit_wait",
+            };
+            m.hw.stats.sample(name, stalls[class.index()]);
+        }
+        m.hw.stats
+            .sample("region.compute", dur.saturating_sub(stalled));
+        m.hw.stats.sample("region.cycles", dur);
+        m.hw.stats.bump("region.count");
     }
 
     /// `asap_fence` (§5.2): blocks until this thread's last region (and
@@ -688,6 +776,14 @@ impl ThreadCtx<'_> {
         let access = m.hw.cache_access(self.t, line, kind);
         self.now += access.latency;
         for e in &access.evicted {
+            m.hw.trace.emit(
+                self.now,
+                self.t as u32,
+                TraceEvent::CacheEvict {
+                    line: e.line.0,
+                    dirty: e.state.dirty,
+                },
+            );
             m.scheme.on_evict(&mut m.hw, e, self.now);
         }
         // Region bookkeeping for persistent lines.
@@ -798,8 +894,12 @@ mod tests {
 
     #[test]
     fn data_is_durable_in_pm_after_drain() {
-        for kind in [SchemeKind::SwUndo, SchemeKind::HwUndo, SchemeKind::HwRedo, SchemeKind::Asap]
-        {
+        for kind in [
+            SchemeKind::SwUndo,
+            SchemeKind::HwUndo,
+            SchemeKind::HwRedo,
+            SchemeKind::Asap,
+        ] {
             let mut m = Machine::new(MachineConfig::small(kind, 1));
             let a = m.pm_alloc(8).unwrap();
             m.run_thread(0, |ctx| {
@@ -875,10 +975,16 @@ mod tests {
 
     #[test]
     fn crash_injection_fires_and_recovery_restores_consistency() {
-        for kind in [SchemeKind::SwUndo, SchemeKind::HwUndo, SchemeKind::HwRedo, SchemeKind::Asap]
-        {
+        for kind in [
+            SchemeKind::SwUndo,
+            SchemeKind::HwUndo,
+            SchemeKind::HwRedo,
+            SchemeKind::Asap,
+        ] {
             let mut m = Machine::new(
-                MachineConfig::small(kind, 1).with_tracking().with_crash_after(5),
+                MachineConfig::small(kind, 1)
+                    .with_tracking()
+                    .with_crash_after(5),
             );
             let a = m.pm_alloc(64 * 8).unwrap();
             let outcome = m.run_thread(0, |ctx| {
@@ -934,7 +1040,10 @@ mod tests {
             cycles["asap"] < cycles["hw-undo"],
             "async commit must beat sync commit: {cycles:?}"
         );
-        assert!(cycles["hw-undo"] < cycles["sw"], "hardware must beat software: {cycles:?}");
+        assert!(
+            cycles["hw-undo"] < cycles["sw"],
+            "hardware must beat software: {cycles:?}"
+        );
     }
 
     #[test]
@@ -1040,7 +1149,10 @@ mod tests {
             }
         });
         m.drain();
-        assert!(m.stats().get("asap.stall.log_full") > 0, "the tiny log stalled");
+        assert!(
+            m.stats().get("asap.stall.log_full") > 0,
+            "the tiny log stalled"
+        );
         m.crash_now();
         let r = m.recover();
         assert!(r.uncommitted.is_empty(), "drained before crash");

@@ -150,8 +150,12 @@ pub fn undo_order(entries: &[DepEntry]) -> Vec<Rid> {
     let deps_of: BTreeMap<Rid, Vec<Rid>> = entries
         .iter()
         .map(|e| {
-            let ds: Vec<Rid> =
-                e.deps.iter().copied().filter(|d| present.contains(d)).collect();
+            let ds: Vec<Rid> = e
+                .deps
+                .iter()
+                .copied()
+                .filter(|d| present.contains(d))
+                .collect();
             (e.rid, ds)
         })
         .collect();
@@ -196,7 +200,10 @@ mod tests {
         let base = PmAddr(0x8000_0000);
         write_dump(&mut image, base, &[b"hello", b"", b"world!"]);
         let sections = read_dump(&image, base).unwrap();
-        assert_eq!(sections, vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]);
+        assert_eq!(
+            sections,
+            vec![b"hello".to_vec(), Vec::new(), b"world!".to_vec()]
+        );
         clear_dump(&mut image, base);
         assert!(read_dump(&image, base).is_none());
     }
@@ -275,7 +282,11 @@ mod tests {
     }
 
     fn entry(r: Rid, deps: &[Rid], done: bool) -> DepEntry {
-        DepEntry { rid: r, done, deps: deps.to_vec() }
+        DepEntry {
+            rid: r,
+            done,
+            deps: deps.to_vec(),
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use asap_mem::{BloomFilter, Evicted, MemEvent, OpId, PersistKind, Rid};
 use asap_pmem::LineAddr;
-use asap_sim::{Cycle, SystemConfig};
+use asap_sim::{Cycle, StallReason, SystemConfig, TraceEvent};
 
 use crate::hw::Hw;
 use crate::logbuf::{LogBuffer, RecordHeader};
@@ -42,6 +42,11 @@ use structs::{AddDep, ClLists, ClSlot, DepLists, DpoState, LhWpq};
 
 /// Hardware cost of the begin/end region instructions.
 const MARKER_COST: u64 = 3;
+
+/// A region id as carried by trace events.
+fn trid(rid: Rid) -> (u32, u64) {
+    (rid.thread(), rid.local())
+}
 
 /// Per-thread state (Thread State Registers + log buffer).
 #[derive(Debug)]
@@ -85,7 +90,11 @@ impl Asap {
         let channels = cfg.mem.num_channels() as usize;
         Asap {
             opts,
-            dpo_distance: if opts.dpo_coalescing { cfg.asap.dpo_distance } else { 0 },
+            dpo_distance: if opts.dpo_coalescing {
+                cfg.asap.dpo_distance
+            } else {
+                0
+            },
             num_channels: cfg.mem.num_channels(),
             numa_broadcast_filter: cfg.asap.numa_broadcast_filter,
             cl: ClLists::new(
@@ -93,9 +102,15 @@ impl Asap {
                 cfg.asap.cl_list_entries as usize,
                 cfg.asap.clptr_slots as usize,
             ),
-            deps: DepLists::new(channels, cfg.asap.dep_list_entries as usize, cfg.asap.dep_slots as usize),
+            deps: DepLists::new(
+                channels,
+                cfg.asap.dep_list_entries as usize,
+                cfg.asap.dep_slots as usize,
+            ),
             lh: LhWpq::new(channels, cfg.asap.lh_wpq_entries as usize),
-            blooms: (0..channels).map(|_| BloomFilter::new(cfg.asap.bloom_bits)).collect(),
+            blooms: (0..channels)
+                .map(|_| BloomFilter::new(cfg.asap.bloom_bits))
+                .collect(),
             evicted_owners: HashMap::new(),
             threads: BTreeMap::new(),
             meta: HashMap::new(),
@@ -114,7 +129,9 @@ impl Asap {
     /// region is still uncommitted. The DRAM lookup runs concurrently with
     /// the access, so it adds traffic but no latency.
     fn restore_owner(&mut self, hw: &mut Hw, line: LineAddr) {
-        let Some(st) = hw.caches.line(line) else { return };
+        let Some(st) = hw.caches.line(line) else {
+            return;
+        };
         if st.owner.is_some() {
             return;
         }
@@ -139,14 +156,27 @@ impl Asap {
     /// Initiates the DPO for slot `i` of `rid`'s CL entry if it is pending
     /// and its line's LPO has completed (LockBit clear).
     fn try_initiate_dpo(&mut self, hw: &mut Hw, core: usize, rid: Rid, line: LineAddr, now: Cycle) {
-        let Some(entry) = self.cl.entry_mut(core, rid) else { return };
+        let Some(entry) = self.cl.entry_mut(core, rid) else {
+            return;
+        };
         let Some(i) = entry.slot_of(line) else { return };
         if entry.slots[i].dpo != DpoState::Initiated {
             match hw.caches.line(line) {
                 Some(st) if st.lock_bit => {} // LPO outstanding: wait
                 Some(_) => {
-                    if hw.persist_line(line, PersistKind::Dpo, Some(rid), None, now).is_some() {
+                    if hw
+                        .persist_line(line, PersistKind::Dpo, Some(rid), None, now)
+                        .is_some()
+                    {
                         entry.slots[i].dpo = DpoState::Initiated;
+                        hw.trace.emit(
+                            now,
+                            rid.thread(),
+                            TraceEvent::DpoIssued {
+                                rid: Some(trid(rid)),
+                                line: line.0,
+                            },
+                        );
                     } else {
                         // Nothing dirty to persist (already written back).
                         entry.slots[i].dpo = DpoState::Initiated;
@@ -183,7 +213,9 @@ impl Asap {
     /// was modified again after the snapshot (coalescing continues).
     fn dpo_accepted(&mut self, hw: &mut Hw, rid: Rid, line: LineAddr, at: Cycle) {
         let core = hw.thread_core[rid.thread() as usize];
-        let Some(entry) = self.cl.entry_mut(core, rid) else { return };
+        let Some(entry) = self.cl.entry_mut(core, rid) else {
+            return;
+        };
         let Some(i) = entry.slot_of(line) else { return };
         let redirty = hw
             .caches
@@ -204,13 +236,13 @@ impl Asap {
             if let Some(d) = self.deps.get_mut(rid) {
                 d.done = true;
             }
-            self.try_commit(hw, rid);
+            self.try_commit(hw, rid, at);
         }
     }
 
     /// Fig. 4 ④: commit `rid` if it is Done@MC with no outstanding
     /// dependencies, cascading to regions its broadcast unblocks.
-    fn try_commit(&mut self, hw: &mut Hw, rid: Rid) {
+    fn try_commit(&mut self, hw: &mut Hw, rid: Rid, at: Cycle) {
         let mut stack = vec![rid];
         while let Some(r) = stack.pop() {
             if !self.deps.get(r).is_some_and(|e| e.committable()) {
@@ -236,6 +268,8 @@ impl Asap {
             // receive a message; otherwise every channel does.
             self.deps.remove(r);
             hw.stats.bump("region.committed");
+            hw.trace
+                .emit(at, r.thread(), TraceEvent::RegionPersisted { rid: trid(r) });
             let (unblocked, channels_holding) = self.deps.clear_dep_counting(r);
             let messages = if self.numa_broadcast_filter {
                 u64::from(channels_holding)
@@ -262,7 +296,9 @@ impl Asap {
         match op.kind {
             PersistKind::Lpo => {
                 let Some(rid) = op.rid else { return };
-                let Some(line) = self.lpo_of.remove(id) else { return };
+                let Some(line) = self.lpo_of.remove(id) else {
+                    return;
+                };
                 // The old value is in the persistence domain: publish its
                 // header field; a completed sealed record's header heads
                 // to the WPQ now.
@@ -322,7 +358,9 @@ impl Asap {
         let mut now = now;
         if !self.threads[&thread].log.can_alloc() {
             hw.stats.bump("asap.stall.log_full");
+            let t0 = now;
             now = wait_mem!(self, hw, now, self.threads[&thread].log.can_alloc());
+            hw.note_stall(thread, StallReason::LogFull, t0, now);
         }
         let th = self.threads.get_mut(&thread).expect("thread started");
         (th.log.alloc_record().expect("space just verified"), now)
@@ -331,18 +369,28 @@ impl Asap {
     /// Appends a log entry for the first write to `line` by `rid`,
     /// managing the region's LH-WPQ slot and record chain. Returns the
     /// possibly-updated clock (it may stall on a full LH-WPQ, §7.4).
-    fn append_log_entry(&mut self, hw: &mut Hw, thread: usize, rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn append_log_entry(
+        &mut self,
+        hw: &mut Hw,
+        thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let mut now = now;
         if self.lh.get(rid).is_none() {
             // The region's first LPO needs an LH-WPQ slot.
             if !self.lh.has_room(rid) {
                 hw.stats.bump("asap.stall.lh_wpq");
+                let t0 = now;
                 now = wait_mem!(self, hw, now, self.lh.has_room(rid));
+                hw.note_stall(thread, StallReason::LhWpq, t0, now);
             }
             let (header_addr, t2) = self.alloc_record_blocking(hw, thread, now);
             now = t2;
             let tail = self.threads[&thread].log.tail();
-            self.lh.insert(rid, header_addr, RecordHeader::new(rid, None));
+            self.lh
+                .insert(rid, header_addr, RecordHeader::new(rid, None));
             self.log_tracker.start_record(rid, header_addr, None);
             let meta = self.meta.entry(rid).or_default();
             meta.has_log = true;
@@ -352,10 +400,25 @@ impl Asap {
         let cur_addr = self.lh.get(rid).expect("slot just ensured").header_addr;
         let i = self.log_tracker.reserve_slot(cur_addr);
         let entry_addr = RecordHeader::entry_addr(cur_addr, i);
-        let lpo = hw.submit_value(PersistKind::Lpo, entry_addr.line(), old, Some(rid), Some(line), now);
+        let lpo = hw.submit_value(
+            PersistKind::Lpo,
+            entry_addr.line(),
+            old,
+            Some(rid),
+            Some(line),
+            now,
+        );
         self.log_tracker.register(lpo, cur_addr, i, line);
         self.lpo_of.insert(lpo, line);
         hw.stats.bump("asap.lpo");
+        hw.trace.emit(
+            now,
+            thread as u32,
+            TraceEvent::LpoIssued {
+                rid: trid(rid),
+                line: line.0,
+            },
+        );
         if i + 1 == crate::logbuf::MAX_ENTRIES {
             // Record full: it seals and moves to the WPQ once all its
             // LPOs are accepted; the LH-WPQ slot is reused for the
@@ -376,16 +439,30 @@ impl Asap {
     /// Records `rid depends on owner`, stalling while Dep slots are full.
     fn track_dependence(&mut self, hw: &mut Hw, rid: Rid, owner: Rid, now: Cycle) -> Cycle {
         let mut now = now;
+        let thread = rid.thread() as usize;
         loop {
             match self.deps.add_dep(rid, owner) {
-                AddDep::Added | AddDep::TargetGone => return now,
+                AddDep::Added => {
+                    hw.trace.emit(
+                        now,
+                        rid.thread(),
+                        TraceEvent::DepEdge {
+                            from: trid(owner),
+                            to: trid(rid),
+                        },
+                    );
+                    return now;
+                }
+                AddDep::TargetGone => return now,
                 AddDep::SlotsFull => {
                     hw.stats.bump("asap.stall.dep_slots");
                     let cap = self.deps.slot_cap();
+                    let t0 = now;
                     now = wait_mem!(self, hw, now, {
                         self.deps.get(rid).is_some_and(|e| e.deps.len() < cap)
                             || !self.deps.contains(owner)
                     });
+                    hw.note_stall(thread, StallReason::DepSlots, t0, now);
                 }
             }
         }
@@ -413,7 +490,13 @@ impl Scheme for Asap {
 
     fn on_thread_start(&mut self, hw: &mut Hw, thread: usize, now: Cycle) -> Cycle {
         let log = LogBuffer::new(hw.layout.log_base(thread), hw.layout.log_bytes);
-        self.threads.insert(thread, AsapThread { log, latest_rid: None });
+        self.threads.insert(
+            thread,
+            AsapThread {
+                log,
+                latest_rid: None,
+            },
+        );
         now
     }
 
@@ -424,16 +507,23 @@ impl Scheme for Asap {
         // drain; their persist completions arrive as memory events).
         if !self.cl.has_free_entry(core) {
             hw.stats.bump("asap.stall.cl_entries");
+            let t0 = now;
             now = wait_mem!(self, hw, now, self.cl.has_free_entry(core));
+            hw.note_stall(thread, StallReason::ClEntries, t0, now);
         }
         if !self.deps.has_free_entry(rid) {
             hw.stats.bump("asap.stall.dep_entries");
+            let t0 = now;
             now = wait_mem!(self, hw, now, self.deps.has_free_entry(rid));
+            hw.note_stall(thread, StallReason::DepEntries, t0, now);
         }
         self.cl.insert(core, rid);
         self.deps.insert(rid);
         self.meta.insert(rid, RegionMeta::default());
-        self.threads.get_mut(&thread).expect("thread started").latest_rid = Some(rid);
+        self.threads
+            .get_mut(&thread)
+            .expect("thread started")
+            .latest_rid = Some(rid);
         // Control dependence on the thread's previous region (§4.5).
         if let Some(prev) = rid.prev() {
             if self.deps.contains(prev) {
@@ -443,7 +533,14 @@ impl Scheme for Asap {
         now
     }
 
-    fn pre_write(&mut self, hw: &mut Hw, thread: usize, rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn pre_write(
+        &mut self,
+        hw: &mut Hw,
+        thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let mut now = now;
         self.restore_owner(hw, line);
         let owner = hw.caches.line(line).expect("line filled").owner;
@@ -461,9 +558,11 @@ impl Scheme for Asap {
             .is_some_and(|st| st.lock_bit && st.owner != Some(rid));
         if locked_by_other {
             hw.stats.bump("asap.stall.lpo_lock");
+            let t0 = now;
             now = wait_mem!(self, hw, now, {
                 hw.caches.line(line).is_none_or(|st| !st.lock_bit)
             });
+            hw.note_stall(thread, StallReason::LpoLock, t0, now);
         }
         // §4.6.3: accessing another region's line is a data dependence.
         if let Some(o) = owner {
@@ -481,7 +580,14 @@ impl Scheme for Asap {
         now
     }
 
-    fn post_write(&mut self, hw: &mut Hw, thread: usize, rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn post_write(
+        &mut self,
+        hw: &mut Hw,
+        thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let core = hw.thread_core[thread];
         let mut now = now;
         // §5.7: after a context switch the in-progress region's CL entry
@@ -489,7 +595,9 @@ impl Scheme for Asap {
         if self.cl.entry(core, rid).is_none() {
             if !self.cl.has_free_entry(core) {
                 hw.stats.bump("asap.stall.cl_entries");
+                let t0 = now;
                 now = wait_mem!(self, hw, now, self.cl.has_free_entry(core));
+                hw.note_stall(thread, StallReason::ClEntries, t0, now);
             }
             self.cl.insert(core, rid);
         }
@@ -503,6 +611,7 @@ impl Scheme for Asap {
         if !has_slot {
             if !self.cl.has_free_slot(core, rid) {
                 hw.stats.bump("asap.stall.clptr_slots");
+                let t0 = now;
                 // Re-kick on every event: a slot whose LPO ack arrives
                 // mid-stall must fire its DPO even if it never reached
                 // the coalescing distance.
@@ -510,11 +619,13 @@ impl Scheme for Asap {
                     self.kick_all_dpos(hw, core, rid, now);
                     self.cl.has_free_slot(core, rid)
                 });
+                hw.note_stall(thread, StallReason::ClptrSlots, t0, now);
             }
             let entry = self.cl.entry_mut(core, rid).expect("entry exists");
-            entry
-                .slots
-                .push(ClSlot { line, dpo: DpoState::Pending { other_writes: 0 } });
+            entry.slots.push(ClSlot {
+                line,
+                dpo: DpoState::Pending { other_writes: 0 },
+            });
         }
         let distance = self.dpo_distance;
         // Bump the other slots' distance counters; collect those now due.
@@ -543,7 +654,14 @@ impl Scheme for Asap {
         now
     }
 
-    fn post_read(&mut self, hw: &mut Hw, _thread: usize, rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn post_read(
+        &mut self,
+        hw: &mut Hw,
+        _thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let mut now = now;
         self.restore_owner(hw, line);
         let owner = hw.caches.line(line).and_then(|st| st.owner);
@@ -566,16 +684,13 @@ impl Scheme for Asap {
         // If nothing is outstanding the region is Done@L1 immediately. A
         // missing entry means a §5.7 context switch already drained and
         // cleared it (and no writes followed on the new core).
-        let empty = self
-            .cl
-            .entry(core, rid)
-            .is_none_or(|e| e.slots.is_empty());
+        let empty = self.cl.entry(core, rid).is_none_or(|e| e.slots.is_empty());
         if empty {
             self.cl.remove(core, rid);
             if let Some(d) = self.deps.get_mut(rid) {
                 d.done = true;
             }
-            self.try_commit(hw, rid);
+            self.try_commit(hw, rid, now);
         }
         now // asynchronous commit: execution proceeds immediately
     }
@@ -587,7 +702,9 @@ impl Scheme for Asap {
             return now;
         };
         hw.stats.bump("asap.fence");
-        wait_mem!(self, hw, now, !self.deps.contains(rid))
+        let end = wait_mem!(self, hw, now, !self.deps.contains(rid));
+        hw.note_stall(thread, StallReason::FenceWait, now, end);
+        end
     }
 
     fn on_evict(&mut self, hw: &mut Hw, evicted: &Evicted, now: Cycle) {
@@ -643,12 +760,12 @@ impl Scheme for Asap {
         for rid in rids {
             // Re-kick on every event so slots unlock → initiate → clear
             // regardless of the coalescing distance.
+            let t0 = now;
             now = wait_mem!(self, hw, now, {
                 self.kick_all_dpos(hw, core, rid, now);
-                self.cl
-                    .entry(core, rid)
-                    .is_none_or(|e| e.slots.is_empty())
+                self.cl.entry(core, rid).is_none_or(|e| e.slots.is_empty())
             });
+            hw.note_stall(thread, StallReason::Drain, t0, now);
             // A not-yet-done region's entry is cleared and recreated on
             // the next core; done regions proceed through Done@L1.
             if let Some(e) = self.cl.entry(core, rid) {
@@ -658,7 +775,7 @@ impl Scheme for Asap {
                     if let Some(d) = self.deps.get_mut(rid) {
                         d.done = true;
                     }
-                    self.try_commit(hw, rid);
+                    self.try_commit(hw, rid, now);
                 }
             }
         }
@@ -666,7 +783,9 @@ impl Scheme for Asap {
     }
 
     fn drain(&mut self, hw: &mut Hw, now: Cycle) -> Cycle {
-        wait_mem!(self, hw, now, self.deps.is_empty() && hw.mem.is_idle())
+        let end = wait_mem!(self, hw, now, self.deps.is_empty() && hw.mem.is_idle());
+        hw.note_stall(0, StallReason::Drain, now, end);
+        end
     }
 
     fn on_crash(&mut self, hw: &mut Hw) {
@@ -791,7 +910,10 @@ mod tests {
             }
         }
         assert!(s.cl.entry(0, rid).is_none(), "Done@L1: CL entry cleared");
-        assert!(!s.deps.contains(rid), "④ committed: Dependence List cleared");
+        assert!(
+            !s.deps.contains(rid),
+            "④ committed: Dependence List cleared"
+        );
         assert!(s.lh.get(rid).is_none(), "LH-WPQ slot released");
         assert!(s.deps.all_empty());
         assert!(

@@ -66,7 +66,11 @@ pub struct ClLists {
 impl ClLists {
     /// Creates lists for `cores` cores.
     pub fn new(cores: usize, entry_cap: usize, slot_cap: usize) -> Self {
-        ClLists { per_core: vec![Vec::new(); cores], entry_cap, slot_cap }
+        ClLists {
+            per_core: vec![Vec::new(); cores],
+            entry_cap,
+            slot_cap,
+        }
     }
 
     /// Whether core `c` has a free entry.
@@ -81,7 +85,11 @@ impl ClLists {
     /// Panics if the core's list is full — callers must stall first.
     pub fn insert(&mut self, c: usize, rid: Rid) {
         assert!(self.has_free_entry(c), "CL List full on core {c}");
-        self.per_core[c].push(ClEntry { rid, done: false, slots: Vec::new() });
+        self.per_core[c].push(ClEntry {
+            rid,
+            done: false,
+            slots: Vec::new(),
+        });
     }
 
     /// The entry for `rid` on core `c`, if present.
@@ -101,7 +109,8 @@ impl ClLists {
 
     /// Whether `rid`'s entry on core `c` can take one more CLPtr.
     pub fn has_free_slot(&self, c: usize, rid: Rid) -> bool {
-        self.entry(c, rid).is_some_and(|e| e.slots.len() < self.slot_cap)
+        self.entry(c, rid)
+            .is_some_and(|e| e.slots.len() < self.slot_cap)
     }
 
     /// CLPtr slot capacity per entry.
@@ -166,7 +175,11 @@ impl DepLists {
     /// Creates lists for `channels` channels (paper: 128 entries × 4 Dep
     /// slots each).
     pub fn new(channels: usize, entry_cap: usize, slot_cap: usize) -> Self {
-        DepLists { per_channel: vec![Vec::new(); channels], entry_cap, slot_cap }
+        DepLists {
+            per_channel: vec![Vec::new(); channels],
+            entry_cap,
+            slot_cap,
+        }
     }
 
     fn channel(&self, rid: Rid) -> usize {
@@ -189,12 +202,18 @@ impl DepLists {
             self.per_channel[ch].len() < self.entry_cap,
             "Dependence List full on channel {ch}"
         );
-        self.per_channel[ch].push(DepEntry { rid, done: false, deps: Vec::new() });
+        self.per_channel[ch].push(DepEntry {
+            rid,
+            done: false,
+            deps: Vec::new(),
+        });
     }
 
     /// Looks up `rid`'s entry.
     pub fn get(&self, rid: Rid) -> Option<&DepEntry> {
-        self.per_channel[self.channel(rid)].iter().find(|e| e.rid == rid)
+        self.per_channel[self.channel(rid)]
+            .iter()
+            .find(|e| e.rid == rid)
     }
 
     /// Mutable lookup.
@@ -214,7 +233,9 @@ impl DepLists {
             return AddDep::TargetGone;
         }
         let slot_cap = self.slot_cap;
-        let e = self.get_mut(rid).expect("region must have a Dependence List entry");
+        let e = self
+            .get_mut(rid)
+            .expect("region must have a Dependence List entry");
         if e.deps.contains(&dep) {
             return AddDep::Added;
         }
@@ -330,7 +351,11 @@ impl DepLists {
                 p += 8;
                 deps.push(Rid::new(u32::from(dt), dl));
             }
-            out.push(DepEntry { rid: Rid::new(u32::from(thread), local), done, deps });
+            out.push(DepEntry {
+                rid: Rid::new(u32::from(thread), local),
+                done,
+                deps,
+            });
         }
         Some(out)
     }
@@ -368,7 +393,10 @@ pub struct LhWpq {
 impl LhWpq {
     /// Creates `channels` queues of `cap` entries each (paper: 128).
     pub fn new(channels: usize, cap: usize) -> Self {
-        LhWpq { per_channel: vec![Vec::new(); channels], cap }
+        LhWpq {
+            per_channel: vec![Vec::new(); channels],
+            cap,
+        }
     }
 
     fn channel(&self, rid: Rid) -> usize {
@@ -387,13 +415,22 @@ impl LhWpq {
     /// Panics if the channel is full — callers must stall first.
     pub fn insert(&mut self, rid: Rid, header_addr: PmAddr, header: RecordHeader) {
         let ch = self.channel(rid);
-        assert!(self.per_channel[ch].len() < self.cap, "LH-WPQ full on channel {ch}");
-        self.per_channel[ch].push(LhEntry { rid, header_addr, header });
+        assert!(
+            self.per_channel[ch].len() < self.cap,
+            "LH-WPQ full on channel {ch}"
+        );
+        self.per_channel[ch].push(LhEntry {
+            rid,
+            header_addr,
+            header,
+        });
     }
 
     /// The entry for `rid`, if it holds one.
     pub fn get(&self, rid: Rid) -> Option<&LhEntry> {
-        self.per_channel[self.channel(rid)].iter().find(|e| e.rid == rid)
+        self.per_channel[self.channel(rid)]
+            .iter()
+            .find(|e| e.rid == rid)
     }
 
     /// Mutable lookup.
@@ -496,14 +533,17 @@ mod tests {
         let mut cl = ClLists::new(1, 4, 2);
         cl.insert(0, rid(0, 1));
         let e = cl.entry_mut(0, rid(0, 1)).unwrap();
-        e.slots.push(ClSlot { line: LineAddr(5), dpo: DpoState::Pending { other_writes: 0 } });
+        e.slots.push(ClSlot {
+            line: LineAddr(5),
+            dpo: DpoState::Pending { other_writes: 0 },
+        });
         assert_eq!(e.slot_of(LineAddr(5)), Some(0));
         assert_eq!(e.slot_of(LineAddr(6)), None);
         assert!(cl.has_free_slot(0, rid(0, 1)));
-        cl.entry_mut(0, rid(0, 1))
-            .unwrap()
-            .slots
-            .push(ClSlot { line: LineAddr(6), dpo: DpoState::Initiated });
+        cl.entry_mut(0, rid(0, 1)).unwrap().slots.push(ClSlot {
+            line: LineAddr(6),
+            dpo: DpoState::Initiated,
+        });
         assert!(!cl.has_free_slot(0, rid(0, 1)));
     }
 
@@ -578,11 +618,23 @@ mod tests {
 
     #[test]
     fn committable_requires_done_and_no_deps() {
-        let e = DepEntry { rid: rid(0, 1), done: false, deps: vec![] };
+        let e = DepEntry {
+            rid: rid(0, 1),
+            done: false,
+            deps: vec![],
+        };
         assert!(!e.committable());
-        let e = DepEntry { rid: rid(0, 1), done: true, deps: vec![rid(0, 0)] };
+        let e = DepEntry {
+            rid: rid(0, 1),
+            done: true,
+            deps: vec![rid(0, 0)],
+        };
         assert!(!e.committable());
-        let e = DepEntry { rid: rid(0, 1), done: true, deps: vec![] };
+        let e = DepEntry {
+            rid: rid(0, 1),
+            done: true,
+            deps: vec![],
+        };
         assert!(e.committable());
     }
 
@@ -672,7 +724,10 @@ mod tests {
     fn header_mutation_through_get_mut() {
         let mut lh = LhWpq::new(1, 4);
         lh.insert(rid(0, 1), PmAddr(0), RecordHeader::new(rid(0, 1), None));
-        lh.get_mut(rid(0, 1)).unwrap().header.push_entry(LineAddr(42));
+        lh.get_mut(rid(0, 1))
+            .unwrap()
+            .header
+            .push_entry(LineAddr(42));
         assert_eq!(lh.get(rid(0, 1)).unwrap().header.count, 1);
     }
 }

@@ -33,9 +33,9 @@ macro_rules! wait_mem {
                     $hw.advance_mem(t);
                     now = now.max(t + $hw.hop() as u64);
                 }
-                None => panic!(
-                    "scheme deadlock: waiting on condition with no pending memory events"
-                ),
+                None => {
+                    panic!("scheme deadlock: waiting on condition with no pending memory events")
+                }
             }
         }
         now
@@ -161,7 +161,11 @@ impl LogAcceptTracker {
     pub fn start_record(&mut self, rid: Rid, addr: PmAddr, prev: Option<PmAddr>) {
         let old = self.records.insert(
             addr,
-            TrackedRecord { header: RecordHeader::new(rid, prev), accepted: 0, want_seal: None },
+            TrackedRecord {
+                header: RecordHeader::new(rid, prev),
+                accepted: 0,
+                want_seal: None,
+            },
         );
         debug_assert!(old.is_none(), "record address reused while live");
     }
@@ -277,7 +281,14 @@ impl InflightHeaders {
         bytes: [u8; 64],
         now: Cycle,
     ) -> OpId {
-        let id = hw.submit_value(PersistKind::LogHeader, addr.line(), bytes, Some(rid), None, now);
+        let id = hw.submit_value(
+            PersistKind::LogHeader,
+            addr.line(),
+            bytes,
+            Some(rid),
+            None,
+            now,
+        );
         self.pending.insert(id, (addr, bytes));
         id
     }

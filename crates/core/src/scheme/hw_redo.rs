@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use asap_mem::{Evicted, MemEvent, OpId, PersistKind, Rid};
 use asap_pmem::{LineAddr, PmAddr};
-use asap_sim::Cycle;
+use asap_sim::{Cycle, StallReason};
 
 use crate::hw::Hw;
 use crate::logbuf::{LogBuffer, RecordHeader, MAX_ENTRIES};
@@ -107,7 +107,9 @@ impl HwRedo {
     /// writer of a line forward last.
     fn retire_in_order(&mut self) {
         loop {
-            let Some(&min_seq) = self.outstanding.first() else { return };
+            let Some(&min_seq) = self.outstanding.first() else {
+                return;
+            };
             let mut retired = false;
             for th in self.threads.values_mut() {
                 if th
@@ -130,7 +132,15 @@ impl HwRedo {
 
     /// Logs `data` as the redo entry for `line` in `rid`'s current record
     /// (opening records as needed).
-    fn log_entry(&mut self, hw: &mut Hw, thread: usize, rid: Rid, line: LineAddr, data: [u8; 64], now: Cycle) {
+    fn log_entry(
+        &mut self,
+        hw: &mut Hw,
+        thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        data: [u8; 64],
+        now: Cycle,
+    ) {
         let th = self.threads.get_mut(&thread).expect("thread started");
         let region = th.active.as_mut().expect("region active");
         let cur = match region.cur_record {
@@ -146,7 +156,14 @@ impl HwRedo {
         };
         let i = self.log_tracker.reserve_slot(cur);
         let entry_addr = RecordHeader::entry_addr(cur, i);
-        let lpo = hw.submit_value(PersistKind::Lpo, entry_addr.line(), data, Some(rid), Some(line), now);
+        let lpo = hw.submit_value(
+            PersistKind::Lpo,
+            entry_addr.line(),
+            data,
+            Some(rid),
+            Some(line),
+            now,
+        );
         self.log_tracker.register(lpo, cur, i, line);
         self.threads
             .get_mut(&thread)
@@ -188,19 +205,19 @@ impl HwRedo {
                 self.inflight_headers.accepted(*id);
                 if let Some((addr, bytes)) = self.log_tracker.accepted(*id) {
                     let hid = self.inflight_headers.submit(hw, rid, addr, bytes, *at);
-                    if let Some(region) =
-                        self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
+                    if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
                     {
                         region.pending_log.insert(hid);
                     }
                 }
-                if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
-                {
+                if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut()) {
                     region.pending_log.remove(id);
                 }
             }
             PersistKind::Dpo => {
-                let Some(th) = self.threads.get_mut(&t) else { return };
+                let Some(th) = self.threads.get_mut(&t) else {
+                    return;
+                };
                 for r in &mut th.retiring {
                     r.pending_dpo.remove(id);
                 }
@@ -240,8 +257,14 @@ impl Scheme for HwRedo {
 
     fn on_thread_start(&mut self, hw: &mut Hw, thread: usize, now: Cycle) -> Cycle {
         let log = LogBuffer::new(hw.layout.log_base(thread), hw.layout.log_bytes);
-        self.threads
-            .insert(thread, RedoThread { log, active: None, retiring: VecDeque::new() });
+        self.threads.insert(
+            thread,
+            RedoThread {
+                log,
+                active: None,
+                retiring: VecDeque::new(),
+            },
+        );
         now
     }
 
@@ -258,11 +281,25 @@ impl Scheme for HwRedo {
         now + MARKER_COST
     }
 
-    fn pre_write(&mut self, hw: &mut Hw, _thread: usize, _rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn pre_write(
+        &mut self,
+        hw: &mut Hw,
+        _thread: usize,
+        _rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         self.restore_redirected(hw, line, now)
     }
 
-    fn post_write(&mut self, hw: &mut Hw, thread: usize, rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn post_write(
+        &mut self,
+        hw: &mut Hw,
+        thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let th = self.threads.get_mut(&thread).expect("thread started");
         let Some(region) = th.active.as_mut() else {
             return now;
@@ -280,7 +317,14 @@ impl Scheme for HwRedo {
         now // LPO runs in the background
     }
 
-    fn post_read(&mut self, hw: &mut Hw, _thread: usize, _rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn post_read(
+        &mut self,
+        hw: &mut Hw,
+        _thread: usize,
+        _rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         self.restore_redirected(hw, line, now)
     }
 
@@ -289,7 +333,12 @@ impl Scheme for HwRedo {
         // Re-log lines modified after their LPO, so the log holds finals.
         let stale: Vec<LineAddr> = {
             let region = self.threads[&thread].active.as_ref().unwrap();
-            region.lines.iter().filter(|(_, s)| **s).map(|(l, _)| *l).collect()
+            region
+                .lines
+                .iter()
+                .filter(|(_, s)| **s)
+                .map(|(l, _)| *l)
+                .collect()
         };
         for line in stale {
             let data = match self.redirect.get(&line) {
@@ -297,14 +346,26 @@ impl Scheme for HwRedo {
                 None => hw.line_value(line),
             };
             self.log_entry(hw, thread, rid, line, data, now);
-            let region = self.threads.get_mut(&thread).unwrap().active.as_mut().unwrap();
+            let region = self
+                .threads
+                .get_mut(&thread)
+                .unwrap()
+                .active
+                .as_mut()
+                .unwrap();
             *region.lines.get_mut(&line).unwrap() = false;
         }
         // Commit marker: the final record seals with the committed flag
         // once all its entries are accepted; ensure a record exists even
         // for regions whose writes all landed in sealed records.
         {
-            let region = self.threads.get_mut(&thread).unwrap().active.as_mut().unwrap();
+            let region = self
+                .threads
+                .get_mut(&thread)
+                .unwrap()
+                .active
+                .as_mut()
+                .unwrap();
             let cur = match region.cur_record {
                 Some(c) => c,
                 None => {
@@ -331,11 +392,24 @@ impl Scheme for HwRedo {
         }
         // Synchronous LPO wait: the region commits when the log, incl. the
         // marker header, is fully in the persistence domain.
+        let t0 = now;
         now = wait_mem!(self, hw, now, {
-            self.threads[&thread].active.as_ref().unwrap().pending_log.is_empty()
+            self.threads[&thread]
+                .active
+                .as_ref()
+                .unwrap()
+                .pending_log
+                .is_empty()
         });
+        hw.note_stall(thread, StallReason::CommitWait, t0, now);
         // Committed: kick off asynchronous DPOs and move to retiring.
-        let region = self.threads.get_mut(&thread).unwrap().active.take().unwrap();
+        let region = self
+            .threads
+            .get_mut(&thread)
+            .unwrap()
+            .active
+            .take()
+            .unwrap();
         self.active_rids.remove(&rid);
         let mut pending_dpo = BTreeSet::new();
         for &line in region.lines.keys() {
@@ -374,7 +448,10 @@ impl Scheme for HwRedo {
     fn on_evict(&mut self, hw: &mut Hw, evicted: &Evicted, now: Cycle) {
         if evicted.state.dirty
             && evicted.line.is_pm_region()
-            && evicted.state.owner.is_some_and(|o| self.active_rids.contains(&o))
+            && evicted
+                .state
+                .owner
+                .is_some_and(|o| self.active_rids.contains(&o))
         {
             // Uncommitted new value must not reach PM in place: keep it
             // aside; reads are redirected to the log (§2.3).
@@ -390,9 +467,11 @@ impl Scheme for HwRedo {
     }
 
     fn drain(&mut self, hw: &mut Hw, now: Cycle) -> Cycle {
-        wait_mem!(self, hw, now, {
+        let end = wait_mem!(self, hw, now, {
             hw.mem.is_idle() && self.threads.values().all(|t| t.retiring.is_empty())
-        })
+        });
+        hw.note_stall(0, StallReason::Drain, now, end);
+        end
     }
 
     fn on_crash(&mut self, hw: &mut Hw) {

@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use asap_mem::{MemEvent, OpId, PersistKind, Rid};
 use asap_pmem::{LineAddr, PmAddr};
-use asap_sim::Cycle;
+use asap_sim::{Cycle, StallReason};
 
 use crate::hw::Hw;
 use crate::logbuf::{LogBuffer, RecordHeader, MAX_ENTRIES};
@@ -85,14 +85,12 @@ impl HwUndo {
                 // A completed sealed record's header heads to the WPQ.
                 if let Some((addr, bytes)) = self.log_tracker.accepted(*id) {
                     let hid = self.inflight_headers.submit(hw, rid, addr, bytes, *at);
-                    if let Some(region) =
-                        self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
+                    if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
                     {
                         region.pending_log.insert(hid);
                     }
                 }
-                if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
-                {
+                if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut()) {
                     region.pending_log.remove(id);
                 }
                 if let Some((t, line)) = self.lpo_of.remove(id) {
@@ -102,8 +100,7 @@ impl HwUndo {
                     if let Some(st) = hw.caches.line_mut(line) {
                         st.lock_bit = false;
                     }
-                    if let Some(region) =
-                        self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
+                    if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
                     {
                         region.lines.insert(line, true);
                         if region.ending {
@@ -127,8 +124,7 @@ impl HwUndo {
             PersistKind::Dpo => {
                 if let Some(rid) = op.rid {
                     let t = rid.thread() as usize;
-                    if let Some(region) =
-                        self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
+                    if let Some(region) = self.threads.get_mut(&t).and_then(|th| th.active.as_mut())
                     {
                         region.pending_dpo.remove(id);
                     }
@@ -152,7 +148,8 @@ impl Scheme for HwUndo {
 
     fn on_thread_start(&mut self, hw: &mut Hw, thread: usize, now: Cycle) -> Cycle {
         let log = LogBuffer::new(hw.layout.log_base(thread), hw.layout.log_bytes);
-        self.threads.insert(thread, HwUndoThread { log, active: None });
+        self.threads
+            .insert(thread, HwUndoThread { log, active: None });
         now
     }
 
@@ -171,7 +168,14 @@ impl Scheme for HwUndo {
         now + MARKER_COST
     }
 
-    fn pre_write(&mut self, hw: &mut Hw, thread: usize, rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn pre_write(
+        &mut self,
+        hw: &mut Hw,
+        thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let th = self.threads.get_mut(&thread).expect("thread started");
         let Some(region) = th.active.as_mut() else {
             return now;
@@ -200,7 +204,14 @@ impl Scheme for HwUndo {
             st.lock_bit = true;
             st.owner = Some(rid);
         }
-        let lpo = hw.submit_value(PersistKind::Lpo, entry_addr.line(), old, Some(rid), Some(line), now);
+        let lpo = hw.submit_value(
+            PersistKind::Lpo,
+            entry_addr.line(),
+            old,
+            Some(rid),
+            Some(line),
+            now,
+        );
         self.log_tracker.register(lpo, cur, i, line);
         self.lpo_of.insert(lpo, (thread, line));
         let th = self.threads.get_mut(&thread).unwrap();
@@ -275,10 +286,12 @@ impl Scheme for HwUndo {
             }
         }
         // Synchronous commit: wait for every LPO, header and DPO.
+        let t0 = now;
         now = wait_mem!(self, hw, now, {
             let r = self.threads[&thread].active.as_ref().unwrap();
             r.pending_log.is_empty() && r.pending_dpo.is_empty()
         });
+        hw.note_stall(thread, StallReason::CommitWait, t0, now);
         // Commit: drop undrained log writes, reclaim the log space.
         let th = self.threads.get_mut(&thread).unwrap();
         let region = th.active.take().unwrap();
@@ -298,7 +311,9 @@ impl Scheme for HwUndo {
     }
 
     fn drain(&mut self, hw: &mut Hw, now: Cycle) -> Cycle {
-        wait_mem!(self, hw, now, hw.mem.is_idle())
+        let end = wait_mem!(self, hw, now, hw.mem.is_idle());
+        hw.note_stall(0, StallReason::Drain, now, end);
+        end
     }
 
     fn on_crash(&mut self, hw: &mut Hw) {

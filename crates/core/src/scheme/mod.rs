@@ -45,22 +45,38 @@ pub struct AsapOpts {
 impl AsapOpts {
     /// Everything on (the paper's ASAP configuration).
     pub fn all() -> Self {
-        AsapOpts { dpo_coalescing: true, lpo_dropping: true, dpo_dropping: true }
+        AsapOpts {
+            dpo_coalescing: true,
+            lpo_dropping: true,
+            dpo_dropping: true,
+        }
     }
 
     /// Everything off (`ASAP-No-Opt` in Fig. 9a).
     pub fn none() -> Self {
-        AsapOpts { dpo_coalescing: false, lpo_dropping: false, dpo_dropping: false }
+        AsapOpts {
+            dpo_coalescing: false,
+            lpo_dropping: false,
+            dpo_dropping: false,
+        }
     }
 
     /// Coalescing only (`ASAP+C`).
     pub fn coalescing_only() -> Self {
-        AsapOpts { dpo_coalescing: true, lpo_dropping: false, dpo_dropping: false }
+        AsapOpts {
+            dpo_coalescing: true,
+            lpo_dropping: false,
+            dpo_dropping: false,
+        }
     }
 
     /// Coalescing + LPO dropping (`ASAP+C+LP`).
     pub fn coalescing_and_lpo() -> Self {
-        AsapOpts { dpo_coalescing: true, lpo_dropping: true, dpo_dropping: false }
+        AsapOpts {
+            dpo_coalescing: true,
+            lpo_dropping: true,
+            dpo_dropping: false,
+        }
     }
 }
 
@@ -163,17 +179,38 @@ pub trait Scheme {
 
     /// Before the bytes of a write to a persistent line are applied (the
     /// line is cached; its data still holds the old value).
-    fn pre_write(&mut self, _hw: &mut Hw, _thread: usize, _rid: Rid, _line: LineAddr, now: Cycle) -> Cycle {
+    fn pre_write(
+        &mut self,
+        _hw: &mut Hw,
+        _thread: usize,
+        _rid: Rid,
+        _line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         now
     }
 
     /// After the bytes of a write to a persistent line were applied.
-    fn post_write(&mut self, _hw: &mut Hw, _thread: usize, _rid: Rid, _line: LineAddr, now: Cycle) -> Cycle {
+    fn post_write(
+        &mut self,
+        _hw: &mut Hw,
+        _thread: usize,
+        _rid: Rid,
+        _line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         now
     }
 
     /// After a read of a persistent line inside a region.
-    fn post_read(&mut self, _hw: &mut Hw, _thread: usize, _rid: Rid, _line: LineAddr, now: Cycle) -> Cycle {
+    fn post_read(
+        &mut self,
+        _hw: &mut Hw,
+        _thread: usize,
+        _rid: Rid,
+        _line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         now
     }
 
@@ -247,7 +284,11 @@ mod tests {
     fn opts_presets() {
         assert_eq!(
             AsapOpts::all(),
-            AsapOpts { dpo_coalescing: true, lpo_dropping: true, dpo_dropping: true }
+            AsapOpts {
+                dpo_coalescing: true,
+                lpo_dropping: true,
+                dpo_dropping: true
+            }
         );
         assert!(!AsapOpts::none().dpo_coalescing);
         assert!(AsapOpts::coalescing_only().dpo_coalescing);

@@ -6,7 +6,7 @@
 //! normalized against it in Figs. 8 and 10.
 
 use asap_mem::{MemEvent, Rid};
-use asap_sim::Cycle;
+use asap_sim::{Cycle, StallReason};
 
 use crate::hw::Hw;
 use crate::scheme::common::wait_mem;
@@ -56,7 +56,9 @@ impl Scheme for NoPersist {
     }
 
     fn drain(&mut self, hw: &mut Hw, now: Cycle) -> Cycle {
-        wait_mem!(self, hw, now, hw.mem.is_idle())
+        let end = wait_mem!(self, hw, now, hw.mem.is_idle());
+        hw.note_stall(0, StallReason::Drain, now, end);
+        end
     }
 
     fn on_crash(&mut self, _hw: &mut Hw) {}
@@ -95,8 +97,10 @@ mod tests {
         let mut hw = Hw::new(SystemConfig::small(), 1, 1 << 20, 1 << 20);
         let mut s = NoPersist::new();
         let line = LineAddr(hw.layout.heap_base().0 / 64);
-        hw.mem
-            .submit(PersistOp::new(PersistKind::WriteBack, line, [4u8; 64], None), Cycle(0));
+        hw.mem.submit(
+            PersistOp::new(PersistKind::WriteBack, line, [4u8; 64], None),
+            Cycle(0),
+        );
         let t = s.drain(&mut hw, Cycle(0));
         assert!(t > Cycle(0));
         assert!(hw.mem.is_idle());

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use asap_mem::{MemEvent, OpId, PersistKind, Rid};
 use asap_pmem::{LineAddr, PmAddr};
-use asap_sim::Cycle;
+use asap_sim::{Cycle, StallReason};
 
 use crate::hw::Hw;
 use crate::logbuf::LogBuffer;
@@ -68,7 +68,10 @@ impl Anchor {
         let thread = u16::from_le_bytes(b[6..8].try_into().unwrap());
         Some(Anchor {
             active: b[4] != 0,
-            rid: Rid::new(u32::from(thread), u64::from_le_bytes(b[8..16].try_into().unwrap())),
+            rid: Rid::new(
+                u32::from(thread),
+                u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            ),
             first_header: PmAddr(u64::from_le_bytes(b[16..24].try_into().unwrap())),
         })
     }
@@ -100,7 +103,10 @@ pub struct SwUndo {
 impl SwUndo {
     /// Creates the scheme in the given mode.
     pub fn new(mode: SwMode) -> Self {
-        SwUndo { mode, threads: BTreeMap::new() }
+        SwUndo {
+            mode,
+            threads: BTreeMap::new(),
+        }
     }
 
     /// The anchor line of thread `t` (second page of the dump area).
@@ -121,7 +127,9 @@ impl SwUndo {
     /// `sfence`: wait until all of this thread's persists are accepted.
     fn sfence(&mut self, hw: &mut Hw, t: usize, now: Cycle) -> Cycle {
         let now = now + SFENCE_COST;
-        wait_mem!(self, hw, now, self.threads[&t].outstanding.is_empty())
+        let end = wait_mem!(self, hw, now, self.threads[&t].outstanding.is_empty());
+        hw.note_stall(t, StallReason::CommitWait, now, end);
+        end
     }
 
     /// `clwb` of `line` charged to thread `t`'s fence set.
@@ -134,7 +142,14 @@ impl SwUndo {
 
     /// Store raw bytes to a PM line as software would (through the cache),
     /// routing any evictions through the default policy.
-    fn sw_store(&mut self, hw: &mut Hw, t: usize, line: LineAddr, data: &[u8; 64], now: Cycle) -> Cycle {
+    fn sw_store(
+        &mut self,
+        hw: &mut Hw,
+        t: usize,
+        line: LineAddr,
+        data: &[u8; 64],
+        now: Cycle,
+    ) -> Cycle {
         let (lat, evicted) = hw.scheme_store(t, line, 0, data);
         for e in evicted {
             self.on_evict(hw, &e, now);
@@ -143,7 +158,14 @@ impl SwUndo {
     }
 
     /// Write + flush + fence the thread's anchor.
-    fn persist_anchor(&mut self, hw: &mut Hw, t: usize, rid: Rid, anchor: Anchor, now: Cycle) -> Cycle {
+    fn persist_anchor(
+        &mut self,
+        hw: &mut Hw,
+        t: usize,
+        rid: Rid,
+        anchor: Anchor,
+        now: Cycle,
+    ) -> Cycle {
         let addr = Self::anchor_addr(hw, t);
         let now = self.sw_store(hw, t, addr.line(), &anchor.encode(), now);
         let now = self.clwb(hw, t, rid, addr.line(), now);
@@ -161,8 +183,14 @@ impl Scheme for SwUndo {
 
     fn on_thread_start(&mut self, hw: &mut Hw, thread: usize, now: Cycle) -> Cycle {
         let log = LogBuffer::new(hw.layout.log_base(thread), hw.layout.log_bytes);
-        self.threads
-            .insert(thread, SwThread { log, active: None, outstanding: BTreeSet::new() });
+        self.threads.insert(
+            thread,
+            SwThread {
+                log,
+                active: None,
+                outstanding: BTreeSet::new(),
+            },
+        );
         now
     }
 
@@ -184,13 +212,30 @@ impl Scheme for SwUndo {
         });
         if mode == SwMode::Full {
             // Publish the active region so recovery can find its log.
-            self.persist_anchor(hw, thread, rid, Anchor { active: true, rid, first_header }, now)
+            self.persist_anchor(
+                hw,
+                thread,
+                rid,
+                Anchor {
+                    active: true,
+                    rid,
+                    first_header,
+                },
+                now,
+            )
         } else {
             now
         }
     }
 
-    fn pre_write(&mut self, hw: &mut Hw, thread: usize, rid: Rid, line: LineAddr, now: Cycle) -> Cycle {
+    fn pre_write(
+        &mut self,
+        hw: &mut Hw,
+        thread: usize,
+        rid: Rid,
+        line: LineAddr,
+        now: Cycle,
+    ) -> Cycle {
         let th = self.threads.get_mut(&thread).expect("thread started");
         let Some(region) = th.active.as_mut() else {
             return now; // write outside a region: no logging
@@ -201,8 +246,9 @@ impl Scheme for SwUndo {
         }
         region.logged.insert(line);
         let alog = region.alog.as_mut().expect("Full mode has a log");
-        let (entry_addr, sealed) =
-            alog.add_entry(&mut th.log, line).expect("software log overflow");
+        let (entry_addr, sealed) = alog
+            .add_entry(&mut th.log, line)
+            .expect("software log overflow");
         let header_snapshot = (alog.header_addr, alog.header.encode());
         let old = hw.line_value(line);
         // Write the log entry (old value), then the header carrying its
@@ -235,7 +281,11 @@ impl Scheme for SwUndo {
                 hw,
                 thread,
                 rid,
-                Anchor { active: false, rid, first_header: PmAddr(0) },
+                Anchor {
+                    active: false,
+                    rid,
+                    first_header: PmAddr(0),
+                },
                 now,
             );
             let th = self.threads.get_mut(&thread).unwrap();
@@ -254,7 +304,9 @@ impl Scheme for SwUndo {
     }
 
     fn drain(&mut self, hw: &mut Hw, now: Cycle) -> Cycle {
-        wait_mem!(self, hw, now, hw.mem.is_idle())
+        let end = wait_mem!(self, hw, now, hw.mem.is_idle());
+        hw.note_stall(0, StallReason::Drain, now, end);
+        end
     }
 
     fn on_crash(&mut self, _hw: &mut Hw) {
@@ -284,7 +336,8 @@ impl Scheme for SwUndo {
             let mut cursor = anchor.first_header;
             #[allow(clippy::while_let_loop)] // interior rid/full checks
             loop {
-                let Some(h) = crate::logbuf::RecordHeader::decode(&hw.image.read_line(cursor.line()))
+                let Some(h) =
+                    crate::logbuf::RecordHeader::decode(&hw.image.read_line(cursor.line()))
                 else {
                     break; // header never became durable: no entries behind it matter
                 };
@@ -310,7 +363,11 @@ impl Scheme for SwUndo {
             report.restored_lines += recovery::undo_region(&mut hw.image, &records);
             report.uncommitted.push(anchor.rid);
             // Clear the anchor.
-            let cleared = Anchor { active: false, rid: anchor.rid, first_header: PmAddr(0) };
+            let cleared = Anchor {
+                active: false,
+                rid: anchor.rid,
+                first_header: PmAddr(0),
+            };
             hw.image.write(addr, &cleared.encode());
         }
         report
@@ -323,7 +380,11 @@ mod tests {
 
     #[test]
     fn anchor_roundtrip() {
-        let a = Anchor { active: true, rid: Rid::new(3, 9), first_header: PmAddr(0x8010_0000) };
+        let a = Anchor {
+            active: true,
+            rid: Rid::new(3, 9),
+            first_header: PmAddr(0x8010_0000),
+        };
         assert_eq!(Anchor::decode(&a.encode()), Some(a));
         assert_eq!(Anchor::decode(&[0u8; 64]), None);
     }

@@ -66,7 +66,10 @@ impl RegionTracker {
     /// Panics if the thread already has an open region.
     pub fn begin(&mut self, rid: Rid) {
         let t = rid.thread();
-        assert!(!self.open.contains_key(&t), "thread {t} already has an open region");
+        assert!(
+            !self.open.contains_key(&t),
+            "thread {t} already has an open region"
+        );
         self.open.insert(t, rid);
         self.index.insert(rid, self.regions.len());
         self.per_thread.entry(t).or_default().push(rid);
@@ -103,10 +106,15 @@ impl RegionTracker {
         }
     }
 
-    /// Records a region end.
-    pub fn end(&mut self, rid: Rid) {
+    /// Records a region end. Returns the region's footprint —
+    /// `(lines written, cross-region dependencies)` — so the caller can
+    /// fold it into the run statistics (`region.lines_written`,
+    /// `region.deps`).
+    pub fn end(&mut self, rid: Rid) -> (usize, usize) {
         self.open.remove(&rid.thread());
-        self.region_mut(rid).ended = true;
+        let r = self.region_mut(rid);
+        r.ended = true;
+        (r.writes.len(), r.deps.len())
     }
 
     /// Records a completed fence on `thread`: all of its ended regions are
@@ -154,7 +162,10 @@ impl RegionTracker {
         self.open.clear();
         for (i, r) in self.regions.iter().enumerate() {
             self.index.insert(r.rid, i);
-            self.per_thread.entry(r.rid.thread()).or_default().push(r.rid);
+            self.per_thread
+                .entry(r.rid.thread())
+                .or_default()
+                .push(r.rid);
             for (line, (_, new)) in &r.writes {
                 self.shadow.insert(*line, *new);
                 self.last_writer.insert(*line, r.rid);
@@ -238,7 +249,11 @@ impl RegionTracker {
                         format!(
                             "{}{}",
                             r.rid,
-                            if committed.contains(&r.rid) { "(C)" } else { "(U)" }
+                            if committed.contains(&r.rid) {
+                                "(C)"
+                            } else {
+                                "(U)"
+                            }
                         )
                     })
                     .collect();
@@ -324,7 +339,10 @@ mod tests {
         image.write_line(LineAddr(2), &line_val(2));
         let un: BTreeSet<Rid> = [rid(0, 1)].into();
         let err = tr.verify(&image, &un).unwrap_err();
-        assert!(err.contains("committed after an earlier uncommitted"), "{err}");
+        assert!(
+            err.contains("committed after an earlier uncommitted"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -381,6 +399,19 @@ mod tests {
         tr.fence(0);
         assert!(tr.regions()[0].fenced);
         assert!(!tr.regions()[1].fenced);
+    }
+
+    #[test]
+    fn end_reports_region_footprint() {
+        let mut tr = RegionTracker::new();
+        tr.begin(rid(0, 1));
+        tr.write(rid(0, 1), LineAddr(1), line_val(1));
+        tr.end(rid(0, 1));
+        tr.begin(rid(1, 1));
+        tr.read(rid(1, 1), LineAddr(1));
+        tr.write(rid(1, 1), LineAddr(2), line_val(2));
+        tr.write(rid(1, 1), LineAddr(3), line_val(3));
+        assert_eq!(tr.end(rid(1, 1)), (2, 1), "two lines, one dependence");
     }
 
     #[test]

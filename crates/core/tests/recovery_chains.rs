@@ -81,7 +81,11 @@ fn exactly_record_boundary_sizes() {
             let r = m.recover();
             assert!(r.uncommitted.is_empty(), "{scheme} n={n}");
             for i in 0..n {
-                assert_eq!(m.debug_read_u64(a.offset(i * 64)), 3000 + i, "{scheme} n={n}");
+                assert_eq!(
+                    m.debug_read_u64(a.offset(i * 64)),
+                    3000 + i,
+                    "{scheme} n={n}"
+                );
             }
         }
     }

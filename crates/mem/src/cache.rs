@@ -91,7 +91,11 @@ struct TagArray {
 impl TagArray {
     fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets() as usize;
-        TagArray { sets: vec![Vec::new(); sets], ways: cfg.ways as usize, tick: 0 }
+        TagArray {
+            sets: vec![Vec::new(); sets],
+            ways: cfg.ways as usize,
+            tick: 0,
+        }
     }
 
     fn set_of(&self, line: LineAddr) -> usize {
@@ -148,7 +152,10 @@ impl TagArray {
                 victim = Some((set.remove(i).line, forced));
             }
         }
-        set.push(Way { line, last_used: tick });
+        set.push(Way {
+            line,
+            last_used: tick,
+        });
         victim
     }
 
@@ -163,6 +170,18 @@ impl TagArray {
     }
 }
 
+/// Running eviction counters kept by the hierarchy (folded into run stats
+/// as `machine.evict.*` by the owning core model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictionCounts {
+    /// LLC evictions of any kind.
+    pub total: u64,
+    /// Evictions that had to force out an LPO-locked line.
+    pub forced: u64,
+    /// Evictions of dirty lines (caused a writeback).
+    pub dirty: u64,
+}
+
 /// The full cache hierarchy: shared data store plus per-level tag arrays.
 pub struct CacheHierarchy {
     store: HashMap<LineAddr, LineState>,
@@ -174,6 +193,7 @@ pub struct CacheHierarchy {
     llc_lat: u64,
     remote_lat: u64,
     store_cost: u64,
+    evictions: EvictionCounts,
 }
 
 impl CacheHierarchy {
@@ -190,7 +210,13 @@ impl CacheHierarchy {
             llc_lat: cfg.llc.latency,
             remote_lat: cfg.llc.latency + 18,
             store_cost: cfg.store_cost,
+            evictions: EvictionCounts::default(),
         }
+    }
+
+    /// Eviction counters since construction.
+    pub fn eviction_counts(&self) -> EvictionCounts {
+        self.evictions
     }
 
     /// Number of cores the hierarchy was built for.
@@ -247,15 +273,27 @@ impl CacheHierarchy {
             st.pbit = pbit;
             self.store.insert(line, st);
             let store = &self.store;
-            if let Some((victim, forced)) =
-                self.llc.insert(line, |l| store.get(&l).is_none_or(|s| s.evictable()))
+            if let Some((victim, forced)) = self
+                .llc
+                .insert(line, |l| store.get(&l).is_none_or(|s| s.evictable()))
             {
                 let state = self.store.remove(&victim).expect("victim must be in store");
                 for c in 0..self.l1.len() {
                     self.l1[c].remove(victim);
                     self.l2[c].remove(victim);
                 }
-                evicted.push(Evicted { line: victim, state, forced });
+                self.evictions.total += 1;
+                if forced {
+                    self.evictions.forced += 1;
+                }
+                if state.dirty {
+                    self.evictions.dirty += 1;
+                }
+                evicted.push(Evicted {
+                    line: victim,
+                    state,
+                    forced,
+                });
             }
         }
         // Promote into the private levels (tag-only; no writeback needed
@@ -302,7 +340,11 @@ impl CacheHierarchy {
                 HitLevel::Memory => self.llc_lat + miss_latency,
             },
         };
-        Access { latency, level, evicted }
+        Access {
+            latency,
+            level,
+            evicted,
+        }
     }
 
     /// Read access to a cached line's state.
@@ -444,6 +486,21 @@ mod tests {
     }
 
     #[test]
+    fn eviction_counts_track_kinds() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        assert_eq!(h.eviction_counts(), EvictionCounts::default());
+        let llc_lines = cfg.llc.size_bytes / 64;
+        for i in 0..llc_lines + 64 {
+            h.access(0, LineAddr(i), AccessKind::Load, fill(), 0);
+        }
+        let c = h.eviction_counts();
+        assert!(c.total >= 64);
+        assert_eq!(c.forced, 0);
+        assert_eq!(c.dirty, 0);
+    }
+
+    #[test]
     fn llc_eviction_back_invalidates_and_reports() {
         let cfg = SystemConfig::small();
         let mut h = CacheHierarchy::new(&cfg);
@@ -525,7 +582,10 @@ mod tests {
         let mut h = hierarchy();
         h.access(0, LineAddr(5), AccessKind::Store, fill(), 0);
         h.line_mut(LineAddr(5)).unwrap().owner = Some(Rid::new(0, 1));
-        assert!(h.line(LineAddr(5)).unwrap().is_owned_by_other(Rid::new(1, 1)));
+        assert!(h
+            .line(LineAddr(5))
+            .unwrap()
+            .is_owned_by_other(Rid::new(1, 1)));
     }
 
     #[test]

@@ -49,7 +49,13 @@ pub struct LineState {
 impl LineState {
     /// A clean line holding `data`.
     pub fn from_bytes(data: [u8; LINE_SIZE]) -> Self {
-        LineState { data, dirty: false, pbit: false, lock_bit: false, owner: None }
+        LineState {
+            data,
+            dirty: false,
+            pbit: false,
+            lock_bit: false,
+            owner: None,
+        }
     }
 
     /// Whether `rid` would observe a cross-region access: the line has an
@@ -105,7 +111,10 @@ mod tests {
 
     #[test]
     fn lock_bit_blocks_eviction() {
-        let l = LineState { lock_bit: true, ..LineState::default() };
+        let l = LineState {
+            lock_bit: true,
+            ..LineState::default()
+        };
         assert!(!l.evictable());
     }
 

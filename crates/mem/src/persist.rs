@@ -69,8 +69,19 @@ pub struct PersistOp {
 
 impl PersistOp {
     /// Convenience constructor for ops that don't log another line.
-    pub fn new(kind: PersistKind, target: LineAddr, data: [u8; LINE_SIZE], rid: Option<Rid>) -> Self {
-        PersistOp { kind, target, data, rid, logged_data_line: None }
+    pub fn new(
+        kind: PersistKind,
+        target: LineAddr,
+        data: [u8; LINE_SIZE],
+        rid: Option<Rid>,
+    ) -> Self {
+        PersistOp {
+            kind,
+            target,
+            data,
+            rid,
+            logged_data_line: None,
+        }
     }
 }
 
@@ -147,9 +158,18 @@ mod tests {
     #[test]
     fn event_at_returns_timestamp() {
         let op = PersistOp::new(PersistKind::Dpo, LineAddr(1), [0; 64], None);
-        let e = MemEvent::Accepted { id: OpId(1), op, at: Cycle(5), ack_at: Cycle(6) };
+        let e = MemEvent::Accepted {
+            id: OpId(1),
+            op,
+            at: Cycle(5),
+            ack_at: Cycle(6),
+        };
         assert_eq!(e.at(), Cycle(5));
-        let e = MemEvent::PmWritten { id: OpId(1), op, at: Cycle(9) };
+        let e = MemEvent::PmWritten {
+            id: OpId(1),
+            op,
+            at: Cycle(9),
+        };
         assert_eq!(e.at(), Cycle(9));
     }
 

@@ -45,14 +45,18 @@ impl Rid {
     /// The same thread's next region (control-dependence predecessor
     /// relationship: `r` is the predecessor of `r.next()`).
     pub fn next(self) -> Rid {
-        Rid { thread: self.thread, local: self.local + 1 }
+        Rid {
+            thread: self.thread,
+            local: self.local + 1,
+        }
     }
 
     /// The same thread's previous region, if any.
     pub fn prev(self) -> Option<Rid> {
-        self.local
-            .checked_sub(1)
-            .map(|local| Rid { thread: self.thread, local })
+        self.local.checked_sub(1).map(|local| Rid {
+            thread: self.thread,
+            local,
+        })
     }
 
     /// The memory channel hosting this region's Dependence List entry,

@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 
 use asap_pmem::{LineAddr, MemoryImage};
-use asap_sim::{Cycle, EventQueue, MemConfig, Stats};
+use asap_sim::{Cycle, EventQueue, MemConfig, Stats, Trace, TraceEvent, TraceSettings};
 
 use crate::persist::{MemEvent, OpId, PersistKind, PersistOp};
 use crate::rid::Rid;
@@ -30,7 +30,7 @@ struct WpqSlot {
 /// Internal channel events.
 #[derive(Clone, Debug)]
 enum ChEvent {
-    Arrive(OpId, PersistOp),
+    Arrive(OpId, PersistOp, Cycle),
     WriteDone(OpId),
     /// Residency expiry check: start draining if an entry is overdue.
     DrainCheck,
@@ -42,7 +42,8 @@ struct Channel {
     capacity: usize,
     wpq: Vec<WpqSlot>,
     /// Arrived while the WPQ was full; accepted as slots free (FIFO).
-    pending: VecDeque<(OpId, PersistOp)>,
+    /// Each entry remembers its original submit time.
+    pending: VecDeque<(OpId, PersistOp, Cycle)>,
     /// Entry currently being written to the media, if any.
     writing: Option<OpId>,
     next_seq: u64,
@@ -108,6 +109,7 @@ pub struct MemSystem {
     out: VecDeque<MemEvent>,
     next_id: u64,
     stats: Stats,
+    trace: Trace,
 }
 
 impl MemSystem {
@@ -117,12 +119,26 @@ impl MemSystem {
         let n = mem.num_channels();
         MemSystem {
             cfg: mem,
-            channels: (0..n).map(|_| Channel::new(mem.wpq_entries as usize)).collect(),
+            channels: (0..n)
+                .map(|_| Channel::new(mem.wpq_entries as usize))
+                .collect(),
             events: EventQueue::new(),
             out: VecDeque::new(),
             next_id: 0,
             stats: Stats::new(),
+            trace: Trace::disabled(),
         }
+    }
+
+    /// Reconfigures event tracing (records `WpqAccept`/`WpqDrain` with the
+    /// channel as the trace thread id).
+    pub fn set_trace_settings(&mut self, settings: TraceSettings) {
+        self.trace = Trace::new(settings);
+    }
+
+    /// The memory-side event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// The channel serving `line` (interleaved by line address).
@@ -137,7 +153,10 @@ impl MemSystem {
         self.next_id += 1;
         let ch = self.channel_of(op.target);
         self.stats.bump(&format!("mem.submit.{}", op.kind.name()));
-        self.events.push(now + self.cfg.mc_hop_latency, (ch, ChEvent::Arrive(id, op)));
+        self.events.push(
+            now + self.cfg.mc_hop_latency,
+            (ch, ChEvent::Arrive(id, op, now)),
+        );
         id
     }
 
@@ -168,11 +187,11 @@ impl MemSystem {
             .chain(
                 ch.pending
                     .iter()
-                    .filter(|(_, op)| op.target == line)
-                    .map(|(id, op)| (*id, op.data)),
+                    .filter(|(_, op, _)| op.target == line)
+                    .map(|(id, op, _)| (*id, op.data)),
             )
             .chain(self.events.iter().filter_map(|(_, ev)| match ev {
-                ChEvent::Arrive(id, op) if op.target == line => Some((*id, op.data)),
+                ChEvent::Arrive(id, op, _) if op.target == line => Some((*id, op.data)),
                 _ => None,
             }))
             .max_by_key(|(id, _)| *id);
@@ -216,12 +235,12 @@ impl MemSystem {
 
     fn handle(&mut self, t: Cycle, ch_idx: usize, ev: ChEvent, image: &mut MemoryImage) {
         match ev {
-            ChEvent::Arrive(id, op) => {
+            ChEvent::Arrive(id, op, submitted) => {
                 let ch = &mut self.channels[ch_idx];
                 if ch.has_free_slot() {
-                    self.accept(t, ch_idx, id, op);
+                    self.accept(t, ch_idx, id, op, submitted);
                 } else {
-                    ch.pending.push_back((id, op));
+                    ch.pending.push_back((id, op, submitted));
                     self.stats.bump("mem.wpq.full_arrival");
                 }
                 self.maybe_start_write(t, ch_idx);
@@ -233,12 +252,28 @@ impl MemSystem {
                 let idx = ch.slot_index(id).expect("in-flight slot missing");
                 let slot = ch.wpq.remove(idx);
                 image.write_line(slot.op.target, &slot.op.data);
-                self.stats.bump(&format!("pm.write.{}", slot.op.kind.name()));
+                self.stats
+                    .bump(&format!("pm.write.{}", slot.op.kind.name()));
                 self.stats.bump("pm.write.total");
-                self.out.push_back(MemEvent::PmWritten { id: slot.id, op: slot.op, at: t });
+                let residency = t.since(slot.accepted_at);
+                self.stats.sample("mem.wpq.residency_cycles", residency);
+                self.trace.emit(
+                    t,
+                    ch_idx as u32,
+                    TraceEvent::WpqDrain {
+                        channel: ch_idx as u32,
+                        kind: slot.op.kind.name(),
+                        residency,
+                    },
+                );
+                self.out.push_back(MemEvent::PmWritten {
+                    id: slot.id,
+                    op: slot.op,
+                    at: t,
+                });
                 // A slot freed: accept the oldest pending arrival, if any.
-                if let Some((pid, pop)) = self.channels[ch_idx].pending.pop_front() {
-                    self.accept(t, ch_idx, pid, pop);
+                if let Some((pid, pop, psub)) = self.channels[ch_idx].pending.pop_front() {
+                    self.accept(t, ch_idx, pid, pop, psub);
                 }
                 self.maybe_start_write(t, ch_idx);
             }
@@ -248,17 +283,35 @@ impl MemSystem {
         }
     }
 
-    fn accept(&mut self, t: Cycle, ch_idx: usize, id: OpId, op: PersistOp) {
+    fn accept(&mut self, t: Cycle, ch_idx: usize, id: OpId, op: PersistOp, submitted: Cycle) {
         let ch = &mut self.channels[ch_idx];
         debug_assert!(ch.has_free_slot());
         let seq = ch.next_seq;
         ch.next_seq += 1;
-        ch.wpq.push(WpqSlot { id, op, seq, accepted_at: t });
+        ch.wpq.push(WpqSlot {
+            id,
+            op,
+            seq,
+            accepted_at: t,
+        });
         self.stats.sample("mem.wpq.occupancy", ch.wpq.len() as u64);
+        // Persist latency: submit to persistence-domain acceptance (the
+        // durability point under ADR, §4.1).
+        self.stats.sample("mem.persist.latency", t.since(submitted));
+        self.trace.emit(
+            t,
+            ch_idx as u32,
+            TraceEvent::WpqAccept {
+                channel: ch_idx as u32,
+                kind: op.kind.name(),
+            },
+        );
         if self.cfg.wpq_residency > 0 {
             // Lazy drain: revisit this entry when its residency expires.
-            self.events
-                .push(t + self.cfg.wpq_residency, (ch_idx as u32, ChEvent::DrainCheck));
+            self.events.push(
+                t + self.cfg.wpq_residency,
+                (ch_idx as u32, ChEvent::DrainCheck),
+            );
         }
         self.out.push_back(MemEvent::Accepted {
             id,
@@ -279,14 +332,15 @@ impl MemSystem {
         if ch.writing.is_some() {
             return;
         }
-        let Some(slot) = ch.next_to_write() else { return };
-        let due = residency == 0
-            || ch.wpq.len() >= watermark
-            || slot.accepted_at + residency <= t;
+        let Some(slot) = ch.next_to_write() else {
+            return;
+        };
+        let due = residency == 0 || ch.wpq.len() >= watermark || slot.accepted_at + residency <= t;
         if due {
             let id = slot.id;
             ch.writing = Some(id);
-            self.events.push(t + service, (ch_idx as u32, ChEvent::WriteDone(id)));
+            self.events
+                .push(t + service, (ch_idx as u32, ChEvent::WriteDone(id)));
         }
     }
 
@@ -296,8 +350,7 @@ impl MemSystem {
         let mut dropped = 0;
         for ch_idx in 0..self.channels.len() {
             dropped += self.drop_matching(ch_idx, |op| {
-                matches!(op.kind, PersistKind::Lpo | PersistKind::LogHeader)
-                    && op.rid == Some(rid)
+                matches!(op.kind, PersistKind::Lpo | PersistKind::LogHeader) && op.rid == Some(rid)
             });
         }
         self.stats.add("pm.drop.lpo", dropped);
@@ -330,14 +383,14 @@ impl MemSystem {
                 break;
             }
             match self.channels[ch_idx].pending.pop_front() {
-                Some((pid, pop)) => {
+                Some((pid, pop, psub)) => {
                     // Accept at the time the channel last made progress; we
                     // use the next event horizon conservatively: acceptance
                     // is immediate bookkeeping, timestamped "now-ish" via
                     // the earliest pending event or zero. The scheme only
                     // cares about ordering, which is preserved.
                     let t = self.events.peek_time().unwrap_or(Cycle::ZERO);
-                    self.accept(t, ch_idx, pid, pop);
+                    self.accept(t, ch_idx, pid, pop, psub);
                 }
                 None => break,
             }
@@ -557,7 +610,10 @@ mod tests {
         mem.submit(dpo(pm_line(8), 3, None), Cycle(0));
         // Do NOT advance: the op has not even arrived at its controller.
         let (data, _) = mem.read_for_fill(pm_line(8), &image);
-        assert_eq!(data[0], 3, "a just-evicted line must read its own writeback");
+        assert_eq!(
+            data[0], 3,
+            "a just-evicted line must read its own writeback"
+        );
     }
 
     #[test]
@@ -606,9 +662,17 @@ mod tests {
         mem.submit(dpo(pm_line(4), 0, None), Cycle(0));
         mem.submit(dpo(pm_line(0), 1, Some(r1)), Cycle(0));
         mem.advance_to(Cycle(16), &mut image);
-        assert_eq!(mem.drop_pending_dpo(pm_line(0), r1), 0, "own region's DPO kept");
+        assert_eq!(
+            mem.drop_pending_dpo(pm_line(0), r1),
+            0,
+            "own region's DPO kept"
+        );
         assert_eq!(mem.drop_pending_dpo(pm_line(8), r2), 0, "other line kept");
-        assert_eq!(mem.drop_pending_dpo(pm_line(0), r2), 1, "earlier region's DPO dropped");
+        assert_eq!(
+            mem.drop_pending_dpo(pm_line(0), r2),
+            1,
+            "earlier region's DPO dropped"
+        );
         mem.advance_to(Cycle(100_000), &mut image);
         assert_eq!(mem.stats().get("pm.write.dpo"), 1); // only sacrificial one
         assert_eq!(mem.stats().get("pm.drop.dpo"), 1);
@@ -626,7 +690,11 @@ mod tests {
         mem.submit(dpo(pm_line(1), 2, None), Cycle(0));
         mem.advance_to(Cycle(16), &mut image); // first accepted, second pending
         mem.flush_to_image(&mut image);
-        assert_eq!(image.read_line(pm_line(0))[0], 1, "accepted entry flushed (ADR)");
+        assert_eq!(
+            image.read_line(pm_line(0))[0],
+            1,
+            "accepted entry flushed (ADR)"
+        );
         assert_eq!(image.read_line(pm_line(1))[0], 0, "unaccepted entry lost");
         assert_eq!(mem.stats().get("crash.flushed"), 1);
         assert_eq!(mem.stats().get("crash.lost_unaccepted"), 1);
@@ -683,7 +751,11 @@ mod tests {
         mem.advance_to(Cycle(200), &mut image); // accepted, resting
         assert_eq!(mem.drop_log_writes_of(rid), 1, "droppable while resting");
         mem.advance_to(Cycle(10_000), &mut image);
-        assert_eq!(mem.stats().get("pm.write.total"), 0, "dropped, never written");
+        assert_eq!(
+            mem.stats().get("pm.write.total"),
+            0,
+            "dropped, never written"
+        );
     }
 
     #[test]

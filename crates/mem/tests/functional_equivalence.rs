@@ -46,9 +46,21 @@ impl Micro {
     fn new(residency: u64) -> Self {
         let mut cfg = SystemConfig::small();
         // Absurdly small caches: 16-line LLC over a 96-line working set.
-        cfg.l1 = CacheConfig { size_bytes: 4 * 64, ways: 2, latency: 4 };
-        cfg.l2 = CacheConfig { size_bytes: 8 * 64, ways: 2, latency: 14 };
-        cfg.llc = CacheConfig { size_bytes: 16 * 64, ways: 4, latency: 42 };
+        cfg.l1 = CacheConfig {
+            size_bytes: 4 * 64,
+            ways: 2,
+            latency: 4,
+        };
+        cfg.l2 = CacheConfig {
+            size_bytes: 8 * 64,
+            ways: 2,
+            latency: 14,
+        };
+        cfg.llc = CacheConfig {
+            size_bytes: 16 * 64,
+            ways: 4,
+            latency: 42,
+        };
         cfg.mem.wpq_entries = 2;
         cfg.mem.wpq_residency = residency;
         cfg.mem.wpq_drain_watermark = 1;

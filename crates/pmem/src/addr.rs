@@ -139,7 +139,11 @@ impl fmt::Display for LineAddr {
 /// ```
 pub fn lines_touching(addr: PmAddr, len: u64) -> impl Iterator<Item = LineAddr> {
     let first = addr.0 / LINE_BYTES;
-    let last = if len == 0 { first } else { (addr.0 + len - 1) / LINE_BYTES };
+    let last = if len == 0 {
+        first
+    } else {
+        (addr.0 + len - 1) / LINE_BYTES
+    };
     (first..=last).map(LineAddr)
 }
 

@@ -78,11 +78,19 @@ impl RangeAllocator {
     ///
     /// Panics if `base` is not cache-line aligned or `size` is zero.
     pub fn new(base: PmAddr, size: u64) -> Self {
-        assert!(base.0.is_multiple_of(LINE_BYTES), "allocator base must be line-aligned");
+        assert!(
+            base.0.is_multiple_of(LINE_BYTES),
+            "allocator base must be line-aligned"
+        );
         assert!(size > 0, "allocator size must be nonzero");
         let mut free = BTreeMap::new();
         free.insert(base.0, size);
-        RangeAllocator { base, size, free, live: BTreeMap::new() }
+        RangeAllocator {
+            base,
+            size,
+            free,
+            live: BTreeMap::new(),
+        }
     }
 
     /// Allocates `len` bytes (rounded up to whole cache lines).
@@ -224,7 +232,7 @@ mod tests {
         h.free(a).unwrap();
         h.free(c).unwrap();
         h.free(b).unwrap(); // merges with both neighbours
-        // After coalescing we can allocate the whole 3-line span again.
+                            // After coalescing we can allocate the whole 3-line span again.
         let big = h.alloc(192).unwrap();
         assert_eq!(big, a);
     }

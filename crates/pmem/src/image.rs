@@ -13,7 +13,10 @@ struct Page {
 
 impl Page {
     fn zeroed() -> Self {
-        Page { bytes: Box::new([0u8; PAGE_BYTES as usize]), persistent: false }
+        Page {
+            bytes: Box::new([0u8; PAGE_BYTES as usize]),
+            persistent: false,
+        }
     }
 }
 
@@ -44,7 +47,9 @@ pub struct MemoryImage {
 impl MemoryImage {
     /// Creates an empty (all-zero) image.
     pub fn new() -> Self {
-        MemoryImage { pages: BTreeMap::new() }
+        MemoryImage {
+            pages: BTreeMap::new(),
+        }
     }
 
     fn page_mut(&mut self, page_no: u64) -> &mut Page {

@@ -1,0 +1,45 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::{BoxedStrategy, FnGen, Strategy};
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug + 'static {
+    /// The canonical strategy for `Self`.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// Returns the canonical strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                FnGen::new(|rng| rng.next_u64() as $t).boxed()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        FnGen::new(|rng| rng.next_u64() & 1 == 1).boxed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn any_covers_domain_edges_eventually() {
+        let mut rng = TestRng::for_case("arbitrary::bool", 0);
+        let s = any::<bool>();
+        let trues = (0..100).filter(|_| s.generate(&mut rng)).count();
+        assert!(trues > 20 && trues < 80);
+    }
+}

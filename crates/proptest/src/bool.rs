@@ -1,0 +1,37 @@
+//! Boolean strategies (`proptest::bool::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `true` with probability `p`.
+pub fn weighted(p: f64) -> Weighted {
+    assert!((0.0..=1.0).contains(&p), "weighted: p out of [0, 1]");
+    Weighted { p }
+}
+
+/// The strategy returned by [`weighted`].
+#[derive(Clone, Copy, Debug)]
+pub struct Weighted {
+    p: f64,
+}
+
+impl Strategy for Weighted {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.unit_f64() < self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_roughly_respected() {
+        let mut rng = TestRng::for_case("bool::weighted", 0);
+        let s = weighted(0.15);
+        let hits = (0..10_000).filter(|_| s.generate(&mut rng)).count();
+        assert!((1000..2000).contains(&hits), "hits = {hits}");
+    }
+}

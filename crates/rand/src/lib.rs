@@ -1,0 +1,221 @@
+//! Offline drop-in subset of the `rand` crate API.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! this workspace ships the small slice of `rand` it actually uses as a path
+//! dependency (see `[workspace.dependencies]` in the root manifest). The
+//! package keeps the upstream name so workload code is source-compatible with
+//! the real crate.
+//!
+//! Determinism is part of the contract: `StdRng` here is xoshiro256++ seeded
+//! via SplitMix64, and every sampling method derives from `next_u64` with
+//! fixed arithmetic, so a given seed yields the same stream on every run and
+//! platform. The simulator's reproducibility tests rely on this.
+
+#![warn(missing_docs)]
+
+use core::ops::{Bound, RangeBounds};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard RNG: xoshiro256++ seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types producible uniformly over their whole domain by [`RngExt::random`].
+pub trait Uniformable: Sized {
+    /// Draws a uniformly distributed value.
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniformable_int {
+    ($($t:ty),*) => {$(
+        impl Uniformable for $t {
+            fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_uniformable_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniformable for bool {
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Uniformable for f64 {
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high-quality bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from the inclusive range `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The predecessor of `self` (used to close half-open ranges).
+    fn prev(self) -> Self;
+    /// The largest representable value.
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "random_range: empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                // Modulo draw: span is far below 2^64 everywhere in this
+                // workspace, so the bias is negligible and determinism is
+                // what matters.
+                let v = (rng.next_u64() as u128) % span;
+                (lo as u128 + v) as $t
+            }
+            fn prev(self) -> Self {
+                self - 1
+            }
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Extension methods over any [`RngCore`], mirroring the upstream extension trait.
+pub trait RngExt: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn random<T: Uniformable>(&mut self) -> T {
+        T::uniform(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "random_bool: p out of [0, 1]");
+        f64::uniform(self) < p
+    }
+
+    /// Draws uniformly from `range` (`a..b` or `a..=b`).
+    fn random_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform,
+        B: RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(_) | Bound::Unbounded => {
+                panic!("random_range: range must have an included start")
+            }
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.prev(),
+            Bound::Unbounded => T::max_value(),
+        };
+        T::sample_inclusive(self, lo, hi)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = r.random_range(5..=15);
+            assert!((5..=15).contains(&w));
+            let u: usize = r.random_range(0..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_sane() {
+        let mut r = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn range_single_value() {
+        let mut r = StdRng::seed_from_u64(3);
+        let v: u64 = r.random_range(4..=4);
+        assert_eq!(v, 4);
+    }
+}

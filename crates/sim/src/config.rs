@@ -166,9 +166,21 @@ impl SystemConfig {
     pub fn table2() -> Self {
         SystemConfig {
             cores: 18,
-            l1: CacheConfig { size_bytes: 32 << 10, ways: 8, latency: 4 },
-            l2: CacheConfig { size_bytes: 1 << 20, ways: 16, latency: 14 },
-            llc: CacheConfig { size_bytes: 8 << 20, ways: 16, latency: 42 },
+            l1: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 1 << 20,
+                ways: 16,
+                latency: 14,
+            },
+            llc: CacheConfig {
+                size_bytes: 8 << 20,
+                ways: 16,
+                latency: 42,
+            },
             mem: MemConfig {
                 controllers: 2,
                 channels_per_mc: 2,
@@ -202,9 +214,21 @@ impl SystemConfig {
     pub fn small() -> Self {
         let mut c = Self::table2();
         c.cores = 4;
-        c.l1 = CacheConfig { size_bytes: 4 << 10, ways: 4, latency: 4 };
-        c.l2 = CacheConfig { size_bytes: 16 << 10, ways: 8, latency: 14 };
-        c.llc = CacheConfig { size_bytes: 64 << 10, ways: 8, latency: 42 };
+        c.l1 = CacheConfig {
+            size_bytes: 4 << 10,
+            ways: 4,
+            latency: 4,
+        };
+        c.l2 = CacheConfig {
+            size_bytes: 16 << 10,
+            ways: 8,
+            latency: 14,
+        };
+        c.llc = CacheConfig {
+            size_bytes: 64 << 10,
+            ways: 8,
+            latency: 42,
+        };
         c
     }
 

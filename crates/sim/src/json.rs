@@ -1,0 +1,50 @@
+//! Tiny hand-rolled JSON emission helpers.
+//!
+//! The build environment is offline, so the exporters (stats report, Chrome
+//! trace-event) cannot pull in serde; everything is string-built here. Only
+//! emission is supported — nothing in the simulator parses JSON.
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `v` as a JSON number; non-finite values become `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain.name"), "plain.name");
+    }
+
+    #[test]
+    fn num_guards_nonfinite() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

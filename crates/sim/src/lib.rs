@@ -35,13 +35,19 @@
 pub mod clock;
 pub mod config;
 pub mod events;
+pub mod json;
 pub mod lock;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 
 pub use clock::Cycle;
 pub use config::{AsapConfig, CacheConfig, MemConfig, SystemConfig};
 pub use events::EventQueue;
 pub use lock::VirtualLock;
 pub use sched::ThreadClocks;
-pub use stats::Stats;
+pub use stats::{Histogram, Stats, Summary};
+pub use trace::{
+    chrome_trace_json, StallClass, StallReason, Trace, TraceEvent, TracePart, TraceRecord,
+    TraceSettings,
+};

@@ -65,7 +65,10 @@ impl VirtualLock {
     /// precedes the current holder's *acquisition* — the scheduler must run
     /// threads in timestamp order, so this indicates a scheduling bug.
     pub fn acquire(&mut self, now: Cycle) -> Cycle {
-        assert!(!self.held, "virtual lock acquired while held: scheduler bug");
+        assert!(
+            !self.held,
+            "virtual lock acquired while held: scheduler bug"
+        );
         let start = now.max(self.free_at);
         let waited = start - now;
         if waited > 0 {

@@ -36,7 +36,10 @@ pub struct ThreadClocks {
 impl ThreadClocks {
     /// Creates clocks for `n` threads, all at time zero and runnable.
     pub fn new(n: usize) -> Self {
-        ThreadClocks { clocks: vec![Cycle::ZERO; n], finished: vec![false; n] }
+        ThreadClocks {
+            clocks: vec![Cycle::ZERO; n],
+            finished: vec![false; n],
+        }
     }
 
     /// Number of threads.

@@ -1,15 +1,31 @@
-//! Simulation statistics: named counters and simple distributions.
+//! Simulation statistics: named counters and log-bucketed distributions.
+//!
+//! Every sampled quantity is kept as a [`Histogram`]: an exact [`Summary`]
+//! (count / sum / sum of squares / min / max) plus HdrHistogram-style
+//! log-bucketed counts giving p50/p95/p99 within a bounded relative error
+//! (≤ 12.5%, from 8 sub-buckets per octave). Bucket counts merge exactly
+//! across registries, so quantiles of a merged run equal quantiles of the
+//! concatenated sample stream — the property tests in this module rely on it.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::json;
+
+/// Sub-bucket resolution: each power-of-two octave splits into `2^SUB_BITS`
+/// linear sub-buckets. Values below `2^SUB_BITS` are exact.
+const SUB_BITS: u32 = 3;
+const SUB: u64 = 1 << SUB_BITS;
 
 /// A running summary of an observed quantity (e.g. cycles per atomic region).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     /// Number of samples recorded.
     pub count: u64,
-    /// Sum of all samples.
-    pub sum: u64,
+    /// Sum of all samples (u128: immune to overflow for any u64 stream).
+    pub sum: u128,
+    /// Sum of squared samples (for variance; u128 to avoid overflow).
+    pub sum_sq: u128,
     /// Smallest sample (0 when empty).
     pub min: u64,
     /// Largest sample (0 when empty).
@@ -27,7 +43,10 @@ impl Summary {
             self.max = self.max.max(v);
         }
         self.count += 1;
-        self.sum += v;
+        self.sum += u128::from(v);
+        // Saturating: two squares of ~u64::MAX exceed u128. Saturation is
+        // commutative and associative, so merges stay order-independent.
+        self.sum_sq = self.sum_sq.saturating_add(u128::from(v) * u128::from(v));
     }
 
     /// Arithmetic mean of the samples, or 0.0 when empty.
@@ -38,9 +57,181 @@ impl Summary {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Population variance of the samples, or 0.0 when empty.
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.mean();
+        // E[x^2] - E[x]^2, clamped: the two terms are near-equal for tight
+        // distributions and f64 rounding can drive the difference negative.
+        (self.sum_sq as f64 / n - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation of the samples, or 0.0 when empty.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Folds another summary's samples into this one, exactly.
+    pub fn merge_from(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq = self.sum_sq.saturating_add(other.sum_sq);
+    }
 }
 
-/// A registry of named counters and summaries produced by a simulation run.
+/// A log-bucketed histogram: an exact [`Summary`] plus per-bucket counts
+/// supporting quantile queries and exact merges.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    summary: Summary,
+    /// Bucket counts, indexed by [`bucket_index`]; grown on demand.
+    counts: Vec<u64>,
+}
+
+/// Maps a sample to its bucket index. Values below `SUB` map exactly;
+/// larger values share an octave split into `SUB` linear sub-buckets.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = msb - SUB_BITS;
+    let sub = (v >> octave) & (SUB - 1);
+    (SUB + u64::from(octave) * SUB + sub) as usize
+}
+
+/// The inclusive value range `[lo, hi]` covered by bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    let index = index as u64;
+    if index < SUB {
+        return (index, index);
+    }
+    let octave = index / SUB - 1;
+    let sub = index % SUB;
+    let lo = (SUB + sub) << octave;
+    (lo, lo + ((1u64 << octave) - 1))
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.summary.record(v);
+        let i = bucket_index(v);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+    }
+
+    /// The exact running summary (count, sum, min, max, variance).
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.summary.count
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded samples, or 0 when
+    /// empty. Exact for values below 8; within one sub-bucket (≤ 12.5%
+    /// relative error) above, linearly interpolated inside the bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.summary.count;
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest value with at least ceil(q*n) samples
+        // at or below it.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // within is 1..=c; interpolate in u128 — top-octave widths
+                // (~2^61) times a count overflow u64.
+                let within = rank - cum;
+                let interp = u128::from(hi - lo) * u128::from(within) / u128::from(c);
+                let est = lo + interp as u64;
+                // The exact extremes are known; never report outside them.
+                return est.clamp(self.summary.min, self.summary.max);
+            }
+            cum += c;
+        }
+        self.summary.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Largest recorded sample (exact).
+    pub fn max(&self) -> u64 {
+        self.summary.max
+    }
+
+    /// Folds another histogram into this one. Bucket counts add, so the
+    /// result is identical to a histogram of the concatenated sample
+    /// streams — not an approximation.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        self.summary.merge_from(&other.summary);
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
+    /// Renders the histogram as a JSON object.
+    pub fn to_json(&self) -> String {
+        let s = &self.summary;
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+             \"stddev\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            json::num(s.mean()),
+            json::num(s.stddev()),
+            self.p50(),
+            self.p95(),
+            self.p99(),
+        )
+    }
+}
+
+/// A registry of named counters and distributions produced by a simulation
+/// run.
 ///
 /// Names are free-form dotted strings (`"pm.write.lpo"`). The registry is
 /// ordered (BTreeMap) so reports are stable.
@@ -56,11 +247,12 @@ impl Summary {
 /// assert_eq!(s.get("pm.write"), 4);
 /// s.sample("region.cycles", 120);
 /// assert_eq!(s.summary("region.cycles").unwrap().mean(), 120.0);
+/// assert_eq!(s.histogram("region.cycles").unwrap().p50(), 120);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     counters: BTreeMap<String, u64>,
-    summaries: BTreeMap<String, Summary>,
+    summaries: BTreeMap<String, Histogram>,
 }
 
 impl Stats {
@@ -87,17 +279,24 @@ impl Stats {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Records a sample into summary `name`.
+    /// Records a sample into distribution `name`.
     pub fn sample(&mut self, name: &str, v: u64) {
         self.summaries.entry(name.to_owned()).or_default().record(v);
     }
 
-    /// Returns summary `name`, if any samples were recorded.
+    /// Returns the summary of distribution `name`, if any samples were
+    /// recorded.
     pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.get(name).map(|h| h.summary())
+    }
+
+    /// Returns the full histogram of distribution `name`, if any samples
+    /// were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.summaries.get(name)
     }
 
-    /// Discards all samples of summary `name` (e.g. to exclude a setup
+    /// Discards all samples of distribution `name` (e.g. to exclude a setup
     /// phase from steady-state measurements).
     pub fn reset_summary(&mut self, name: &str) {
         self.summaries.remove(name);
@@ -108,29 +307,49 @@ impl Stats {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
-    /// Iterates over all summaries in name order.
+    /// Iterates over all distribution summaries in name order.
     pub fn summaries(&self) -> impl Iterator<Item = (&str, &Summary)> {
+        self.summaries
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.summary()))
+    }
+
+    /// Iterates over all distributions in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.summaries.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Merges another registry into this one (counters add, samples merge).
+    /// Merges another registry into this one. Counters add; distributions
+    /// merge per bucket, so merged quantiles equal quantiles of the
+    /// concatenated samples.
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
-        for (k, s) in &other.summaries {
-            let dst = self.summaries.entry(k.clone()).or_default();
-            if s.count > 0 {
-                if dst.count == 0 {
-                    *dst = *s;
-                } else {
-                    dst.count += s.count;
-                    dst.sum += s.sum;
-                    dst.min = dst.min.min(s.min);
-                    dst.max = dst.max.max(s.max);
-                }
-            }
+        for (k, h) in &other.summaries {
+            self.summaries.entry(k.clone()).or_default().merge_from(h);
         }
+    }
+
+    /// Renders the whole registry as a JSON object:
+    /// `{"counters": {...}, "histograms": {name: {count, ..., p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", json::escape(k), v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.summaries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", json::escape(k), h.to_json()));
+        }
+        out.push_str("\n  }\n}\n");
+        out
     }
 }
 
@@ -139,13 +358,17 @@ impl fmt::Display for Stats {
         for (k, v) in &self.counters {
             writeln!(f, "{k} = {v}")?;
         }
-        for (k, s) in &self.summaries {
+        for (k, h) in &self.summaries {
+            let s = h.summary();
             writeln!(
                 f,
-                "{k}: n={} mean={:.1} min={} max={}",
+                "{k}: n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
                 s.count,
                 s.mean(),
                 s.min,
+                h.p50(),
+                h.p95(),
+                h.p99(),
                 s.max
             )?;
         }
@@ -190,6 +413,29 @@ mod tests {
     #[test]
     fn empty_summary_mean_is_zero() {
         assert_eq!(Summary::default().mean(), 0.0);
+        assert_eq!(Summary::default().variance(), 0.0);
+        assert_eq!(Summary::default().stddev(), 0.0);
+    }
+
+    #[test]
+    fn variance_matches_definition() {
+        let mut s = Summary::default();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            s.record(v);
+        }
+        // Classic example: mean 5, population variance 4, stddev 2.
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.variance() - 4.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_zero_for_constant_samples() {
+        let mut s = Summary::default();
+        for _ in 0..100 {
+            s.record(1_000_000);
+        }
+        assert_eq!(s.variance(), 0.0);
     }
 
     #[test]
@@ -236,5 +482,127 @@ mod tests {
         s.add("a", 1);
         let names: Vec<&str> = s.counters().map(|(k, _)| k).collect();
         assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn bucket_index_monotone_and_bounds_consistent() {
+        let mut prev = None;
+        for v in (0..2048u64).chain([1 << 20, (1 << 20) + 1, u64::MAX - 1, u64::MAX]) {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+            if let Some((pv, pi)) = prev {
+                assert!(i >= pi, "index not monotone at {pv}->{v}");
+            }
+            prev = Some((v, i));
+        }
+    }
+
+    #[test]
+    fn small_values_have_exact_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = h.quantile(q) as f64;
+            assert!(
+                (est - exact).abs() / exact <= 0.125,
+                "q={q} est={est} exact={exact}"
+            );
+        }
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [3u64, 17, 400, 12_345, 9] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 1 << 30, 250, 250, 8] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, both);
+    }
+
+    mod merge_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn hist_of(samples: &[u64]) -> Histogram {
+            let mut h = Histogram::default();
+            for &v in samples {
+                h.record(v);
+            }
+            h
+        }
+
+        proptest! {
+            // Per-bucket merge is exact: a merged histogram is
+            // indistinguishable from one built over the concatenated
+            // sample stream — counts, sum, max, and every quantile.
+            #[test]
+            fn merged_equals_histogram_of_concatenation(
+                a in proptest::collection::vec(0u64..=u64::MAX, 0..200),
+                b in proptest::collection::vec(0u64..1_000_000, 0..200),
+            ) {
+                let mut merged = hist_of(&a);
+                merged.merge_from(&hist_of(&b));
+                let mut concat = a.clone();
+                concat.extend_from_slice(&b);
+                let both = hist_of(&concat);
+                prop_assert_eq!(&merged, &both);
+                for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+                    prop_assert_eq!(merged.quantile(q), both.quantile(q));
+                }
+                prop_assert_eq!(merged.count(), a.len() as u64 + b.len() as u64);
+                prop_assert_eq!(merged.max(), both.max());
+            }
+
+            // Merging is commutative: order of operands never matters.
+            #[test]
+            fn merge_is_commutative(
+                a in proptest::collection::vec(0u64..=u64::MAX, 0..120),
+                b in proptest::collection::vec(0u64..=u64::MAX, 0..120),
+            ) {
+                let mut ab = hist_of(&a);
+                ab.merge_from(&hist_of(&b));
+                let mut ba = hist_of(&b);
+                ba.merge_from(&hist_of(&a));
+                prop_assert_eq!(&ab, &ba);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_json_contains_quantiles() {
+        let mut s = Stats::new();
+        s.add("pm.write.total", 7);
+        for v in 1..100u64 {
+            s.sample("region.cycles", v * 10);
+        }
+        let j = s.to_json();
+        assert!(j.contains("\"pm.write.total\": 7"));
+        assert!(j.contains("\"region.cycles\""));
+        assert!(j.contains("\"p50\":"));
+        assert!(j.contains("\"p95\":"));
+        assert!(j.contains("\"p99\":"));
     }
 }

@@ -2,12 +2,51 @@
 
 use asap_core::machine::{Machine, MachineConfig, RunOutcome, StepFn, ThreadCtx};
 use asap_core::scheme::RecoveryReport;
-use asap_sim::Stats;
+use asap_sim::{Stats, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::spec::WorkloadSpec;
 use crate::structures::{AnyBench, Benchmark};
+
+/// Mean per-region cycle breakdown: compute plus the four stall classes.
+/// The components sum to the mean of `region.cycles` (within float error),
+/// because the machine samples them from the same per-region accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StallBreakdown {
+    /// Cycles not attributed to any stall class.
+    pub compute: f64,
+    /// Waiting for log space (`region.stall.log_full`).
+    pub log_full: f64,
+    /// Persistence-path backpressure (LH-WPQ, CL entries, CLPtr slots).
+    pub wpq_backpressure: f64,
+    /// Inter-region dependence waits (Dep slots/entries, LPO locks).
+    pub dependency_wait: f64,
+    /// Synchronous durability waits (commit, fence, drain).
+    pub commit_wait: f64,
+}
+
+impl StallBreakdown {
+    /// Sum of all components (≈ mean region cycles).
+    pub fn total(&self) -> f64 {
+        self.compute
+            + self.log_full
+            + self.wpq_backpressure
+            + self.dependency_wait
+            + self.commit_wait
+    }
+
+    fn from_stats(stats: &Stats) -> Self {
+        let mean = |n: &str| stats.summary(n).map_or(0.0, Summary::mean);
+        StallBreakdown {
+            compute: mean("region.compute"),
+            log_full: mean("region.stall.log_full"),
+            wpq_backpressure: mean("region.stall.wpq_backpressure"),
+            dependency_wait: mean("region.stall.dependency_wait"),
+            commit_wait: mean("region.stall.commit_wait"),
+        }
+    }
+}
 
 /// Everything a figure needs from one run.
 #[derive(Clone, Debug)]
@@ -26,8 +65,15 @@ pub struct RunResult {
     pub pm_writes: u64,
     /// Mean cycles per atomic region (Fig. 8's metric).
     pub region_cycles_mean: f64,
+    /// Mean per-region cycle breakdown by stall class.
+    pub stalls: StallBreakdown,
     /// Full statistics registry.
     pub stats: Stats,
+    /// Chrome trace-event JSON (only when the spec enables tracing).
+    pub chrome_trace: Option<String>,
+    /// Deterministic text dump of the CPU and memory traces (only when
+    /// the spec enables tracing); byte-identical across identical runs.
+    pub trace_dump: Option<String>,
     /// Whether the run completed or crashed.
     pub outcome: RunOutcome,
     /// Recovery report when the run crashed and recovered.
@@ -56,7 +102,9 @@ impl RunResult {
 
 /// Builds the machine for a spec.
 fn machine_for(spec: &WorkloadSpec) -> Machine {
-    let mut cfg = MachineConfig::new(spec.scheme, spec.threads).with_system(spec.system);
+    let mut cfg = MachineConfig::new(spec.scheme, spec.threads)
+        .with_system(spec.system)
+        .with_trace(spec.trace);
     if spec.track {
         cfg = cfg.with_tracking();
     }
@@ -94,7 +142,20 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
     // clocks, and exclude setup from the per-region and traffic metrics.
     m.drain();
     m.sync_thread_clocks();
-    m.reset_summary("region.cycles");
+    // Exclude setup regions from every per-region metric, so the stall
+    // breakdown keeps summing to `region.cycles`.
+    for name in [
+        "region.cycles",
+        "region.compute",
+        "region.stall.log_full",
+        "region.stall.wpq_backpressure",
+        "region.stall.dependency_wait",
+        "region.stall.commit_wait",
+        "region.lines_written",
+        "region.deps",
+    ] {
+        m.reset_summary(name);
+    }
     let pm_writes_setup = m.pm_write_traffic();
     // Arm the crash counter only after setup so setup always survives.
     if let Some(n) = spec.crash_after {
@@ -124,21 +185,31 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         RunOutcome::Completed => {
             let exec = m.makespan();
             let drained = m.drain();
-            bench.verify(&mut m).expect("structural invariants after run");
+            bench
+                .verify(&mut m)
+                .expect("structural invariants after run");
             (exec, drained, None)
         }
         RunOutcome::Crashed => {
             let exec = m.makespan();
             let report = m.recover(); // panics on a consistency violation
-            // Atomic durability means structural invariants hold at region
-            // boundaries — so they must hold in the recovered image too.
-            bench.verify(&mut m).expect("structural invariants after recovery");
+                                      // Atomic durability means structural invariants hold at region
+                                      // boundaries — so they must hold in the recovered image too.
+            bench
+                .verify(&mut m)
+                .expect("structural invariants after recovery");
             (exec, exec, Some(report))
         }
     };
     let stats = m.stats();
     let tx = m.tx_count();
     let cycles = exec.raw().saturating_sub(setup_end.raw()).max(1);
+    let (chrome_trace, trace_dump) = if spec.trace.enabled {
+        let dump = format!("{}{}", m.trace().dump(), m.hw().mem.trace().dump());
+        (Some(m.trace_chrome_json()), Some(dump))
+    } else {
+        (None, None)
+    };
     RunResult {
         spec: *spec,
         tx,
@@ -147,9 +218,12 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         throughput: tx as f64 * 1000.0 / cycles as f64,
         pm_writes: stats.get("pm.write.total").saturating_sub(pm_writes_setup),
         region_cycles_mean: stats.summary("region.cycles").map_or(0.0, |s| s.mean()),
+        stalls: StallBreakdown::from_stats(&stats),
         stats,
         outcome,
         recovery,
+        chrome_trace,
+        trace_dump,
     }
 }
 
@@ -197,9 +271,56 @@ mod tests {
     }
 
     #[test]
+    fn stall_breakdown_sums_to_region_cycles() {
+        // Table 2 configuration (acceptance criterion): the per-region
+        // breakdown components must sum to the mean region duration within
+        // one cycle per region.
+        let r = run(&WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap).with_ops(50));
+        assert!(r.region_cycles_mean > 0.0);
+        let diff = (r.stalls.total() - r.region_cycles_mean).abs();
+        assert!(
+            diff <= 1.0,
+            "breakdown {:?} (total {:.2}) vs region.cycles mean {:.2}",
+            r.stalls,
+            r.stalls.total(),
+            r.region_cycles_mean
+        );
+    }
+
+    #[test]
+    fn sync_schemes_attribute_commit_wait() {
+        let r = run(&small(BenchId::Hm, SchemeKind::HwUndo));
+        assert!(
+            r.stalls.commit_wait > 0.0,
+            "synchronous commit must show up as commit-wait: {:?}",
+            r.stalls
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic_and_off_by_default() {
+        use asap_sim::TraceSettings;
+        let plain = run(&small(BenchId::Hm, SchemeKind::Asap));
+        assert!(plain.chrome_trace.is_none() && plain.trace_dump.is_none());
+        let spec = small(BenchId::Hm, SchemeKind::Asap).with_trace(TraceSettings::enabled());
+        let a = run(&spec);
+        let b = run(&spec);
+        let dump = a.trace_dump.as_deref().expect("trace captured");
+        assert!(!dump.is_empty());
+        assert_eq!(
+            a.trace_dump, b.trace_dump,
+            "event streams must be byte-identical"
+        );
+        assert_eq!(a.chrome_trace, b.chrome_trace);
+        assert!(dump.contains("RegionBegin") && dump.contains("WpqAccept"));
+    }
+
+    #[test]
     fn crash_run_recovers_consistently() {
         for scheme in [SchemeKind::Asap, SchemeKind::HwUndo] {
-            let spec = small(BenchId::Hm, scheme).with_tracking().with_crash_after(40);
+            let spec = small(BenchId::Hm, scheme)
+                .with_tracking()
+                .with_crash_after(40);
             let r = run(&spec);
             assert_eq!(r.outcome, RunOutcome::Crashed, "{scheme}");
             assert!(r.recovery.is_some());

@@ -26,6 +26,6 @@ pub mod pmops;
 pub mod spec;
 pub mod structures;
 
-pub use driver::{run, RunResult};
+pub use driver::{run, RunResult, StallBreakdown};
 pub use spec::{BenchId, WorkloadSpec};
 pub use structures::Benchmark;

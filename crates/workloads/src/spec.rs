@@ -3,7 +3,7 @@
 use std::fmt;
 
 use asap_core::scheme::SchemeKind;
-use asap_sim::SystemConfig;
+use asap_sim::{SystemConfig, TraceSettings};
 
 /// The nine benchmarks of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -119,6 +119,9 @@ pub struct WorkloadSpec {
     pub track: bool,
     /// Arm a power failure at the N-th persistent write.
     pub crash_after: Option<u64>,
+    /// Event-trace settings (off by default; `ASAP_TRACE` via
+    /// [`TraceSettings::from_env`]).
+    pub trace: TraceSettings,
 }
 
 impl WorkloadSpec {
@@ -136,6 +139,7 @@ impl WorkloadSpec {
             seed: 0xA5A5_0001,
             track: false,
             crash_after: None,
+            trace: TraceSettings::disabled(),
         }
     }
 
@@ -189,6 +193,12 @@ impl WorkloadSpec {
     /// Replaces the system configuration.
     pub fn with_system(mut self, system: SystemConfig) -> Self {
         self.system = system;
+        self
+    }
+
+    /// Enables event tracing for the run.
+    pub fn with_trace(mut self, trace: TraceSettings) -> Self {
+        self.trace = trace;
         self
     }
 }

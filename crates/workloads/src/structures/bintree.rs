@@ -30,7 +30,10 @@ impl BinTree {
     ///
     /// Panics if the heap is exhausted.
     pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
-        BinTree { root_cell: m.pm_alloc(8).expect("heap"), lock: 0 }
+        BinTree {
+            root_cell: m.pm_alloc(8).expect("heap"),
+            lock: 0,
+        }
     }
 
     fn alloc_node(ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) -> PmAddr {

@@ -181,7 +181,13 @@ impl BTree {
         }
     }
 
-    fn debug_walk(m: &mut Machine, node: u64, depth: u64, out: &mut Vec<u64>, leaf_depths: &mut Vec<u64>) {
+    fn debug_walk(
+        m: &mut Machine,
+        node: u64,
+        depth: u64,
+        out: &mut Vec<u64>,
+        leaf_depths: &mut Vec<u64>,
+    ) {
         let Some(n) = as_ptr(node) else { return };
         let count = debug_field(m, n, N);
         let leaf = debug_field(m, n, LEAF) != 0;
@@ -334,7 +340,10 @@ mod tests {
             });
             model.insert(key, i);
         }
-        assert_eq!(t.debug_keys(&mut m), model.keys().copied().collect::<Vec<_>>());
+        assert_eq!(
+            t.debug_keys(&mut m),
+            model.keys().copied().collect::<Vec<_>>()
+        );
         for (k, tag) in model {
             m.run_thread(0, |ctx| {
                 assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64));

@@ -46,7 +46,10 @@ impl CritBitTree {
     ///
     /// Panics if the heap is exhausted.
     pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
-        CritBitTree { root_cell: m.pm_alloc(8).expect("heap"), lock: 0 }
+        CritBitTree {
+            root_cell: m.pm_alloc(8).expect("heap"),
+            lock: 0,
+        }
     }
 
     fn new_leaf(ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) -> u64 {
@@ -138,7 +141,9 @@ impl CritBitTree {
         }
         let bit = debug_field(m, untag(p), IBIT);
         if bit >= bound {
-            return Err(format!("crit-bit order violated: bit {bit} under bound {bound}"));
+            return Err(format!(
+                "crit-bit order violated: bit {bit} under bound {bound}"
+            ));
         }
         let l = debug_field(m, untag(p), ILEFT);
         let r = debug_field(m, untag(p), IRIGHT);
@@ -238,7 +243,10 @@ mod tests {
             });
             model.insert(key, i);
         }
-        assert_eq!(t.debug_keys(&mut m), model.keys().copied().collect::<Vec<_>>());
+        assert_eq!(
+            t.debug_keys(&mut m),
+            model.keys().copied().collect::<Vec<_>>()
+        );
         for (k, tag) in model {
             m.run_thread(0, |ctx| {
                 assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64));

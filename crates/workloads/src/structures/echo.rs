@@ -200,7 +200,11 @@ mod tests {
             t.put(ctx, 5, 2, 64);
             ctx.end_region();
         });
-        assert_eq!(m.hw().heap.live_bytes(), after_insert, "update is allocation-neutral");
+        assert_eq!(
+            m.hw().heap.live_bytes(),
+            after_insert,
+            "update is allocation-neutral"
+        );
     }
 
     #[test]

@@ -183,7 +183,10 @@ mod tests {
         let (mut m, t, _s) = harness();
         // Find three keys in the same bucket.
         let b0 = t.bucket(0);
-        let same: Vec<u64> = (0..100_000u64).filter(|k| t.bucket(*k) == b0).take(3).collect();
+        let same: Vec<u64> = (0..100_000u64)
+            .filter(|k| t.bucket(*k) == b0)
+            .take(3)
+            .collect();
         assert_eq!(same.len(), 3);
         m.run_thread(0, |ctx| {
             ctx.begin_region();
@@ -214,8 +217,7 @@ mod tests {
     #[test]
     fn per_bucket_locks_differ() {
         let (_m, t, _s) = harness();
-        let l: std::collections::BTreeSet<usize> =
-            (0..64).map(|k| t.lock_for(k)).collect();
+        let l: std::collections::BTreeSet<usize> = (0..64).map(|k| t.lock_for(k)).collect();
         assert!(l.len() > 1, "keys should spread across locks");
     }
 }

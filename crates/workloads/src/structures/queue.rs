@@ -38,7 +38,10 @@ impl Queue {
     ///
     /// Panics if the heap is exhausted.
     pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
-        Queue { anchor: m.pm_alloc(24).expect("heap"), lock: 0 }
+        Queue {
+            anchor: m.pm_alloc(24).expect("heap"),
+            lock: 0,
+        }
     }
 
     /// Appends `key` with a fresh payload, inside the current region.
@@ -204,6 +207,10 @@ mod tests {
             q.dequeue(ctx);
             ctx.end_region();
         });
-        assert_eq!(m.hw().heap.live_bytes(), before, "enqueue+dequeue is balanced");
+        assert_eq!(
+            m.hw().heap.live_bytes(),
+            before,
+            "enqueue+dequeue is balanced"
+        );
     }
 }

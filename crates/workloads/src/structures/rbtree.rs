@@ -38,7 +38,10 @@ impl RbTree {
     ///
     /// Panics if the heap is exhausted.
     pub fn create(m: &mut Machine, _spec: &WorkloadSpec) -> Self {
-        RbTree { root_cell: m.pm_alloc(8).expect("heap"), lock: 0 }
+        RbTree {
+            root_cell: m.pm_alloc(8).expect("heap"),
+            lock: 0,
+        }
     }
 
     fn color(ctx: &mut ThreadCtx, node: u64) -> u64 {
@@ -92,7 +95,11 @@ impl RbTree {
             let p = PmAddr(zp);
             let g = PmAddr(read_field(ctx, p, PARENT)); // red parent ⇒ has grandparent
             let p_is_left = read_field(ctx, g, LEFT) == p.0;
-            let (side, other) = if p_is_left { (LEFT, RIGHT) } else { (RIGHT, LEFT) };
+            let (side, other) = if p_is_left {
+                (LEFT, RIGHT)
+            } else {
+                (RIGHT, LEFT)
+            };
             let uncle = read_field(ctx, g, other);
             if Self::color(ctx, uncle) == RED {
                 write_field(ctx, p, COLOR, BLACK);
@@ -171,7 +178,10 @@ impl RbTree {
             for c in [left, right] {
                 if let Some(cp) = as_ptr(c) {
                     if debug_field(m, cp, COLOR) == RED {
-                        return Err(format!("red-red violation at key {}", debug_field(m, n, KEY)));
+                        return Err(format!(
+                            "red-red violation at key {}",
+                            debug_field(m, n, KEY)
+                        ));
                     }
                 }
             }
@@ -294,7 +304,10 @@ mod tests {
             });
             model.insert(key, i);
         }
-        assert_eq!(t.debug_keys(&mut m), model.keys().copied().collect::<Vec<_>>());
+        assert_eq!(
+            t.debug_keys(&mut m),
+            model.keys().copied().collect::<Vec<_>>()
+        );
         for (k, tag) in model {
             m.run_thread(0, |ctx| {
                 assert_eq!(t.get(ctx, k, 64).unwrap(), payload(k, tag, 64), "key {k}");

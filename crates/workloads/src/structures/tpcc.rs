@@ -68,16 +68,23 @@ impl Tpcc {
     ///
     /// Panics if the heap is exhausted.
     pub fn create(m: &mut Machine, spec: &WorkloadSpec) -> Self {
-        let info_bytes = if spec.value_bytes > 64 { spec.value_bytes.div_ceil(64) * 64 } else { 0 };
+        let info_bytes = if spec.value_bytes > 64 {
+            spec.value_bytes.div_ceil(64) * 64
+        } else {
+            0
+        };
         Tpcc {
             districts: m.pm_alloc(DISTRICTS * ROW).expect("heap"),
             stock: m.pm_alloc(ITEMS * ROW).expect("heap"),
-            orders: m.pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * ROW).expect("heap"),
+            orders: m
+                .pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * ROW)
+                .expect("heap"),
             order_lines: m
                 .pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * MAX_LINES * ROW)
                 .expect("heap"),
             order_info: if info_bytes > 0 {
-                m.pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * info_bytes).expect("heap")
+                m.pm_alloc(DISTRICTS * ORDERS_PER_DISTRICT * info_bytes)
+                    .expect("heap")
             } else {
                 PmAddr(0)
             },
@@ -189,7 +196,9 @@ impl Benchmark for Tpcc {
             let qty = m.debug_read_u64(self.stock_row(i).offset(8 * S_QTY));
             let cnt = m.debug_read_u64(self.stock_row(i).offset(8 * S_ORDER_CNT));
             if qty + cnt != INIT_QTY {
-                return Err(format!("stock row {i}: qty {qty} + cnt {cnt} != {INIT_QTY}"));
+                return Err(format!(
+                    "stock row {i}: qty {qty} + cnt {cnt} != {INIT_QTY}"
+                ));
             }
             let ytd = m.debug_read_u64(self.stock_row(i).offset(8 * S_YTD));
             if ytd != cnt {

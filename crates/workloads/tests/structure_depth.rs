@@ -81,16 +81,16 @@ fn tpcc_four_threads_full_ring_wraparound() {
     drop(steps);
     m.drain();
     t.verify(&mut m).unwrap();
-    let total: u64 = (0..tpcc::DISTRICTS).map(|d| t.debug_orders(&mut m, d)).sum();
+    let total: u64 = (0..tpcc::DISTRICTS)
+        .map(|d| t.debug_orders(&mut m, d))
+        .sum();
     assert_eq!(total, 4 * per_thread);
 }
 
 #[test]
 fn stringswap_2kb_under_asap_with_crash() {
     let spec = WorkloadSpec::small(BenchId::Ss, SchemeKind::Asap).with_value_bytes(2048);
-    let mut m = Machine::new(
-        MachineConfig::small(SchemeKind::Asap, 2).with_tracking(),
-    );
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 2).with_tracking());
     let mut t = StringSwap::create(&mut m, &spec);
     t.setup(&mut m, &spec);
     m.drain();

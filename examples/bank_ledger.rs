@@ -55,12 +55,13 @@ impl Bank {
 }
 
 fn total(machine: &mut Machine, bank: &Bank) -> u64 {
-    (0..ACCOUNTS).map(|i| machine.debug_read_u64(bank.account(i))).sum()
+    (0..ACCOUNTS)
+        .map(|i| machine.debug_read_u64(bank.account(i)))
+        .sum()
 }
 
 fn run_scheme(scheme: SchemeKind, crash_after: u64) {
-    let mut machine =
-        Machine::new(MachineConfig::small(scheme, TELLERS).with_tracking());
+    let mut machine = Machine::new(MachineConfig::small(scheme, TELLERS).with_tracking());
     let bank = Bank {
         accounts: machine.pm_alloc(ACCOUNTS * 64).expect("heap"),
         audit: machine.pm_alloc(8).expect("heap"),
@@ -122,7 +123,10 @@ fn run_scheme(scheme: SchemeKind, crash_after: u64) {
 }
 
 fn main() {
-    println!("--- bank ledger: {} accounts x ${INITIAL}, {TELLERS} tellers ---", ACCOUNTS);
+    println!(
+        "--- bank ledger: {} accounts x ${INITIAL}, {TELLERS} tellers ---",
+        ACCOUNTS
+    );
     for scheme in [
         SchemeKind::Asap,
         SchemeKind::HwUndo,

@@ -46,8 +46,14 @@ fn main() {
     m.crash_now();
     let report = m.recover();
     println!("power failure!");
-    println!("  uncommitted regions rolled back : {:?}", report.uncommitted);
-    println!("  log entries restored            : {}", report.restored_lines);
+    println!(
+        "  uncommitted regions rolled back : {:?}",
+        report.uncommitted
+    );
+    println!(
+        "  log entries restored            : {}",
+        report.restored_lines
+    );
 
     let survived = m.debug_read_u64(shared);
     println!("\nshared counter after recovery: {survived} (of 8 increments)");

@@ -28,7 +28,9 @@ fn main() {
         SchemeKind::Asap,
         SchemeKind::NoPersist,
     ] {
-        let r = run(&WorkloadSpec::new(BenchId::Hm, scheme).with_threads(4).with_ops(300));
+        let r = run(&WorkloadSpec::new(BenchId::Hm, scheme)
+            .with_threads(4)
+            .with_ops(300));
         println!(
             "{:10} {:>12.3} {:>13.2}x {:>12} {:>16.0}",
             scheme.name(),

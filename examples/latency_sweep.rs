@@ -13,10 +13,15 @@ use asap_workloads::{run, BenchId, WorkloadSpec};
 
 fn main() {
     println!("--- throughput vs PM latency (Q benchmark, normalized to NP) ---\n");
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8}", "PM lat", "NP", "ASAP", "HWUndo", "HWRedo");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}",
+        "PM lat", "NP", "ASAP", "HWUndo", "HWRedo"
+    );
     for mult in [1u64, 2, 4, 8, 16] {
         let spec = |s: SchemeKind| {
-            let mut sp = WorkloadSpec::new(BenchId::Q, s).with_threads(4).with_ops(200);
+            let mut sp = WorkloadSpec::new(BenchId::Q, s)
+                .with_threads(4)
+                .with_ops(200);
             sp.system = sp.system.with_pm_latency_mult(mult);
             sp
         };
@@ -24,7 +29,10 @@ fn main() {
         let asap = run(&spec(SchemeKind::Asap)).speedup_over(&np);
         let undo = run(&spec(SchemeKind::HwUndo)).speedup_over(&np);
         let redo = run(&spec(SchemeKind::HwRedo)).speedup_over(&np);
-        println!("{:>5}x {:>8.2} {:>8.2} {:>8.2} {:>8.2}", mult, 1.0, asap, undo, redo);
+        println!(
+            "{:>5}x {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            mult, 1.0, asap, undo, redo
+        );
     }
     println!("\nASAP performs no persist operations on the critical path, so its");
     println!("throughput is insensitive to the persist latency — it suits both");

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     machine.crash_now();
     machine.recover();
-    println!("after a fenced region + crash: counter = {}", machine.debug_read_u64(counter));
+    println!(
+        "after a fenced region + crash: counter = {}",
+        machine.debug_read_u64(counter)
+    );
     assert_eq!(machine.debug_read_u64(counter), survived + 100);
     Ok(())
 }

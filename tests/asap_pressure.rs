@@ -26,7 +26,11 @@ fn machine_with(sys: SystemConfig, threads: u32) -> Machine {
 }
 
 fn machine_with_scheme(sys: SystemConfig, threads: u32, scheme: SchemeKind) -> Machine {
-    Machine::new(MachineConfig::small(scheme, threads).with_system(sys).with_tracking())
+    Machine::new(
+        MachineConfig::small(scheme, threads)
+            .with_system(sys)
+            .with_tracking(),
+    )
 }
 
 #[test]
@@ -66,7 +70,10 @@ fn clptr_slot_pressure_stalls_then_progresses() {
     });
     m.drain();
     let s = m.stats();
-    assert!(s.get("asap.stall.clptr_slots") > 0, "CLPtr slots filled: {s}");
+    assert!(
+        s.get("asap.stall.clptr_slots") > 0,
+        "CLPtr slots filled: {s}"
+    );
     for i in 0..16u64 {
         assert_eq!(m.debug_read_u64(a.offset(i * 64)), i + 1);
     }
@@ -81,9 +88,9 @@ fn dep_slot_pressure_stalls_then_progresses() {
     // dependencies than the 4 Dep slots.
     let mut sys = congested_system();
     sys.asap.cl_list_entries = 8; // let thread 1 keep 6 regions in flight
-    // LPO dropping would recycle the congested WPQ slots at each commit
-    // and let the pipeline cascade; turn the optimizations off so the
-    // regions genuinely stay uncommitted.
+                                  // LPO dropping would recycle the congested WPQ slots at each commit
+                                  // and let the pipeline cascade; turn the optimizations off so the
+                                  // regions genuinely stay uncommitted.
     let mut m = machine_with_scheme(sys, 2, SchemeKind::AsapWith(AsapOpts::none()));
     let channels = u64::from(sys.mem.num_channels());
     // Same-channel lines: stride of `channels` lines.
@@ -135,7 +142,10 @@ fn dep_entry_pressure_stalls_then_progresses() {
     });
     m.drain();
     let s = m.stats();
-    assert!(s.get("asap.stall.dep_entries") > 0, "Dependence List filled: {s}");
+    assert!(
+        s.get("asap.stall.dep_entries") > 0,
+        "Dependence List filled: {s}"
+    );
     assert_eq!(s.get("region.committed"), 10);
 }
 

@@ -84,7 +84,11 @@ fn sw_undo_survives_crashes() {
 #[test]
 fn asap_without_optimizations_is_still_crash_consistent() {
     use asap_core::scheme::AsapOpts;
-    for opts in [AsapOpts::none(), AsapOpts::coalescing_only(), AsapOpts::coalescing_and_lpo()] {
+    for opts in [
+        AsapOpts::none(),
+        AsapOpts::coalescing_only(),
+        AsapOpts::coalescing_and_lpo(),
+    ] {
         for bench in [BenchId::Hm, BenchId::Q] {
             sweep(bench, SchemeKind::AsapWith(opts), &MID);
         }

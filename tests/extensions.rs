@@ -16,7 +16,9 @@ fn numa_filter_reduces_broadcast_messages() {
         let mut sys = SystemConfig::small();
         sys.asap.numa_broadcast_filter = filter;
         let mut m = Machine::new(
-            MachineConfig::small(SchemeKind::Asap, 2).with_system(sys).with_tracking(),
+            MachineConfig::small(SchemeKind::Asap, 2)
+                .with_system(sys)
+                .with_tracking(),
         );
         let a = m.pm_alloc(64 * 8).unwrap();
         for i in 0..12u64 {
@@ -35,7 +37,11 @@ fn numa_filter_reduces_broadcast_messages() {
     let (unfiltered, commits_a) = run(false);
     let (filtered, commits_b) = run(true);
     assert_eq!(commits_a, commits_b, "same commits either way");
-    assert_eq!(unfiltered, commits_a * 4, "unfiltered: one message per channel");
+    assert_eq!(
+        unfiltered,
+        commits_a * 4,
+        "unfiltered: one message per channel"
+    );
     assert!(
         filtered < unfiltered,
         "filter must reduce messages: {filtered} vs {unfiltered}"

@@ -25,7 +25,10 @@ fn fence_forces_durability_of_all_prior_regions() {
     });
     m.crash_now();
     let report = m.recover();
-    assert!(report.uncommitted.is_empty(), "fence left nothing uncommitted");
+    assert!(
+        report.uncommitted.is_empty(),
+        "fence left nothing uncommitted"
+    );
     for i in 0..16u64 {
         assert_eq!(m.debug_read_u64(a.offset(i * 8)), i + 1);
     }
@@ -52,7 +55,11 @@ fn fence_covers_cross_thread_dependencies() {
     m.crash_now();
     m.recover();
     assert_eq!(m.debug_read_u64(y), 50, "fenced consumer durable");
-    assert_eq!(m.debug_read_u64(x), 5, "its producer dependence durable too");
+    assert_eq!(
+        m.debug_read_u64(x),
+        5,
+        "its producer dependence durable too"
+    );
 }
 
 #[test]
@@ -70,8 +77,9 @@ fn without_fence_commits_are_asynchronous_but_ordered() {
     });
     m.crash_now(); // before draining
     m.recover();
-    let survived: Vec<bool> =
-        (0..8u64).map(|i| m.debug_read_u64(a.offset(i * 8)) != 0).collect();
+    let survived: Vec<bool> = (0..8u64)
+        .map(|i| m.debug_read_u64(a.offset(i * 8)) != 0)
+        .collect();
     let first_lost = survived.iter().position(|s| !s).unwrap_or(8);
     assert!(
         survived[first_lost..].iter().all(|s| !s),

@@ -49,7 +49,10 @@ fn control_dependence_single_thread() {
         // Y may never hold a newer generation than X allows: if Y was
         // written (0xBBBB or later) then X's first region must be durable.
         if yv != 0 {
-            assert_ne!(xv, 0, "crash@{crash_at}: Y persisted but X was lost (Fig. 2a-i)");
+            assert_ne!(
+                xv, 0,
+                "crash@{crash_at}: Y persisted but X was lost (Fig. 2a-i)"
+            );
         }
     }
 }
@@ -88,7 +91,10 @@ fn data_dependence_across_threads() {
         let xv = m.debug_read_u64(x);
         let yv = m.debug_read_u64(y);
         if yv != 0 {
-            assert_eq!(xv, 41, "crash@{crash_at}: consumer survived, producer lost (Fig. 2a-ii)");
+            assert_eq!(
+                xv, 41,
+                "crash@{crash_at}: consumer survived, producer lost (Fig. 2a-ii)"
+            );
             assert_eq!(yv, 42);
         }
     }
@@ -126,8 +132,8 @@ fn chained_dependences_stay_closed() {
             m.crash_now();
         }
         m.recover(); // tracker enforces dependence closure
-        // The counter equals the number of surviving increments: every
-        // surviving region observed the value its predecessor wrote.
+                     // The counter equals the number of surviving increments: every
+                     // surviving region observed the value its predecessor wrote.
         let final_v = m.debug_read_u64(cell);
         assert!(final_v <= 8);
     }

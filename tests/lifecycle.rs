@@ -10,8 +10,12 @@ use asap_core::scheme::SchemeKind;
 
 #[test]
 fn repeated_crash_recover_cycles() {
-    for scheme in [SchemeKind::Asap, SchemeKind::HwUndo, SchemeKind::HwRedo, SchemeKind::SwUndo]
-    {
+    for scheme in [
+        SchemeKind::Asap,
+        SchemeKind::HwUndo,
+        SchemeKind::HwRedo,
+        SchemeKind::SwUndo,
+    ] {
         let mut m = Machine::new(MachineConfig::small(scheme, 2).with_tracking());
         let counter = m.pm_alloc(8).unwrap();
         let mut durable_floor = 0u64;

@@ -30,7 +30,11 @@ fn region_strategy(threads: usize, cells: u64) -> impl Strategy<Value = RegionOp
         proptest::collection::vec(0..cells, 1..6),
         proptest::bool::weighted(0.15),
     )
-        .prop_map(|(thread, cells, fence)| RegionOp { thread, cells, fence })
+        .prop_map(|(thread, cells, fence)| RegionOp {
+            thread,
+            cells,
+            fence,
+        })
 }
 
 fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
@@ -85,8 +89,8 @@ fn check(scheme: SchemeKind, ops: Vec<RegionOp>, crash_at: u64) {
         m.crash_now();
     }
     m.recover(); // full verification happens here
-    // Value sanity: every nonzero surviving cell holds a stamp some
-    // region actually wrote to that cell.
+                 // Value sanity: every nonzero surviving cell holds a stamp some
+                 // region actually wrote to that cell.
     for c in 0..CELLS {
         let v = m.debug_read_u64(base.offset(c * 8));
         if v == 0 {

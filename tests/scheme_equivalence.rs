@@ -25,7 +25,9 @@ fn fingerprints(bench: BenchId) -> Vec<(String, String)> {
     all_schemes()
         .into_iter()
         .map(|scheme| {
-            let spec = WorkloadSpec::small(bench, scheme).with_ops(30).with_seed(42);
+            let spec = WorkloadSpec::small(bench, scheme)
+                .with_ops(30)
+                .with_seed(42);
             // Re-drive the machine manually so we can inspect contents.
             let mut m = asap_core::machine::Machine::new(
                 asap_core::machine::MachineConfig::small(scheme, spec.threads)
@@ -97,7 +99,11 @@ fn all_schemes_agree_on_final_state() {
 #[test]
 fn throughput_ordering_holds_on_the_full_system() {
     // NP ≥ ASAP > HWUndo ≥ ... > SW on a dependence-heavy benchmark.
-    let spec = |s| WorkloadSpec::new(BenchId::Q, s).with_threads(4).with_ops(120);
+    let spec = |s| {
+        WorkloadSpec::new(BenchId::Q, s)
+            .with_threads(4)
+            .with_ops(120)
+    };
     let np = run(&spec(SchemeKind::NoPersist));
     let asap = run(&spec(SchemeKind::Asap));
     let undo = run(&spec(SchemeKind::HwUndo));
@@ -110,12 +116,19 @@ fn throughput_ordering_holds_on_the_full_system() {
     assert!(asap.throughput > redo.throughput, "async beats sync redo");
     assert!(undo.throughput > sw.throughput, "hardware beats software");
     assert!(redo.throughput > sw.throughput, "hardware beats software");
-    assert!(np.throughput >= asap.throughput * 0.95, "ASAP within 5% of NP");
+    assert!(
+        np.throughput >= asap.throughput * 0.95,
+        "ASAP within 5% of NP"
+    );
 }
 
 #[test]
 fn asap_traffic_is_lowest_of_the_logging_schemes() {
-    let spec = |s| WorkloadSpec::new(BenchId::Q, s).with_threads(4).with_ops(120);
+    let spec = |s| {
+        WorkloadSpec::new(BenchId::Q, s)
+            .with_threads(4)
+            .with_ops(120)
+    };
     let asap = run(&spec(SchemeKind::Asap));
     let undo = run(&spec(SchemeKind::HwUndo));
     let redo = run(&spec(SchemeKind::HwRedo));
