@@ -9,6 +9,10 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> parallel harness equivalence (ASAP_JOBS=1 vs ASAP_JOBS=4)"
+ASAP_JOBS=1 cargo test -q --test parallel_equivalence
+ASAP_JOBS=4 cargo test -q --test parallel_equivalence
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -8,9 +8,9 @@
 //! ASAP) — so ASAP's advantage should *grow* with thread count on a
 //! lock-contended benchmark. Q uses a single global lock.
 
-use asap_bench::{geomean, header, ops, row};
+use asap_bench::{emit_wallclock, geomean, header, ops, row, run_grid};
 use asap_core::scheme::SchemeKind;
-use asap_workloads::{run, BenchId, WorkloadSpec};
+use asap_workloads::{BenchId, WorkloadSpec};
 
 const THREADS: [u32; 5] = [1, 2, 4, 8, 16];
 const SCHEMES: [(&str, SchemeKind); 4] = [
@@ -21,31 +21,43 @@ const SCHEMES: [(&str, SchemeKind); 4] = [
 ];
 
 fn main() {
+    let t0 = std::time::Instant::now();
     println!(
         "\n=== Ablation: throughput vs threads on Q (global lock), normalized to 1-thread SW ==="
     );
     header("scheme", &["t=1", "t=2", "t=4", "t=8", "t=16"]);
-    let base = run(&WorkloadSpec::new(BenchId::Q, SchemeKind::SwUndo)
-        .with_threads(1)
-        .with_ops(ops()));
-    let mut asap_over_undo = Vec::new();
-    let mut rows: Vec<(usize, Vec<f64>)> = Vec::new();
-    for (si, (_, scheme)) in SCHEMES.iter().enumerate() {
-        let mut vals = Vec::new();
-        for t in THREADS {
-            let r = run(&WorkloadSpec::new(BenchId::Q, *scheme)
-                .with_threads(t)
-                .with_ops(ops()));
-            vals.push(r.speedup_over(&base));
-        }
-        rows.push((si, vals));
-    }
+    // Grid layout: scheme-major, thread-minor. The first cell (SW, t=1) is
+    // also the normalization baseline.
+    let specs: Vec<_> = SCHEMES
+        .iter()
+        .flat_map(|(_, scheme)| {
+            THREADS.iter().map(move |t| {
+                WorkloadSpec::new(BenchId::Q, *scheme)
+                    .with_threads(*t)
+                    .with_ops(ops())
+            })
+        })
+        .collect();
+    let results = run_grid(&specs);
+    let base = &results[0];
+    let rows: Vec<(usize, Vec<f64>)> = SCHEMES
+        .iter()
+        .enumerate()
+        .map(|(si, _)| {
+            let vals = results[si * THREADS.len()..(si + 1) * THREADS.len()]
+                .iter()
+                .map(|r| r.speedup_over(base))
+                .collect();
+            (si, vals)
+        })
+        .collect();
     for (si, vals) in &rows {
         row(
             SCHEMES[*si].0,
             &vals.iter().map(|v| format!("{v:.2}")).collect::<Vec<_>>(),
         );
     }
+    let mut asap_over_undo = Vec::new();
     for (i, _) in THREADS.iter().enumerate() {
         let undo = rows[1].1[i];
         let asap = rows[2].1[i];
@@ -63,4 +75,5 @@ fn main() {
         "(§2.1: the async-commit advantage should hold or grow with contention; geomean {:.2})",
         geomean(&asap_over_undo)
     );
+    emit_wallclock("ablation_thread_scaling", t0.elapsed(), &[&results]);
 }

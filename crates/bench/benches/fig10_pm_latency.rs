@@ -5,9 +5,9 @@
 //! synchronous persists extend the critical path), HWRedo is less
 //! sensitive (async DPOs), and ASAP tracks NP across the sweep.
 
-use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_bench::{benches, emit_wallclock, fig_spec, geomean, header, row, run_grid};
 use asap_core::scheme::SchemeKind;
-use asap_workloads::{run, BenchId, WorkloadSpec};
+use asap_workloads::{BenchId, WorkloadSpec};
 
 const MULTS: [u64; 4] = [1, 2, 4, 16];
 
@@ -25,20 +25,35 @@ const SCHEMES: [(&str, SchemeKind); 3] = [
 ];
 
 fn main() {
+    let t0 = std::time::Instant::now();
     println!("\n=== Figure 10: throughput vs PM latency, normalized to NP at each point ===");
     header("bench", &["mult", "NP", "ASAP", "HWUndo", "HWRedo"]);
+    // Cell layout per (bench, mult): NP baseline, then the three schemes.
+    let the_benches = benches(&BenchId::all());
+    let specs: Vec<_> = the_benches
+        .iter()
+        .flat_map(|bench| {
+            MULTS.iter().flat_map(move |mult| {
+                std::iter::once(SchemeKind::NoPersist)
+                    .chain(SCHEMES.iter().map(|(_, s)| *s))
+                    .map(move |scheme| spec(*bench, scheme, *mult))
+            })
+        })
+        .collect();
+    let results = run_grid(&specs);
+    let cell_len = 1 + SCHEMES.len();
     let mut geo: Vec<Vec<f64>> = vec![Vec::new(); SCHEMES.len() * MULTS.len()];
-    for bench in benches(&BenchId::all()) {
-        for (mi, mult) in MULTS.iter().enumerate() {
-            let np = run(&spec(bench, SchemeKind::NoPersist, *mult));
-            let mut cells = vec![format!("{mult}x"), "1.00".to_string()];
-            for (si, (_, scheme)) in SCHEMES.iter().enumerate() {
-                let r = run(&spec(bench, *scheme, *mult)).speedup_over(&np);
-                geo[si * MULTS.len() + mi].push(r);
-                cells.push(format!("{r:.2}"));
-            }
-            row(bench.label(), &cells);
+    for (ci, cell) in results.chunks(cell_len).enumerate() {
+        let bench = the_benches[ci / MULTS.len()];
+        let mi = ci % MULTS.len();
+        let np = &cell[0];
+        let mut cells = vec![format!("{}x", MULTS[mi]), "1.00".to_string()];
+        for (si, r) in cell[1..].iter().enumerate() {
+            let s = r.speedup_over(np);
+            geo[si * MULTS.len() + mi].push(s);
+            cells.push(format!("{s:.2}"));
         }
+        row(bench.label(), &cells);
     }
     println!("\n--- geomeans per latency multiplier ---");
     header("scheme", &["1x", "2x", "4x", "16x"]);
@@ -49,4 +64,5 @@ fn main() {
         row(name, &cells);
     }
     println!("(paper: ASAP stays near NP at 16x; HWUndo degrades the most)");
+    emit_wallclock("fig10_pm_latency", t0.elapsed(), &[&results]);
 }

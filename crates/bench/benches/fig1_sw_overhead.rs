@@ -5,25 +5,36 @@
 //! persistence (NP). The paper measures 0.58× and 0.31× geomean on real
 //! hardware; the simulator reproduces the ordering and rough magnitudes.
 
-use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_bench::{benches, emit_wallclock, fig_spec, geomean, header, row, run_grid};
 use asap_core::scheme::SchemeKind;
-use asap_workloads::{run, BenchId};
+use asap_workloads::BenchId;
+
+const SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::NoPersist,
+    SchemeKind::SwDpoOnly,
+    SchemeKind::SwUndo,
+];
 
 fn main() {
+    let t0 = std::time::Instant::now();
     println!("\n=== Figure 1: software persist-operation overhead (normalized throughput) ===");
     header("bench", &["NP", "DPO Only", "LPO & DPO"]);
+    let the_benches = benches(&BenchId::fig1());
+    let specs: Vec<_> = the_benches
+        .iter()
+        .flat_map(|bench| SCHEMES.iter().map(move |scheme| fig_spec(*bench, *scheme)))
+        .collect();
+    let results = run_grid(&specs);
     let mut dpo_only = Vec::new();
     let mut full = Vec::new();
-    for bench in benches(&BenchId::fig1()) {
-        let np = run(&fig_spec(bench, SchemeKind::NoPersist));
-        let d = run(&fig_spec(bench, SchemeKind::SwDpoOnly));
-        let f = run(&fig_spec(bench, SchemeKind::SwUndo));
-        let dr = d.speedup_over(&np);
-        let fr = f.speedup_over(&np);
+    for (ci, cell) in results.chunks(SCHEMES.len()).enumerate() {
+        let np = &cell[0];
+        let dr = cell[1].speedup_over(np);
+        let fr = cell[2].speedup_over(np);
         dpo_only.push(dr);
         full.push(fr);
         row(
-            bench.label(),
+            the_benches[ci].label(),
             &[
                 format!("{:.2}", 1.0),
                 format!("{dr:.2}"),
@@ -40,4 +51,5 @@ fn main() {
         ],
     );
     println!("(paper: DPO Only 0.58, LPO & DPO 0.31)");
+    emit_wallclock("fig1_sw_overhead", t0.elapsed(), &[&results]);
 }

@@ -9,12 +9,12 @@
 //! ~31%; ASAP generates 0.62× / 0.52× / 0.39× the traffic of HWRedo /
 //! HWUndo / SW.
 
-use asap_bench::{benches, fig_spec, geomean, header, row};
+use asap_bench::{benches, emit_wallclock, fig_spec, geomean, header, row, run_grid};
 use asap_core::scheme::{AsapOpts, SchemeKind};
-use asap_workloads::{run, BenchId};
+use asap_workloads::BenchId;
 
 fn main() {
-    println!("\n=== Figure 9a: ASAP traffic-optimization ablation (normalized to full ASAP) ===");
+    let t0 = std::time::Instant::now();
     let variants = [
         ("No-Opt", SchemeKind::AsapWith(AsapOpts::none())),
         ("+C", SchemeKind::AsapWith(AsapOpts::coalescing_only())),
@@ -24,25 +24,55 @@ fn main() {
         ),
         ("ASAP", SchemeKind::Asap),
     ];
+    let schemes = [
+        ("SW", SchemeKind::SwUndo),
+        ("HWRedo", SchemeKind::HwRedo),
+        ("HWUndo", SchemeKind::HwUndo),
+        ("ASAP", SchemeKind::Asap),
+    ];
+    // One combined grid for both panels: per bench, the full-ASAP run comes
+    // first and serves as the baseline for 9a *and* 9b (it used to be
+    // simulated twice), then the three 9a variants, then the three 9b
+    // baselines.
+    let the_benches = benches(&BenchId::all());
+    let extras = [
+        SchemeKind::AsapWith(AsapOpts::none()),
+        SchemeKind::AsapWith(AsapOpts::coalescing_only()),
+        SchemeKind::AsapWith(AsapOpts::coalescing_and_lpo()),
+        SchemeKind::SwUndo,
+        SchemeKind::HwRedo,
+        SchemeKind::HwUndo,
+    ];
+    let specs: Vec<_> = the_benches
+        .iter()
+        .flat_map(|bench| {
+            std::iter::once(SchemeKind::Asap)
+                .chain(extras)
+                .map(move |scheme| fig_spec(*bench, scheme))
+        })
+        .collect();
+    let results = run_grid(&specs);
+    let cell_len = 1 + extras.len();
+
+    println!("\n=== Figure 9a: ASAP traffic-optimization ablation (normalized to full ASAP) ===");
     header(
         "bench",
         &variants.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
     );
     let mut geo_a = vec![Vec::new(); variants.len()];
-    let the_benches = benches(&BenchId::all());
-    for bench in &the_benches {
-        let full = run(&fig_spec(*bench, SchemeKind::Asap));
+    for (ci, cell) in results.chunks(cell_len).enumerate() {
+        let full = &cell[0];
         let mut cells = Vec::new();
         for (i, (_, scheme)) in variants.iter().enumerate() {
             let r = if *scheme == SchemeKind::Asap {
                 1.0
             } else {
-                run(&fig_spec(*bench, *scheme)).traffic_ratio_to(&full)
+                cell[1 + i].traffic_ratio_to(full)
             };
             geo_a[i].push(r);
             cells.push(format!("{r:.2}"));
         }
-        row(bench.label(), &cells);
+        row(the_benches[ci].label(), &cells);
     }
     row(
         "GeoMean",
@@ -54,30 +84,24 @@ fn main() {
     println!("(paper: +C saves ~8%, +LP another ~33%, DPO dropping another ~31%)");
 
     println!("\n=== Figure 9b: PM write traffic normalized to ASAP (lower is better) ===");
-    let schemes = [
-        ("SW", SchemeKind::SwUndo),
-        ("HWRedo", SchemeKind::HwRedo),
-        ("HWUndo", SchemeKind::HwUndo),
-        ("ASAP", SchemeKind::Asap),
-    ];
     header(
         "bench",
         &schemes.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
     );
     let mut geo_b = vec![Vec::new(); schemes.len()];
-    for bench in &the_benches {
-        let asap = run(&fig_spec(*bench, SchemeKind::Asap));
+    for (ci, cell) in results.chunks(cell_len).enumerate() {
+        let asap = &cell[0];
         let mut cells = Vec::new();
         for (i, (_, scheme)) in schemes.iter().enumerate() {
             let r = if *scheme == SchemeKind::Asap {
                 1.0
             } else {
-                run(&fig_spec(*bench, *scheme)).traffic_ratio_to(&asap)
+                cell[4 + i].traffic_ratio_to(asap)
             };
             geo_b[i].push(r);
             cells.push(format!("{r:.2}"));
         }
-        row(bench.label(), &cells);
+        row(the_benches[ci].label(), &cells);
     }
     row(
         "GeoMean",
@@ -87,4 +111,5 @@ fn main() {
             .collect::<Vec<_>>(),
     );
     println!("(paper: ASAP traffic is 0.39x SW, 0.52x HWUndo, 0.62x HWRedo — i.e. SW 2.56, HWUndo 1.92, HWRedo 1.61 normalized to ASAP)");
+    emit_wallclock("fig9_traffic", t0.elapsed(), &[&results]);
 }

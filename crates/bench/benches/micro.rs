@@ -100,6 +100,63 @@ fn bench_wpq() {
     });
 }
 
+fn bench_image() {
+    // The hot loop of every simulated store: byte writes that hit the
+    // image's last-page cache.
+    let mut image = MemoryImage::new();
+    let mut i = 0u64;
+    bench("image_write_same_page", || {
+        i += 1;
+        image.write_u64(PmAddr(PM_BASE + (i % 500) * 8), i);
+    });
+
+    // Page-index probes: a strided walk that misses the last-page cache on
+    // every access.
+    let mut image = MemoryImage::new();
+    for p in 0..512u64 {
+        image.write_u64(PmAddr(PM_BASE + p * 4096), p);
+    }
+    let mut i = 0u64;
+    bench("image_read_strided_pages", || {
+        i += 1;
+        black_box(image.read_u64(PmAddr(PM_BASE + (i % 512) * 4096)));
+    });
+
+    // Line-sized copies that straddle a page boundary exercise the
+    // split-write path.
+    let mut image = MemoryImage::new();
+    let buf = [0xabu8; 64];
+    let mut i = 0u64;
+    bench("image_write_page_boundary", || {
+        i += 1;
+        image.write(PmAddr(PM_BASE + (i % 64) * 4096 + 4096 - 32), &buf);
+    });
+}
+
+fn bench_store_forward() {
+    // read_for_fill against a WPQ holding many queued lines: one probe of
+    // the per-channel line index.
+    let cfg = SystemConfig::table2();
+    let mut mem = MemSystem::new(&cfg);
+    let image = MemoryImage::new();
+    for i in 0..64u64 {
+        mem.submit(
+            PersistOp::new(
+                PersistKind::Dpo,
+                LineAddr(PM_BASE / 64 + i),
+                [7u8; 64],
+                None,
+            ),
+            Cycle(0),
+        );
+    }
+    let mut i = 0u64;
+    bench("wpq_store_forward_probe", || {
+        i += 1;
+        black_box(mem.read_for_fill(LineAddr(PM_BASE / 64 + i % 128), &image));
+    });
+}
+
 fn bench_log() {
     let mut h = RecordHeader::new(Rid::new(3, 99), Some(PmAddr(0x8000_1000)));
     for i in 0..7 {
@@ -154,7 +211,9 @@ fn bench_transaction() {
 
 fn main() {
     bench_cache();
+    bench_image();
     bench_wpq();
+    bench_store_forward();
     bench_log();
     bench_deplist();
     bench_bloom();

@@ -9,16 +9,29 @@
 //!
 //! - `ASAP_OPS` — transactions per thread (default 200);
 //! - `ASAP_THREADS` — worker threads (default 4);
+//! - `ASAP_JOBS` — host worker threads running simulations in parallel
+//!   (default: available parallelism; `1` forces the serial path);
 //! - `ASAP_BENCHES` — comma-separated benchmark labels to restrict to;
+//! - `ASAP_WALLCLOCK` — path of the host wall-clock report
+//!   (default `BENCH_WALLCLOCK.json` in the repo root; empty disables);
 //! - `ASAP_TRACE` / `ASAP_TRACE_CAP` — capture an event trace per run
 //!   (see the `trace_report` example and DESIGN.md's Observability
 //!   section).
+//!
+//! Every figure is a grid of *independent deterministic simulations* — one
+//! per `(bench × scheme × payload)` cell — so the harness runs them on a
+//! scoped-thread worker pool ([`run_grid`]) and hands results back in spec
+//! order: the printed tables are byte-identical for any `ASAP_JOBS`.
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
 use asap_core::scheme::SchemeKind;
 use asap_sim::TraceSettings;
-use asap_workloads::{BenchId, WorkloadSpec};
+use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
 
 /// Transactions per thread, from `ASAP_OPS` (default 200).
 pub fn ops() -> u64 {
@@ -47,6 +60,115 @@ pub fn benches(all: &[BenchId]) -> Vec<BenchId> {
                 .collect()
         }
         Err(_) => all.to_vec(),
+    }
+}
+
+/// Host worker threads for [`run_grid`], from `ASAP_JOBS` (default: the
+/// machine's available parallelism; minimum 1).
+pub fn jobs() -> usize {
+    match std::env::var("ASAP_JOBS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Runs every spec in `specs` and returns the results in the same order,
+/// using [`jobs`] host worker threads.
+///
+/// Each cell is an independent, deterministic, single-threaded (host-side)
+/// simulation, so parallel execution cannot change any result — only the
+/// wall clock. `tests/parallel_equivalence.rs` in the workspace root holds
+/// the harness to that claim.
+pub fn run_grid(specs: &[WorkloadSpec]) -> Vec<RunResult> {
+    run_grid_jobs(specs, jobs())
+}
+
+/// [`run_grid`] with an explicit worker count (used by the equivalence
+/// tests; `jobs <= 1` runs inline without spawning).
+pub fn run_grid_jobs(specs: &[WorkloadSpec], jobs: usize) -> Vec<RunResult> {
+    if jobs <= 1 || specs.len() <= 1 {
+        return specs.iter().map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(specs.len()) {
+            scope.spawn(|| loop {
+                // Self-scheduling work queue: cells vary widely in cost
+                // (2KB payloads are ~10x 64B cells), so static chunking
+                // would leave workers idle.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                *slots[i].lock().unwrap() = Some(run(spec));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every cell ran"))
+        .collect()
+}
+
+/// Sums a counter across results (used by the wall-clock report).
+fn total(results: &[&[RunResult]], f: impl Fn(&RunResult) -> u64) -> u64 {
+    results.iter().flat_map(|g| g.iter()).map(&f).sum()
+}
+
+/// Appends one record for `figure` to the wall-clock trajectory file
+/// (`BENCH_WALLCLOCK.json`, override with `ASAP_WALLCLOCK`; set it empty to
+/// disable). The file is a JSON array of records:
+/// `{figure, host_seconds, jobs, cells, sim_cycles, pm_writes, unix_time}` —
+/// host seconds move with harness work; simulated cycles and traffic must
+/// not, which is what makes the trajectory useful to future perf PRs.
+///
+/// The note confirming the write goes to *stderr*: stdout stays
+/// byte-identical across `ASAP_JOBS` settings and host speeds.
+pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
+    let path = match std::env::var("ASAP_WALLCLOCK") {
+        Ok(p) if p.is_empty() => return,
+        Ok(p) => std::path::PathBuf::from(p),
+        // CARGO_MANIFEST_DIR of this crate is crates/bench.
+        Err(_) => {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_WALLCLOCK.json")
+        }
+    };
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let record = format!(
+        "{{\"figure\":\"{}\",\"host_seconds\":{:.3},\"jobs\":{},\"cells\":{},\
+         \"sim_cycles\":{},\"pm_writes\":{},\"unix_time\":{}}}",
+        figure,
+        elapsed.as_secs_f64(),
+        jobs(),
+        grids.iter().map(|g| g.len()).sum::<usize>(),
+        total(grids, |r| r.exec_cycles),
+        total(grids, |r| r.pm_writes),
+        unix_time,
+    );
+    // The file is a JSON array; splice the record in before the final `]`
+    // so repeated figure runs accumulate a trajectory.
+    let body = match std::fs::read_to_string(&path) {
+        Ok(prev) => {
+            let prev = prev.trim_end();
+            match prev.strip_suffix(']') {
+                Some(head) if head.trim_end().ends_with('[') => {
+                    format!("[\n  {record}\n]\n")
+                }
+                Some(head) => format!("{},\n  {record}\n]\n", head.trim_end()),
+                None => format!("[\n  {record}\n]\n"), // malformed: start over
+            }
+        }
+        Err(_) => format!("[\n  {record}\n]\n"),
+    };
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!(
+            "wallclock: {figure} {:.3}s ({} jobs) -> {}",
+            elapsed.as_secs_f64(),
+            jobs(),
+            path.display()
+        ),
+        Err(e) => eprintln!("wallclock: could not write {}: {e}", path.display()),
     }
 }
 
@@ -112,6 +234,49 @@ mod tests {
     fn bench_filter_passthrough() {
         if std::env::var("ASAP_BENCHES").is_err() {
             assert_eq!(benches(&BenchId::all()).len(), 9);
+        }
+    }
+
+    #[test]
+    fn jobs_floor_is_one() {
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn run_grid_preserves_spec_order() {
+        let specs: Vec<WorkloadSpec> = [SchemeKind::NoPersist, SchemeKind::Asap]
+            .into_iter()
+            .flat_map(|s| {
+                [BenchId::Q, BenchId::Bt]
+                    .into_iter()
+                    .map(move |b| WorkloadSpec::new(b, s).with_threads(2).with_ops(20))
+            })
+            .collect();
+        let parallel = run_grid_jobs(&specs, 4);
+        assert_eq!(parallel.len(), specs.len());
+        for (spec, res) in specs.iter().zip(&parallel) {
+            assert_eq!(res.spec.bench, spec.bench);
+            assert_eq!(res.spec.scheme, spec.scheme);
+        }
+    }
+
+    #[test]
+    fn run_grid_serial_and_parallel_agree() {
+        let specs: Vec<WorkloadSpec> = [BenchId::Q, BenchId::Hm, BenchId::Ss]
+            .into_iter()
+            .map(|b| {
+                WorkloadSpec::new(b, SchemeKind::Asap)
+                    .with_threads(2)
+                    .with_ops(20)
+            })
+            .collect();
+        let serial = run_grid_jobs(&specs, 1);
+        let parallel = run_grid_jobs(&specs, 3);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.exec_cycles, b.exec_cycles);
+            assert_eq!(a.drained_cycles, b.drained_cycles);
+            assert_eq!(a.pm_writes, b.pm_writes);
+            assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         }
     }
 }

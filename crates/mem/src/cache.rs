@@ -13,9 +13,7 @@
 //!   LPO has not completed, §4.6.1); if a set is entirely locked the forced
 //!   eviction is reported so the caller can stall for the LPO.
 
-use std::collections::HashMap;
-
-use asap_pmem::LineAddr;
+use asap_pmem::{AddrMap, LineAddr};
 use asap_sim::{CacheConfig, SystemConfig};
 
 use crate::line::{LineState, LINE_SIZE};
@@ -81,9 +79,18 @@ struct Way {
 }
 
 /// A set-associative LRU tag array (timing only — data lives in the store).
+///
+/// Each set carries a *way hint*: the address of its most-recently-used
+/// line. Repeated accesses to the same line — by far the common case on the
+/// simulator's hot path — then resolve `contains`/`touch` with one compare
+/// instead of a way scan. Skipping the re-stamp of an already-MRU line is
+/// sound: it cannot change the relative `last_used` order, which is all
+/// LRU victim selection looks at.
 #[derive(Clone, Debug)]
 struct TagArray {
     sets: Vec<Vec<Way>>,
+    /// Per-set MRU line (the way hint); `None` when unknown.
+    mru: Vec<Option<LineAddr>>,
     ways: usize,
     tick: u64,
 }
@@ -93,6 +100,7 @@ impl TagArray {
         let sets = cfg.sets() as usize;
         TagArray {
             sets: vec![Vec::new(); sets],
+            mru: vec![None; sets],
             ways: cfg.ways as usize,
             tick: 0,
         }
@@ -103,20 +111,33 @@ impl TagArray {
     }
 
     fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_of(line)].iter().any(|w| w.line == line)
+        let set = self.set_of(line);
+        if self.mru[set] == Some(line) {
+            return true;
+        }
+        self.sets[set].iter().any(|w| w.line == line)
     }
 
     fn touch(&mut self, line: LineAddr) {
+        let set = self.set_of(line);
+        if self.mru[set] == Some(line) {
+            // Already the newest stamp in its set; re-stamping preserves
+            // the relative order, so skip it.
+            return;
+        }
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_of(line);
         if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
             w.last_used = tick;
+            self.mru[set] = Some(line);
         }
     }
 
     fn remove(&mut self, line: LineAddr) {
         let set = self.set_of(line);
+        if self.mru[set] == Some(line) {
+            self.mru[set] = None;
+        }
         self.sets[set].retain(|w| w.line != line);
     }
 
@@ -156,6 +177,9 @@ impl TagArray {
             line,
             last_used: tick,
         });
+        // The inserted line carries the newest stamp in the set; this also
+        // retires any hint pointing at the victim.
+        self.mru[set_idx] = Some(line);
         victim
     }
 
@@ -167,6 +191,7 @@ impl TagArray {
         for s in &mut self.sets {
             s.clear();
         }
+        self.mru.fill(None);
     }
 }
 
@@ -184,7 +209,10 @@ pub struct EvictionCounts {
 
 /// The full cache hierarchy: shared data store plus per-level tag arrays.
 pub struct CacheHierarchy {
-    store: HashMap<LineAddr, LineState>,
+    /// Shared data store for every cached line. Deterministic fast hasher:
+    /// looked up several times per simulated memory access, never iterated
+    /// in an order-sensitive way (see [`asap_pmem::hash`]).
+    store: AddrMap<LineAddr, LineState>,
     l1: Vec<TagArray>,
     l2: Vec<TagArray>,
     llc: TagArray,
@@ -201,7 +229,7 @@ impl CacheHierarchy {
     pub fn new(cfg: &SystemConfig) -> Self {
         let cores = cfg.cores as usize;
         CacheHierarchy {
-            store: HashMap::new(),
+            store: AddrMap::default(),
             l1: (0..cores).map(|_| TagArray::new(&cfg.l1)).collect(),
             l2: (0..cores).map(|_| TagArray::new(&cfg.l2)).collect(),
             llc: TagArray::new(&cfg.llc),
@@ -614,6 +642,44 @@ mod tests {
         assert!(e.state.dirty);
         assert_eq!(e.state.owner, Some(Rid::new(0, 7)));
         assert_eq!(e.state.data[10], 0x42);
+    }
+
+    #[test]
+    fn way_hint_tracks_presence_under_churn() {
+        let cfg = SystemConfig::small();
+        let mut t = TagArray::new(&cfg.l1);
+        t.insert(LineAddr(0), |_| true);
+        assert!(t.contains(LineAddr(0)));
+        t.touch(LineAddr(0)); // MRU fast path
+        t.remove(LineAddr(0));
+        assert!(!t.contains(LineAddr(0)), "hint must die with the line");
+        t.touch(LineAddr(0)); // absent: must not resurrect the hint
+        assert!(!t.contains(LineAddr(0)));
+        t.clear();
+        t.insert(LineAddr(0), |_| true);
+        assert!(t.contains(LineAddr(0)));
+    }
+
+    #[test]
+    fn way_hint_does_not_change_lru_order() {
+        // Fill a set, re-touch the MRU line (fast path, no re-stamp), then
+        // overflow: the victim must still be the true LRU line.
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        let sets = cfg.llc.sets();
+        let ways = cfg.llc.ways as u64;
+        for i in 0..ways {
+            h.access(0, LineAddr(i * sets), AccessKind::Load, fill(), 0);
+        }
+        // Newest line is MRU; touching it repeatedly must not disturb the
+        // order, and re-touching the oldest promotes it.
+        for _ in 0..3 {
+            h.access(0, LineAddr((ways - 1) * sets), AccessKind::Load, None, 0);
+        }
+        h.access(0, LineAddr(0), AccessKind::Load, None, 0);
+        let a = h.access(0, LineAddr(ways * sets), AccessKind::Load, fill(), 0);
+        assert_eq!(a.evicted.len(), 1);
+        assert_eq!(a.evicted[0].line, LineAddr(sets), "true LRU is evicted");
     }
 
     #[test]

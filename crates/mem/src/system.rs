@@ -7,10 +7,18 @@
 //! limited service rate; entries still in the WPQ can be *dropped* by the
 //! §5.1 traffic optimizations (LPO dropping, DPO dropping) and then never
 //! cost PM write traffic.
+//!
+//! Host-side hot-path structure: the WPQ is a seq-ordered `VecDeque` whose
+//! front is always the in-flight entry (drain picks the minimum sequence
+//! number, which is the front of a FIFO), and every channel keeps a
+//! line-address index over all of its *live* ops — on the wire, queued
+//! behind a full WPQ, or resting in the WPQ — so store-forwarding reads
+//! ([`MemSystem::read_for_fill`]) are one hash lookup instead of a scan of
+//! the WPQ, the pending queue, and the whole event queue.
 
 use std::collections::VecDeque;
 
-use asap_pmem::{LineAddr, MemoryImage};
+use asap_pmem::{AddrMap, LineAddr, MemoryImage};
 use asap_sim::{Cycle, EventQueue, MemConfig, Stats, Trace, TraceEvent, TraceSettings};
 
 use crate::persist::{MemEvent, OpId, PersistKind, PersistOp};
@@ -27,6 +35,32 @@ struct WpqSlot {
     accepted_at: Cycle,
 }
 
+/// Static counter name for a submission of `kind` — the same names
+/// `format!("mem.submit.{}", kind.name())` produced, without a per-op
+/// allocation on the submit hot path.
+fn submit_counter(kind: PersistKind) -> &'static str {
+    match kind {
+        PersistKind::Lpo => "mem.submit.lpo",
+        PersistKind::LogHeader => "mem.submit.log_header",
+        PersistKind::Dpo => "mem.submit.dpo",
+        PersistKind::WriteBack => "mem.submit.writeback",
+        PersistKind::SwPersist => "mem.submit.sw_persist",
+        PersistKind::Marker => "mem.submit.marker",
+    }
+}
+
+/// Static counter name for a media write of `kind` (see [`submit_counter`]).
+fn pm_write_counter(kind: PersistKind) -> &'static str {
+    match kind {
+        PersistKind::Lpo => "pm.write.lpo",
+        PersistKind::LogHeader => "pm.write.log_header",
+        PersistKind::Dpo => "pm.write.dpo",
+        PersistKind::WriteBack => "pm.write.writeback",
+        PersistKind::SwPersist => "pm.write.sw_persist",
+        PersistKind::Marker => "pm.write.marker",
+    }
+}
+
 /// Internal channel events.
 #[derive(Clone, Debug)]
 enum ChEvent {
@@ -40,23 +74,33 @@ enum ChEvent {
 #[derive(Debug)]
 struct Channel {
     capacity: usize,
-    wpq: Vec<WpqSlot>,
+    /// Accepted entries in sequence order. When `writing` is `Some`, the
+    /// in-flight entry is always the front: drain selects the minimum
+    /// sequence number, acceptance appends increasing sequence numbers, and
+    /// drops never remove the in-flight entry.
+    wpq: VecDeque<WpqSlot>,
     /// Arrived while the WPQ was full; accepted as slots free (FIFO).
     /// Each entry remembers its original submit time.
     pending: VecDeque<(OpId, PersistOp, Cycle)>,
     /// Entry currently being written to the media, if any.
     writing: Option<OpId>,
     next_seq: u64,
+    /// Store-forward index: data of every live op targeting this channel
+    /// (on the wire, pending, or in the WPQ), per line, in submission-id
+    /// order — the newest write to a line is the last entry. Maintained on
+    /// submit, media write, drop, and crash flush.
+    by_line: AddrMap<LineAddr, Vec<(OpId, [u8; 64])>>,
 }
 
 impl Channel {
     fn new(capacity: usize) -> Self {
         Channel {
             capacity,
-            wpq: Vec::new(),
+            wpq: VecDeque::new(),
             pending: VecDeque::new(),
             writing: None,
             next_seq: 0,
+            by_line: AddrMap::default(),
         }
     }
 
@@ -64,16 +108,20 @@ impl Channel {
         self.wpq.len() < self.capacity
     }
 
-    fn slot_index(&self, id: OpId) -> Option<usize> {
-        self.wpq.iter().position(|s| s.id == id)
-    }
-
-    /// Oldest accepted entry not currently being written.
-    fn next_to_write(&self) -> Option<&WpqSlot> {
-        self.wpq
+    /// Removes one op from the store-forward index (it left the live set).
+    fn unindex(&mut self, line: LineAddr, id: OpId) {
+        let entries = self
+            .by_line
+            .get_mut(&line)
+            .expect("live op must be indexed");
+        let pos = entries
             .iter()
-            .filter(|s| Some(s.id) != self.writing)
-            .min_by_key(|s| s.seq)
+            .position(|(eid, _)| *eid == id)
+            .expect("live op must be indexed");
+        entries.remove(pos);
+        if entries.is_empty() {
+            self.by_line.remove(&line);
+        }
     }
 }
 
@@ -152,7 +200,14 @@ impl MemSystem {
         let id = OpId(self.next_id);
         self.next_id += 1;
         let ch = self.channel_of(op.target);
-        self.stats.bump(&format!("mem.submit.{}", op.kind.name()));
+        self.stats.bump(submit_counter(op.kind));
+        // Ids are monotonic, so pushing here keeps each per-line entry list
+        // sorted by id — the newest write is always the last element.
+        self.channels[ch as usize]
+            .by_line
+            .entry(op.target)
+            .or_default()
+            .push((id, op.data));
         self.events.push(
             now + self.cfg.mc_hop_latency,
             (ch, ChEvent::Arrive(id, op, now)),
@@ -179,25 +234,13 @@ impl MemSystem {
     /// persistent bit.
     pub fn read_for_fill(&mut self, line: LineAddr, image: &MemoryImage) -> ([u8; 64], bool) {
         let ch = &self.channels[self.channel_of(line) as usize];
-        let newest = ch
-            .wpq
-            .iter()
-            .filter(|s| s.op.target == line)
-            .map(|s| (s.id, s.op.data))
-            .chain(
-                ch.pending
-                    .iter()
-                    .filter(|(_, op, _)| op.target == line)
-                    .map(|(id, op, _)| (*id, op.data)),
-            )
-            .chain(self.events.iter().filter_map(|(_, ev)| match ev {
-                ChEvent::Arrive(id, op, _) if op.target == line => Some((*id, op.data)),
-                _ => None,
-            }))
-            .max_by_key(|(id, _)| *id);
+        // The per-line entries are in submission order, so the newest
+        // matching write — wherever it currently travels — is the last one.
+        let newest = ch.by_line.get(&line).and_then(|v| v.last());
         let pbit = image.line_is_persistent(line);
         match newest {
             Some((_, data)) => {
+                let data = *data;
                 self.stats.bump("mem.read.forwarded");
                 (data, pbit)
             }
@@ -249,11 +292,11 @@ impl MemSystem {
                 let ch = &mut self.channels[ch_idx];
                 debug_assert_eq!(ch.writing, Some(id), "write-done for wrong op");
                 ch.writing = None;
-                let idx = ch.slot_index(id).expect("in-flight slot missing");
-                let slot = ch.wpq.remove(idx);
+                let slot = ch.wpq.pop_front().expect("in-flight slot missing");
+                debug_assert_eq!(slot.id, id, "in-flight slot must be the front");
+                ch.unindex(slot.op.target, slot.id);
                 image.write_line(slot.op.target, &slot.op.data);
-                self.stats
-                    .bump(&format!("pm.write.{}", slot.op.kind.name()));
+                self.stats.bump(pm_write_counter(slot.op.kind));
                 self.stats.bump("pm.write.total");
                 let residency = t.since(slot.accepted_at);
                 self.stats.sample("mem.wpq.residency_cycles", residency);
@@ -288,7 +331,7 @@ impl MemSystem {
         debug_assert!(ch.has_free_slot());
         let seq = ch.next_seq;
         ch.next_seq += 1;
-        ch.wpq.push(WpqSlot {
+        ch.wpq.push_back(WpqSlot {
             id,
             op,
             seq,
@@ -332,7 +375,9 @@ impl MemSystem {
         if ch.writing.is_some() {
             return;
         }
-        let Some(slot) = ch.next_to_write() else {
+        // No write in flight, so the oldest (minimum-seq) entry is the
+        // front of the seq-ordered queue.
+        let Some(slot) = ch.wpq.front() else {
             return;
         };
         let due = residency == 0 || ch.wpq.len() >= watermark || slot.accepted_at + residency <= t;
@@ -373,11 +418,19 @@ impl MemSystem {
     /// refilled from the pending queue. Dropped ops emit no events.
     fn drop_matching(&mut self, ch_idx: usize, pred: impl Fn(&PersistOp) -> bool) -> u64 {
         let writing = self.channels[ch_idx].writing;
-        let before = self.channels[ch_idx].wpq.len();
-        self.channels[ch_idx]
-            .wpq
-            .retain(|s| Some(s.id) == writing || !pred(&s.op));
-        let dropped = (before - self.channels[ch_idx].wpq.len()) as u64;
+        let mut removed: Vec<(LineAddr, OpId)> = Vec::new();
+        self.channels[ch_idx].wpq.retain(|s| {
+            if Some(s.id) == writing || !pred(&s.op) {
+                true
+            } else {
+                removed.push((s.op.target, s.id));
+                false
+            }
+        });
+        let dropped = removed.len() as u64;
+        for (line, id) in removed {
+            self.channels[ch_idx].unindex(line, id);
+        }
         for _ in 0..dropped {
             if !self.channels[ch_idx].has_free_slot() {
                 break;
@@ -403,8 +456,13 @@ impl MemSystem {
     /// Internal state is cleared.
     pub fn flush_to_image(&mut self, image: &mut MemoryImage) {
         for ch in &mut self.channels {
-            let mut slots = std::mem::take(&mut ch.wpq);
-            slots.sort_by_key(|s| s.seq);
+            // The WPQ is kept in seq order, so iterating front-to-back
+            // applies same-line writes oldest-first (the newest wins).
+            let slots = std::mem::take(&mut ch.wpq);
+            debug_assert!(slots
+                .iter()
+                .zip(slots.iter().skip(1))
+                .all(|(a, b)| a.seq < b.seq));
             for s in &slots {
                 image.write_line(s.op.target, &s.op.data);
                 self.stats.bump("crash.flushed");
@@ -413,6 +471,9 @@ impl MemSystem {
             self.stats.add("crash.lost_unaccepted", lost);
             ch.pending.clear();
             ch.writing = None;
+            // Every live op either reached the image (WPQ) or was lost
+            // (pending / on the wire): nothing is forwardable any more.
+            ch.by_line.clear();
         }
         // Ops still travelling to their controller (unprocessed arrival
         // events) never reached the persistence domain either.
@@ -614,6 +675,57 @@ mod tests {
             data[0], 3,
             "a just-evicted line must read its own writeback"
         );
+    }
+
+    #[test]
+    fn forwarding_stops_once_the_write_reaches_media() {
+        let (mut mem, mut image) = setup();
+        mem.submit(dpo(pm_line(8), 4, None), Cycle(0));
+        mem.advance_to(Cycle(100_000), &mut image); // accepted and drained
+        let (data, _) = mem.read_for_fill(pm_line(8), &image);
+        assert_eq!(data[0], 4, "data now comes from the image");
+        assert_eq!(
+            mem.stats().get("mem.read.forwarded"),
+            0,
+            "a drained op must leave the store-forward index"
+        );
+    }
+
+    #[test]
+    fn dropped_op_is_not_forwarded() {
+        let (mut mem, mut image) = setup();
+        let r1 = Rid::new(0, 1);
+        let r2 = Rid::new(0, 2);
+        image.write_line(pm_line(0), &[9u8; 64]);
+        // Sacrificial op occupies the write engine so the next one stays
+        // droppable in the WPQ.
+        mem.submit(dpo(pm_line(4), 0, None), Cycle(0));
+        mem.submit(dpo(pm_line(0), 1, Some(r1)), Cycle(0));
+        mem.advance_to(Cycle(16), &mut image);
+        assert_eq!(mem.drop_pending_dpo(pm_line(0), r2), 1);
+        let (data, _) = mem.read_for_fill(pm_line(0), &image);
+        assert_eq!(data[0], 9, "dropped write must not forward; image wins");
+        assert_eq!(mem.stats().get("mem.read.forwarded"), 0);
+    }
+
+    #[test]
+    fn crash_flush_clears_the_forward_index() {
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_entries = 1;
+        cfg.mem.controllers = 1;
+        cfg.mem.channels_per_mc = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        mem.submit(dpo(pm_line(0), 1, None), Cycle(0));
+        mem.submit(dpo(pm_line(1), 2, None), Cycle(0)); // stays pending
+        mem.advance_to(Cycle(16), &mut image);
+        mem.flush_to_image(&mut image);
+        // Neither the flushed op (now in the image) nor the lost pending
+        // op may forward after the crash.
+        let (a, _) = mem.read_for_fill(pm_line(0), &image);
+        let (b, _) = mem.read_for_fill(pm_line(1), &image);
+        assert_eq!((a[0], b[0]), (1, 0));
+        assert_eq!(mem.stats().get("mem.read.forwarded"), 0);
     }
 
     #[test]

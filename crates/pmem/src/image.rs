@@ -1,6 +1,6 @@
 //! The sparse, byte-accurate contents of main memory.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 use std::fmt;
 
 use crate::addr::{LineAddr, PmAddr, LINE_BYTES, PAGE_BYTES};
@@ -20,6 +20,96 @@ impl Page {
     }
 }
 
+/// Sentinel key for an empty index slot. Page numbers are byte addresses
+/// divided by `PAGE_BYTES`, so `u64::MAX` can never be a real page number.
+const EMPTY: u64 = u64::MAX;
+
+/// An open-addressed (linear-probe) map from page number to the page's slot
+/// in the backing `Vec<Page>`. Supports insert and lookup only — the image
+/// never frees individual pages (only [`MemoryImage::reset`] clears it),
+/// so no tombstones are needed.
+struct PageIndex {
+    keys: Vec<u64>,
+    slots: Vec<u32>,
+    /// Capacity minus one; capacity is always a power of two.
+    mask: usize,
+    len: usize,
+}
+
+impl PageIndex {
+    fn new() -> Self {
+        const CAP: usize = 64;
+        PageIndex {
+            keys: vec![EMPTY; CAP],
+            slots: vec![0; CAP],
+            mask: CAP - 1,
+            len: 0,
+        }
+    }
+
+    /// Fibonacci hashing: multiplicative spread of the page number across
+    /// the table, using the high bits (the low bits of sequential page
+    /// numbers are dense and would cluster under masking alone).
+    #[inline]
+    fn bucket(&self, page_no: u64) -> usize {
+        let h = page_no.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & self.mask
+    }
+
+    #[inline]
+    fn get(&self, page_no: u64) -> Option<u32> {
+        let mut i = self.bucket(page_no);
+        loop {
+            let k = self.keys[i];
+            if k == page_no {
+                return Some(self.slots[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert(&mut self, page_no: u64, slot: u32) {
+        // Grow at 3/4 load to keep probe chains short.
+        if (self.len + 1) * 4 > (self.mask + 1) * 3 {
+            self.grow();
+        }
+        let mut i = self.bucket(page_no);
+        while self.keys[i] != EMPTY {
+            debug_assert_ne!(self.keys[i], page_no, "page inserted twice");
+            i = (i + 1) & self.mask;
+        }
+        self.keys[i] = page_no;
+        self.slots[i] = slot;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.mask + 1) * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; new_cap]);
+        self.mask = new_cap - 1;
+        for (k, s) in old_keys.into_iter().zip(old_slots) {
+            if k == EMPTY {
+                continue;
+            }
+            let mut i = self.bucket(k);
+            while self.keys[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.keys[i] = k;
+            self.slots[i] = s;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+}
+
 /// Byte-accurate main-memory contents with per-page persistent bits.
 ///
 /// In the machine model this image holds what is *in the memory modules*:
@@ -27,6 +117,11 @@ impl Page {
 /// a crash — see `asap-mem`); caches hold newer dirty copies on top.
 ///
 /// Unwritten memory reads as zero, like freshly mapped pages.
+///
+/// Internally pages live in a flat `Vec` reached through an open-addressed
+/// page index plus a one-entry last-page cache — almost every access in a
+/// simulation run touches the same page as its predecessor, so the common
+/// case is one compare instead of a map walk.
 ///
 /// # Example
 ///
@@ -41,19 +136,48 @@ impl Page {
 /// assert_eq!(m.read_u64(PmAddr(4096)), 0); // untouched memory is zero
 /// ```
 pub struct MemoryImage {
-    pages: BTreeMap<u64, Page>,
+    pages: Vec<Page>,
+    index: PageIndex,
+    /// Last page looked up, as `(page_no, slot)` — hit on nearly every
+    /// sequential access. Invalidated by [`reset`](Self::reset).
+    last: Cell<(u64, u32)>,
 }
 
 impl MemoryImage {
     /// Creates an empty (all-zero) image.
     pub fn new() -> Self {
         MemoryImage {
-            pages: BTreeMap::new(),
+            pages: Vec::new(),
+            index: PageIndex::new(),
+            last: Cell::new((EMPTY, 0)),
         }
     }
 
+    /// Slot of `page_no` if the page has been touched, via the last-page
+    /// cache first.
+    #[inline]
+    fn lookup(&self, page_no: u64) -> Option<u32> {
+        let (cached_no, cached_slot) = self.last.get();
+        if cached_no == page_no {
+            return Some(cached_slot);
+        }
+        let slot = self.index.get(page_no)?;
+        self.last.set((page_no, slot));
+        Some(slot)
+    }
+
     fn page_mut(&mut self, page_no: u64) -> &mut Page {
-        self.pages.entry(page_no).or_insert_with(Page::zeroed)
+        let slot = match self.lookup(page_no) {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.pages.len()).expect("page count fits u32");
+                self.pages.push(Page::zeroed());
+                self.index.insert(page_no, s);
+                self.last.set((page_no, s));
+                s
+            }
+        };
+        &mut self.pages[slot as usize]
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -64,8 +188,11 @@ impl MemoryImage {
             let page_no = pos / PAGE_BYTES;
             let off = (pos % PAGE_BYTES) as usize;
             let n = (buf.len() - done).min(PAGE_BYTES as usize - off);
-            match self.pages.get(&page_no) {
-                Some(p) => buf[done..done + n].copy_from_slice(&p.bytes[off..off + n]),
+            match self.lookup(page_no) {
+                Some(slot) => {
+                    let p = &self.pages[slot as usize];
+                    buf[done..done + n].copy_from_slice(&p.bytes[off..off + n]);
+                }
                 None => buf[done..done + n].fill(0),
             }
             done += n;
@@ -126,7 +253,8 @@ impl MemoryImage {
 
     /// Whether the page containing `addr` has its persistent bit set.
     pub fn is_persistent(&self, addr: PmAddr) -> bool {
-        self.pages.get(&addr.page()).is_some_and(|p| p.persistent)
+        self.lookup(addr.page())
+            .is_some_and(|slot| self.pages[slot as usize].persistent)
     }
 
     /// Whether the page containing `line` has its persistent bit set.
@@ -137,6 +265,14 @@ impl MemoryImage {
     /// Number of pages that have ever been touched.
     pub fn touched_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Forgets every page — contents and persistent bits — returning the
+    /// image to the all-zero state, and invalidates the last-page cache.
+    pub fn reset(&mut self) {
+        self.pages.clear();
+        self.index.clear();
+        self.last.set((EMPTY, 0));
     }
 }
 
@@ -189,6 +325,24 @@ mod tests {
     }
 
     #[test]
+    fn write_spanning_three_pages() {
+        let mut m = MemoryImage::new();
+        // Starts mid-page 0, covers all of page 1, ends mid-page 2.
+        let addr = PmAddr(PAGE_BYTES / 2);
+        let data: Vec<u8> = (0..2 * PAGE_BYTES).map(|i| (i % 251) as u8).collect();
+        m.write(addr, &data);
+        assert_eq!(m.touched_pages(), 3);
+        let mut buf = vec![0u8; data.len()];
+        m.read(addr, &mut buf);
+        assert_eq!(buf, data);
+        // The bytes just outside the span stay zero.
+        assert_eq!(m.read_u64(PmAddr(addr.0 - 8)), 0);
+        let mut tail = [0u8; 8];
+        m.read(PmAddr(addr.0 + 2 * PAGE_BYTES), &mut tail);
+        assert_eq!(tail, [0u8; 8]);
+    }
+
+    #[test]
     fn u64_roundtrip() {
         let mut m = MemoryImage::new();
         m.write_u64(PmAddr(8), u64::MAX - 1);
@@ -203,6 +357,74 @@ mod tests {
         line[63] = 0xcd;
         m.write_line(LineAddr(5), &line);
         assert_eq!(m.read_line(LineAddr(5)), line);
+    }
+
+    #[test]
+    fn sparse_pages_do_not_interfere() {
+        // Widely scattered pages exercise the open-addressed index across
+        // several growth steps; every untouched page in between reads zero.
+        let mut m = MemoryImage::new();
+        let stride = 977 * PAGE_BYTES; // coprime spread
+        for i in 0..300u64 {
+            m.write_u64(PmAddr(i * stride), i + 1);
+        }
+        assert_eq!(m.touched_pages(), 300);
+        for i in 0..300u64 {
+            assert_eq!(m.read_u64(PmAddr(i * stride)), i + 1);
+            assert_eq!(m.read_u64(PmAddr(i * stride + PAGE_BYTES)), 0);
+        }
+    }
+
+    #[test]
+    fn sparse_reread_after_crash_style_line_flush() {
+        // Lines flushed in the pattern of a post-crash WPQ flush (scattered
+        // line-granularity writes), then re-read sparsely: flushed lines
+        // hold their data, neighbours on untouched pages read zero.
+        let mut m = MemoryImage::new();
+        let lines_per_page = PAGE_BYTES / LINE_BYTES;
+        for i in 0..64u64 {
+            let line = LineAddr(i * 3 * lines_per_page + i); // distinct pages
+            m.write_line(line, &[i as u8 + 1; 64]);
+        }
+        for i in (0..64u64).rev() {
+            let line = LineAddr(i * 3 * lines_per_page + i);
+            assert_eq!(m.read_line(line), [i as u8 + 1; 64]);
+            let untouched = LineAddr((i * 3 + 1) * lines_per_page);
+            assert_eq!(m.read_line(untouched), [0u8; 64]);
+        }
+    }
+
+    #[test]
+    fn reset_clears_contents_bits_and_last_page_cache() {
+        let mut m = MemoryImage::new();
+        m.write_u64(PmAddr(40), 7);
+        m.mark_persistent(PmAddr(40), 8);
+        // Warm the last-page cache on page 0 via a read.
+        assert_eq!(m.read_u64(PmAddr(40)), 7);
+        m.reset();
+        assert_eq!(m.touched_pages(), 0);
+        // A stale cache entry would resurrect the old page here.
+        assert_eq!(m.read_u64(PmAddr(40)), 0);
+        assert!(!m.is_persistent(PmAddr(40)));
+        // The image is fully usable again after reset.
+        m.write_u64(PmAddr(40), 9);
+        assert_eq!(m.read_u64(PmAddr(40)), 9);
+        assert_eq!(m.touched_pages(), 1);
+    }
+
+    #[test]
+    fn alternating_page_accesses_stay_correct() {
+        // Ping-pong between two pages so every access misses the last-page
+        // cache; values must still come from the right page.
+        let mut m = MemoryImage::new();
+        let a = PmAddr(0);
+        let b = PmAddr(10 * PAGE_BYTES);
+        m.write_u64(a, 1);
+        m.write_u64(b, 2);
+        for _ in 0..8 {
+            assert_eq!(m.read_u64(a), 1);
+            assert_eq!(m.read_u64(b), 2);
+        }
     }
 
     #[test]
@@ -271,6 +493,31 @@ mod tests {
             m.write_u64(PmAddr(b), vb);
             prop_assert_eq!(m.read_u64(PmAddr(a)), va);
             prop_assert_eq!(m.read_u64(PmAddr(b)), vb);
+        }
+
+        #[test]
+        fn prop_matches_btreemap_reference(
+            ops in proptest::collection::vec(
+                (0u64..64 * PAGE_BYTES, any::<u64>()), 1..64),
+        ) {
+            // The open-addressed index + last-page cache must be
+            // observationally identical to the old BTreeMap-of-pages model.
+            let mut m = MemoryImage::new();
+            let mut reference = std::collections::BTreeMap::new();
+            for (addr, v) in &ops {
+                m.write_u64(PmAddr(*addr), *v);
+                for (i, byte) in v.to_le_bytes().iter().enumerate() {
+                    reference.insert(addr + i as u64, *byte);
+                }
+            }
+            for (addr, _) in &ops {
+                let mut buf = [0u8; 8];
+                m.read(PmAddr(*addr), &mut buf);
+                for (i, byte) in buf.iter().enumerate() {
+                    let want = reference.get(&(addr + i as u64)).copied().unwrap_or(0);
+                    prop_assert_eq!(*byte, want);
+                }
+            }
         }
     }
 }

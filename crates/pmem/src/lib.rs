@@ -30,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod hash;
 pub mod heap;
 pub mod image;
 
 pub use addr::{LineAddr, PmAddr, DRAM_BASE, LINE_BYTES, PAGE_BYTES, PM_BASE};
+pub use hash::{AddrBuildHasher, AddrHasher, AddrMap};
 pub use heap::{AllocError, RangeAllocator};
 pub use image::MemoryImage;

@@ -262,16 +262,23 @@ impl Stats {
     }
 
     /// Adds `v` to counter `name`, creating it at zero if absent.
+    ///
+    /// The existing-counter path avoids allocating: counters are bumped
+    /// millions of times per run but created only once each.
     pub fn add(&mut self, name: &str, v: u64) {
         if v == 0 {
             return;
         }
-        *self.counters.entry(name.to_owned()).or_insert(0) += v;
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_owned(), v);
+        }
     }
 
     /// Increments counter `name` by one.
     pub fn bump(&mut self, name: &str) {
-        *self.counters.entry(name.to_owned()).or_insert(0) += 1;
+        self.add(name, 1);
     }
 
     /// Current value of counter `name` (0 if never touched).
@@ -279,9 +286,16 @@ impl Stats {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Records a sample into distribution `name`.
+    /// Records a sample into distribution `name` (allocation-free once the
+    /// distribution exists, like [`add`](Self::add)).
     pub fn sample(&mut self, name: &str, v: u64) {
-        self.summaries.entry(name.to_owned()).or_default().record(v);
+        if let Some(h) = self.summaries.get_mut(name) {
+            h.record(v);
+        } else {
+            let mut h = Histogram::default();
+            h.record(v);
+            self.summaries.insert(name.to_owned(), h);
+        }
     }
 
     /// Returns the summary of distribution `name`, if any samples were

@@ -49,6 +49,10 @@ impl StallBreakdown {
 }
 
 /// Everything a figure needs from one run.
+///
+/// Results are plain owned data (`Send`), so a harness may simulate many
+/// specs on host worker threads and move the finished results back — each
+/// *simulation* stays single-threaded and deterministic regardless.
 #[derive(Clone, Debug)]
 pub struct RunResult {
     /// The spec that produced this result.
@@ -79,6 +83,14 @@ pub struct RunResult {
     /// Recovery report when the run crashed and recovered.
     pub recovery: Option<RecoveryReport>,
 }
+
+// The parallel figure harness moves whole results across host threads:
+// everything in a RunResult must stay plain data. (`Send` is not `Sync` —
+// a finished result never needs sharing, only moving.)
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<RunResult>();
+};
 
 impl RunResult {
     /// Throughput of `self` relative to `base`.

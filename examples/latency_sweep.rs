@@ -8,8 +8,17 @@
 //! cargo run --release --example latency_sweep
 //! ```
 
+use asap_bench::run_grid;
 use asap_core::scheme::SchemeKind;
-use asap_workloads::{run, BenchId, WorkloadSpec};
+use asap_workloads::{BenchId, WorkloadSpec};
+
+const MULTS: [u64; 5] = [1, 2, 4, 8, 16];
+const SCHEMES: [SchemeKind; 4] = [
+    SchemeKind::NoPersist,
+    SchemeKind::Asap,
+    SchemeKind::HwUndo,
+    SchemeKind::HwRedo,
+];
 
 fn main() {
     println!("--- throughput vs PM latency (Q benchmark, normalized to NP) ---\n");
@@ -17,21 +26,28 @@ fn main() {
         "{:>6} {:>8} {:>8} {:>8} {:>8}",
         "PM lat", "NP", "ASAP", "HWUndo", "HWRedo"
     );
-    for mult in [1u64, 2, 4, 8, 16] {
-        let spec = |s: SchemeKind| {
-            let mut sp = WorkloadSpec::new(BenchId::Q, s)
-                .with_threads(4)
-                .with_ops(200);
-            sp.system = sp.system.with_pm_latency_mult(mult);
-            sp
-        };
-        let np = run(&spec(SchemeKind::NoPersist));
-        let asap = run(&spec(SchemeKind::Asap)).speedup_over(&np);
-        let undo = run(&spec(SchemeKind::HwUndo)).speedup_over(&np);
-        let redo = run(&spec(SchemeKind::HwRedo)).speedup_over(&np);
+    let specs: Vec<_> = MULTS
+        .iter()
+        .flat_map(|mult| {
+            SCHEMES.iter().map(move |s| {
+                let mut sp = WorkloadSpec::new(BenchId::Q, *s)
+                    .with_threads(4)
+                    .with_ops(200);
+                sp.system = sp.system.with_pm_latency_mult(*mult);
+                sp
+            })
+        })
+        .collect();
+    let results = run_grid(&specs);
+    for (mi, cell) in results.chunks(SCHEMES.len()).enumerate() {
+        let np = &cell[0];
         println!(
             "{:>5}x {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
-            mult, 1.0, asap, undo, redo
+            MULTS[mi],
+            1.0,
+            cell[1].speedup_over(np),
+            cell[2].speedup_over(np),
+            cell[3].speedup_over(np),
         );
     }
     println!("\nASAP performs no persist operations on the critical path, so its");

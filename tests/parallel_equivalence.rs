@@ -1,0 +1,128 @@
+//! The parallel figure harness must be a pure wall-clock optimization:
+//! running a grid of simulations on N host threads has to produce results
+//! indistinguishable from running them one after another. Each simulation
+//! is single-threaded and deterministic, so any divergence here means the
+//! harness corrupted ordering or shared state.
+//!
+//! `ci.sh` runs this suite under both `ASAP_JOBS=1` and `ASAP_JOBS=4`.
+
+use asap_bench::{run_grid, run_grid_jobs};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::{BenchId, RunResult, WorkloadSpec};
+
+/// A small but heterogeneous grid: different benchmarks, schemes, thread
+/// counts and payload sizes, so cells finish out of order under parallel
+/// execution.
+fn grid() -> Vec<WorkloadSpec> {
+    let mut specs = Vec::new();
+    for bench in [BenchId::Q, BenchId::Hm, BenchId::Bt] {
+        for scheme in [
+            SchemeKind::NoPersist,
+            SchemeKind::SwUndo,
+            SchemeKind::HwRedo,
+            SchemeKind::Asap,
+        ] {
+            specs.push(
+                WorkloadSpec::new(bench, scheme)
+                    .with_threads(2)
+                    .with_ops(30),
+            );
+        }
+    }
+    specs.push(
+        WorkloadSpec::new(BenchId::Ss, SchemeKind::Asap)
+            .with_threads(4)
+            .with_ops(20)
+            .with_value_bytes(2048),
+    );
+    specs
+}
+
+/// Every observable field must agree exactly — floats bit-for-bit, and the
+/// whole stats registry via its canonical JSON dump.
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.spec.bench, b.spec.bench);
+    assert_eq!(a.spec.scheme, b.spec.scheme);
+    assert_eq!(a.tx, b.tx);
+    assert_eq!(a.exec_cycles, b.exec_cycles);
+    assert_eq!(a.drained_cycles, b.drained_cycles);
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    assert_eq!(a.pm_writes, b.pm_writes);
+    assert_eq!(
+        a.region_cycles_mean.to_bits(),
+        b.region_cycles_mean.to_bits()
+    );
+    assert_eq!(a.stalls.compute.to_bits(), b.stalls.compute.to_bits());
+    assert_eq!(a.stalls.log_full.to_bits(), b.stalls.log_full.to_bits());
+    assert_eq!(
+        a.stalls.wpq_backpressure.to_bits(),
+        b.stalls.wpq_backpressure.to_bits()
+    );
+    assert_eq!(
+        a.stalls.dependency_wait.to_bits(),
+        b.stalls.dependency_wait.to_bits()
+    );
+    assert_eq!(
+        a.stalls.commit_wait.to_bits(),
+        b.stalls.commit_wait.to_bits()
+    );
+    assert_eq!(a.stats.to_json(), b.stats.to_json());
+}
+
+#[test]
+fn serial_and_parallel_grids_are_identical() {
+    let specs = grid();
+    let serial = run_grid_jobs(&specs, 1);
+    let parallel = run_grid_jobs(&specs, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_identical(a, b);
+    }
+}
+
+/// `run_grid` (the env-driven entry the benches use) must agree with the
+/// serial reference no matter what `ASAP_JOBS` the environment sets —
+/// this is the variant ci.sh exercises at `ASAP_JOBS=1` and `ASAP_JOBS=4`.
+#[test]
+fn env_driven_grid_matches_serial_reference() {
+    let specs = grid();
+    let serial = run_grid_jobs(&specs, 1);
+    let env = run_grid(&specs);
+    for (a, b) in serial.iter().zip(&env) {
+        assert_identical(a, b);
+    }
+}
+
+/// Results come back in spec order, not completion order.
+#[test]
+fn results_preserve_spec_order() {
+    let specs = grid();
+    for jobs in [2, 4, 8] {
+        let results = run_grid_jobs(&specs, jobs);
+        assert_eq!(results.len(), specs.len());
+        for (spec, res) in specs.iter().zip(&results) {
+            assert_eq!(res.spec.bench, spec.bench, "order broken at {jobs} jobs");
+            assert_eq!(res.spec.scheme, spec.scheme, "order broken at {jobs} jobs");
+            assert_eq!(
+                res.spec.threads, spec.threads,
+                "order broken at {jobs} jobs"
+            );
+        }
+    }
+}
+
+/// More workers than specs must not deadlock or drop cells.
+#[test]
+fn more_jobs_than_specs() {
+    let specs = vec![
+        WorkloadSpec::new(BenchId::Q, SchemeKind::Asap)
+            .with_threads(1)
+            .with_ops(10),
+        WorkloadSpec::new(BenchId::Q, SchemeKind::NoPersist)
+            .with_threads(1)
+            .with_ops(10),
+    ];
+    let results = run_grid_jobs(&specs, 16);
+    assert_eq!(results.len(), 2);
+    assert!(results.iter().all(|r| r.tx > 0));
+}
