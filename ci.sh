@@ -13,6 +13,11 @@ echo "==> parallel harness equivalence (ASAP_JOBS=1 vs ASAP_JOBS=4)"
 ASAP_JOBS=1 cargo test -q --test parallel_equivalence
 ASAP_JOBS=4 cargo test -q --test parallel_equivalence
 
+echo "==> telemetry run report (exporter round-trip validation)"
+ASAP_TELEMETRY=1 ASAP_OPS=30 ASAP_THREADS=2 ASAP_REPORT_OUT=target/run_report.html \
+  cargo run --release --example run_report
+test -s target/run_report.html
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

@@ -16,7 +16,16 @@
 //!   (default `BENCH_WALLCLOCK.json` in the repo root; empty disables);
 //! - `ASAP_TRACE` / `ASAP_TRACE_CAP` — capture an event trace per run
 //!   (see the `trace_report` example and DESIGN.md's Observability
-//!   section).
+//!   section);
+//! - `ASAP_TELEMETRY` / `ASAP_TELEMETRY_PERIOD` — sample occupancy
+//!   time series and the region-lifecycle log in virtual time (see
+//!   EXPERIMENTS.md §Telemetry);
+//! - `ASAP_TELEMETRY_OUT` — directory for the per-figure merged
+//!   telemetry JSON (default `target/telemetry/`; empty disables).
+//!
+//! Unrecognized `ASAP_`-prefixed variables draw a warning on stderr at
+//! grid startup (see [`asap_sim::warn_unknown_asap_env`]) — a typo'd
+//! knob should never fail silently.
 //!
 //! Every figure is a grid of *independent deterministic simulations* — one
 //! per `(bench × scheme × payload)` cell — so the harness runs them on a
@@ -30,7 +39,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use asap_core::scheme::SchemeKind;
-use asap_sim::TraceSettings;
+use asap_sim::{TelemetrySettings, TraceSettings};
 use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
 
 /// Transactions per thread, from `ASAP_OPS` (default 200).
@@ -86,6 +95,7 @@ pub fn run_grid(specs: &[WorkloadSpec]) -> Vec<RunResult> {
 /// [`run_grid`] with an explicit worker count (used by the equivalence
 /// tests; `jobs <= 1` runs inline without spawning).
 pub fn run_grid_jobs(specs: &[WorkloadSpec], jobs: usize) -> Vec<RunResult> {
+    asap_sim::warn_unknown_asap_env();
     if jobs <= 1 || specs.len() <= 1 {
         return specs.iter().map(run).collect();
     }
@@ -161,7 +171,10 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
         }
         Err(_) => format!("[\n  {record}\n]\n"),
     };
-    match std::fs::write(&path, body) {
+    // Write-temp-then-rename: figures may run concurrently (or be
+    // interrupted), and a half-written trajectory file would poison every
+    // later append. `rename` within one directory is atomic on POSIX.
+    match write_atomic(&path, &body) {
         Ok(()) => eprintln!(
             "wallclock: {figure} {:.3}s ({} jobs) -> {}",
             elapsed.as_secs_f64(),
@@ -170,15 +183,71 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
         ),
         Err(e) => eprintln!("wallclock: could not write {}: {e}", path.display()),
     }
+    emit_telemetry(figure, grids);
+}
+
+/// Writes `body` to a same-directory temp file, then renames it over
+/// `path`, so readers never observe a partial file.
+fn write_atomic(path: &std::path::Path, body: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// Merges the per-run telemetry of every grid into one figure-level JSON
+/// object, in spec order: `{"figure":…,"runs":[…]}`. Returns `None` when
+/// no run carried telemetry (the knob was off), so callers can skip the
+/// write entirely. Deterministic: each run's telemetry is virtual-time
+/// sampled, so the merge is byte-identical for any `ASAP_JOBS`.
+pub fn merged_telemetry_json(figure: &str, grids: &[&[RunResult]]) -> Option<String> {
+    let runs: Vec<String> = grids
+        .iter()
+        .flat_map(|g| g.iter())
+        .filter_map(RunResult::telemetry_json)
+        .collect();
+    if runs.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "{{\"figure\":\"{figure}\",\"runs\":[{}]}}",
+        runs.join(",")
+    ))
+}
+
+/// Writes the merged telemetry for `figure` under the `ASAP_TELEMETRY_OUT`
+/// directory (default `target/telemetry/` next to the workspace root;
+/// empty disables). A no-op when telemetry was off for every run. Called
+/// from [`emit_wallclock`], so every figure bench exports for free.
+fn emit_telemetry(figure: &str, grids: &[&[RunResult]]) {
+    let Some(merged) = merged_telemetry_json(figure, grids) else {
+        return;
+    };
+    let dir = match std::env::var("ASAP_TELEMETRY_OUT") {
+        Ok(d) if d.is_empty() => return,
+        Ok(d) => std::path::PathBuf::from(d),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/telemetry"),
+    };
+    let path = dir.join(format!("{figure}.json"));
+    let res = std::fs::create_dir_all(&dir).and_then(|()| write_atomic(&path, &merged));
+    match res {
+        Ok(()) => eprintln!("telemetry: {figure} -> {}", path.display()),
+        Err(e) => eprintln!("telemetry: could not write {}: {e}", path.display()),
+    }
 }
 
 /// The standard figure spec: Table 2 system, scaled ops/threads, tracing
-/// per the `ASAP_TRACE`/`ASAP_TRACE_CAP` environment knobs.
+/// and telemetry per the `ASAP_TRACE*`/`ASAP_TELEMETRY*` environment
+/// knobs.
 pub fn fig_spec(bench: BenchId, scheme: SchemeKind) -> WorkloadSpec {
     WorkloadSpec::new(bench, scheme)
         .with_threads(threads())
         .with_ops(ops())
         .with_trace(TraceSettings::from_env())
+        .with_telemetry(TelemetrySettings::from_env())
 }
 
 /// Geometric mean (0.0 for an empty slice).
@@ -258,6 +327,31 @@ mod tests {
             assert_eq!(res.spec.bench, spec.bench);
             assert_eq!(res.spec.scheme, spec.scheme);
         }
+    }
+
+    #[test]
+    fn merged_telemetry_is_identical_across_job_counts() {
+        let specs: Vec<WorkloadSpec> = [BenchId::Q, BenchId::Hm]
+            .into_iter()
+            .map(|b| {
+                WorkloadSpec::new(b, SchemeKind::Asap)
+                    .with_threads(2)
+                    .with_ops(20)
+                    .with_telemetry(TelemetrySettings::enabled())
+            })
+            .collect();
+        let serial = run_grid_jobs(&specs, 1);
+        let parallel = run_grid_jobs(&specs, 2);
+        let a = merged_telemetry_json("test", &[&serial]).expect("telemetry on");
+        let b = merged_telemetry_json("test", &[&parallel]).expect("telemetry on");
+        assert_eq!(a, b, "merge must not depend on ASAP_JOBS");
+        asap_sim::json::parse(&a).expect("merged telemetry parses");
+        // Telemetry-off grids merge to nothing.
+        let off = vec![WorkloadSpec::new(BenchId::Q, SchemeKind::Asap)
+            .with_threads(2)
+            .with_ops(10)];
+        let res = run_grid_jobs(&off, 1);
+        assert!(merged_telemetry_json("test", &[&res]).is_none());
     }
 
     #[test]

@@ -1,11 +1,17 @@
 //! The shared hardware context every persistence scheme operates on.
 
 use asap_mem::cache::AccessKind;
-use asap_mem::{Access, CacheHierarchy, Evicted, MemSystem, OpId, PersistKind, PersistOp, Rid};
+use asap_mem::{
+    Access, CacheHierarchy, Evicted, MemEvent, MemSystem, OpId, PersistKind, PersistOp, Rid,
+};
 use asap_pmem::{LineAddr, MemoryImage, PmAddr, RangeAllocator, LINE_BYTES, PM_BASE};
 use asap_sim::{
-    Cycle, StallClass, StallReason, Stats, SystemConfig, Trace, TraceEvent, TraceSettings,
+    Cycle, StallClass, StallReason, Stats, SystemConfig, TelemetrySettings, TimeSeries, Trace,
+    TraceEvent, TraceSettings,
 };
+
+use crate::lifecycle::RegionLog;
+use crate::scheme::SchemeGauges;
 
 /// Size of the persistence-domain crash-dump area at the bottom of PM.
 ///
@@ -79,6 +85,10 @@ pub struct Hw {
     /// Per-thread stall cycles of the current region, by [`StallClass`]
     /// index. Reset at region begin, collected at region end.
     stall_acc: Vec<[u64; 4]>,
+    /// Region-lifecycle recorder and always-on commit-order auditor.
+    pub lifecycle: RegionLog,
+    /// Virtual-time occupancy sampler (disabled unless telemetry is on).
+    telemetry: TimeSeries,
 }
 
 impl Hw {
@@ -115,6 +125,8 @@ impl Hw {
             trace: Trace::disabled(),
             thread_core: (0..threads as usize).collect(),
             stall_acc: vec![[0u64; 4]; threads as usize],
+            lifecycle: RegionLog::new(),
+            telemetry: TimeSeries::disabled(),
             cfg,
             layout,
         }
@@ -124,6 +136,73 @@ impl Hw {
     pub fn set_trace_settings(&mut self, settings: TraceSettings) {
         self.trace = Trace::new(settings);
         self.mem.set_trace_settings(settings);
+    }
+
+    /// Configures the telemetry sampler: registers the gauge set (one WPQ
+    /// gauge per memory channel plus the scheme/cache/memory gauges) and
+    /// arms lifecycle recording and hot-line tracking when enabled.
+    pub fn set_telemetry(&mut self, settings: TelemetrySettings) {
+        let mut names: Vec<String> = (0..self.mem.num_channels())
+            .map(|c| format!("wpq.ch{c}"))
+            .collect();
+        names.extend(
+            [
+                "log.fill_lines",
+                "regions.uncommitted",
+                "deps.pending",
+                "cache.dirty_lines",
+                "mem.inflight",
+            ]
+            .map(String::from),
+        );
+        self.telemetry = TimeSeries::new(settings, names);
+        self.lifecycle.set_recording(settings.enabled);
+        self.mem.set_hot_line_tracking(settings.enabled);
+    }
+
+    /// True when the sampler wants a sample at `now` — one predictable
+    /// branch when telemetry is off, so it is safe on every hot path.
+    #[inline]
+    pub fn telemetry_due(&self, now: Cycle) -> bool {
+        self.telemetry.due(now)
+    }
+
+    /// Takes one telemetry sample at `now`. Callers gate on
+    /// [`Hw::telemetry_due`] and pass the scheme's current gauge readings.
+    pub fn telemetry_record(&mut self, now: Cycle, sg: SchemeGauges) {
+        let channels = self.mem.num_channels();
+        let mut vals = Vec::with_capacity(channels as usize + 5);
+        let mut inflight = 0u64;
+        for c in 0..channels {
+            vals.push(self.mem.wpq_len(c) as u64);
+            inflight += self.mem.pending_len(c) as u64;
+        }
+        vals.push(sg.log_fill_lines);
+        vals.push(sg.uncommitted_regions);
+        vals.push(sg.dep_queue_depth);
+        vals.push(self.caches.dirty_lines());
+        vals.push(inflight);
+        self.telemetry.record(now, &vals);
+    }
+
+    /// The telemetry sampler (empty when telemetry is disabled).
+    pub fn telemetry(&self) -> &TimeSeries {
+        &self.telemetry
+    }
+
+    /// Feeds a popped memory event to the lifecycle recorder. Both event
+    /// pop sites — [`crate::machine::Machine`]'s pump and the schemes'
+    /// `wait_mem!` loops — must call this so drain timestamps are complete.
+    #[inline]
+    pub fn observe_mem_event(&mut self, ev: &MemEvent) {
+        if !self.lifecycle.recording() {
+            return;
+        }
+        if let MemEvent::PmWritten { op, at, .. } = ev {
+            if let Some(rid) = op.rid {
+                self.lifecycle.pm_written(rid, *at);
+            }
+        }
     }
 
     /// Records a stall of `thread` on `reason` over `[from, to)`: feeds the

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod hw;
+pub mod lifecycle;
 pub mod logbuf;
 pub mod machine;
 pub mod recovery;
@@ -59,6 +60,7 @@ pub mod scheme;
 pub mod tracker;
 
 pub use hw::Hw;
+pub use lifecycle::{RegionLog, RegionRecord};
 pub use machine::{Machine, MachineConfig, RunOutcome, ThreadCtx};
 pub use scheme::SchemeKind;
 pub use tracker::RegionTracker;

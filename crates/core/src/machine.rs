@@ -39,11 +39,12 @@ use asap_mem::cache::AccessKind;
 use asap_mem::Rid;
 use asap_pmem::{AllocError, LineAddr, PmAddr, LINE_BYTES};
 use asap_sim::{
-    chrome_trace_json, Cycle, StallClass, Stats, SystemConfig, ThreadClocks, Trace, TraceEvent,
-    TracePart, TraceSettings, VirtualLock,
+    chrome_trace_json, Cycle, StallClass, Stats, SystemConfig, TelemetrySettings, ThreadClocks,
+    TimeSeries, Trace, TraceEvent, TracePart, TraceSettings, VirtualLock,
 };
 
 use crate::hw::Hw;
+use crate::lifecycle::RegionLog;
 use crate::scheme::{self, RecoveryReport, Scheme, SchemeKind};
 use crate::tracker::RegionTracker;
 
@@ -85,6 +86,9 @@ pub struct MachineConfig {
     pub num_locks: usize,
     /// Event-trace settings (off by default; see [`TraceSettings`]).
     pub trace: TraceSettings,
+    /// Telemetry sampler settings (off by default; see
+    /// [`TelemetrySettings`]).
+    pub telemetry: TelemetrySettings,
 }
 
 impl MachineConfig {
@@ -100,6 +104,7 @@ impl MachineConfig {
             crash_after_pm_writes: None,
             num_locks: 64,
             trace: TraceSettings::disabled(),
+            telemetry: TelemetrySettings::disabled(),
         }
     }
 
@@ -141,6 +146,14 @@ impl MachineConfig {
     /// [`TraceSettings::from_env`] for the `ASAP_TRACE` knobs).
     pub fn with_trace(mut self, trace: TraceSettings) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Enables virtual-time telemetry sampling and lifecycle recording
+    /// (e.g. [`TelemetrySettings::from_env`] for the `ASAP_TELEMETRY`
+    /// knobs).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySettings) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -188,6 +201,7 @@ impl Machine {
         install_panic_hook();
         let mut hw = Hw::new(cfg.system, cfg.threads, cfg.log_bytes, cfg.heap_bytes);
         hw.set_trace_settings(cfg.trace);
+        hw.set_telemetry(cfg.telemetry);
         let scheme = scheme::build(cfg.scheme, &cfg.system);
         let threads = cfg.threads as usize;
         Machine {
@@ -253,7 +267,12 @@ impl Machine {
     fn pump(&mut self, now: Cycle) {
         self.hw.advance_mem(now);
         while let Some(ev) = self.hw.mem.pop_event() {
+            self.hw.observe_mem_event(&ev);
             self.scheme.on_mem_event(&mut self.hw, &ev);
+        }
+        if self.hw.telemetry_due(now) {
+            let gauges = self.scheme.gauges();
+            self.hw.telemetry_record(now, gauges);
         }
     }
 
@@ -369,6 +388,9 @@ impl Machine {
         self.hw.mem.flush_to_image(&mut image);
         self.hw.image = image;
         self.hw.caches.invalidate_all();
+        // In-flight regions died with the power: the commit auditor must
+        // not expect them to commit after recovery.
+        self.hw.lifecycle.note_crash();
         self.crashed = true;
     }
 
@@ -475,6 +497,17 @@ impl Machine {
     /// The CPU-side event trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &Trace {
         &self.hw.trace
+    }
+
+    /// The telemetry time series (empty unless telemetry was enabled).
+    pub fn timeseries(&self) -> &TimeSeries {
+        self.hw.telemetry()
+    }
+
+    /// The region-lifecycle log (records populated only when telemetry was
+    /// enabled; the commit-order auditor inside runs regardless).
+    pub fn lifecycle(&self) -> &RegionLog {
+        &self.hw.lifecycle
     }
 
     /// The whole run as Chrome trace-event JSON: CPU thread lanes under
@@ -610,6 +643,7 @@ impl ThreadCtx<'_> {
         if let Some(tr) = &mut self.m.tracker {
             tr.begin(rid);
         }
+        self.m.hw.lifecycle.begin(rid, self.now);
         let m = &mut *self.m;
         self.now = m.scheme.on_begin(&mut m.hw, t, rid, self.now);
     }
@@ -630,6 +664,14 @@ impl ThreadCtx<'_> {
         let rid = self.m.cur_rid[t].expect("region id set at begin");
         let m = &mut *self.m;
         self.now = m.scheme.on_end(&mut m.hw, t, rid, self.now);
+        m.hw.lifecycle.end(rid, self.now);
+        if !m.cfg.scheme.commits_asynchronously() {
+            // Synchronous schemes are durable when on_end returns: the
+            // region is persist-ordered and committed at this instant.
+            // ASAP records these from its commit cascade instead.
+            m.hw.lifecycle.ordered(rid, self.now);
+            m.hw.lifecycle.commit(rid, self.now);
+        }
         if let Some(tr) = &mut m.tracker {
             let (lines, deps) = tr.end(rid);
             m.hw.stats.sample("region.lines_written", lines as u64);

@@ -36,7 +36,7 @@ use crate::hw::Hw;
 use crate::logbuf::{LogBuffer, RecordHeader};
 use crate::recovery;
 use crate::scheme::common::{wait_mem, InflightHeaders, LogAcceptTracker};
-use crate::scheme::{AsapOpts, RecoveryReport, Scheme, SchemeKind};
+use crate::scheme::{AsapOpts, RecoveryReport, Scheme, SchemeGauges, SchemeKind};
 
 use structs::{AddDep, ClLists, ClSlot, DepLists, DpoState, LhWpq};
 
@@ -236,6 +236,7 @@ impl Asap {
             if let Some(d) = self.deps.get_mut(rid) {
                 d.done = true;
             }
+            hw.lifecycle.ordered(rid, at);
             self.try_commit(hw, rid, at);
         }
     }
@@ -270,6 +271,7 @@ impl Asap {
             hw.stats.bump("region.committed");
             hw.trace
                 .emit(at, r.thread(), TraceEvent::RegionPersisted { rid: trid(r) });
+            hw.lifecycle.commit(r, at);
             let (unblocked, channels_holding) = self.deps.clear_dep_counting(r);
             let messages = if self.numa_broadcast_filter {
                 u64::from(channels_holding)
@@ -451,6 +453,7 @@ impl Asap {
                             to: trid(rid),
                         },
                     );
+                    hw.lifecycle.dep_edge(owner, rid);
                     return now;
                 }
                 AddDep::TargetGone => return now,
@@ -485,6 +488,14 @@ impl Scheme for Asap {
             SchemeKind::Asap
         } else {
             SchemeKind::AsapWith(self.opts)
+        }
+    }
+
+    fn gauges(&self) -> SchemeGauges {
+        SchemeGauges {
+            log_fill_lines: self.threads.values().map(|t| t.log.live_lines()).sum(),
+            uncommitted_regions: self.deps.len() as u64,
+            dep_queue_depth: self.deps.iter().map(|e| e.deps.len() as u64).sum(),
         }
     }
 
@@ -690,6 +701,7 @@ impl Scheme for Asap {
             if let Some(d) = self.deps.get_mut(rid) {
                 d.done = true;
             }
+            hw.lifecycle.ordered(rid, now);
             self.try_commit(hw, rid, now);
         }
         now // asynchronous commit: execution proceeds immediately
@@ -775,6 +787,7 @@ impl Scheme for Asap {
                     if let Some(d) = self.deps.get_mut(rid) {
                         d.done = true;
                     }
+                    hw.lifecycle.ordered(rid, now);
                     self.try_commit(hw, rid, now);
                 }
             }

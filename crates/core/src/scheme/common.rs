@@ -23,6 +23,7 @@ macro_rules! wait_mem {
         let mut now: asap_sim::Cycle = $now;
         loop {
             while let Some(ev) = $hw.mem.pop_event() {
+                $hw.observe_mem_event(&ev);
                 $self.handle_event($hw, &ev);
             }
             if $cond {
@@ -32,6 +33,13 @@ macro_rules! wait_mem {
                 Some(t) => {
                     $hw.advance_mem(t);
                     now = now.max(t + $hw.hop() as u64);
+                    // Drain loops can run for millions of cycles without
+                    // returning to the machine's pump, so the telemetry
+                    // sampler must also tick here.
+                    if $hw.telemetry_due(now) {
+                        let gauges = $crate::scheme::Scheme::gauges($self);
+                        $hw.telemetry_record(now, gauges);
+                    }
                 }
                 None => {
                     panic!("scheme deadlock: waiting on condition with no pending memory events")

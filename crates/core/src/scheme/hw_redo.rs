@@ -33,7 +33,7 @@ use crate::hw::Hw;
 use crate::logbuf::{LogBuffer, RecordHeader, MAX_ENTRIES};
 use crate::recovery;
 use crate::scheme::common::{wait_mem, InflightHeaders, LogAcceptTracker};
-use crate::scheme::{RecoveryReport, Scheme, SchemeKind};
+use crate::scheme::{RecoveryReport, Scheme, SchemeGauges, SchemeKind};
 
 /// Hardware cost of the begin/end region instructions.
 const MARKER_COST: u64 = 3;
@@ -253,6 +253,17 @@ impl Default for HwRedo {
 impl Scheme for HwRedo {
     fn kind(&self) -> SchemeKind {
         SchemeKind::HwRedo
+    }
+
+    fn gauges(&self) -> SchemeGauges {
+        SchemeGauges {
+            log_fill_lines: self.threads.values().map(|t| t.log.live_lines()).sum(),
+            // Active regions are pre-commit; `retiring` regions are durable
+            // and only draining DPOs, so they don't count as uncommitted.
+            uncommitted_regions: self.threads.values().filter(|t| t.active.is_some()).count()
+                as u64,
+            dep_queue_depth: 0,
+        }
     }
 
     fn on_thread_start(&mut self, hw: &mut Hw, thread: usize, now: Cycle) -> Cycle {

@@ -24,7 +24,7 @@ use crate::hw::Hw;
 use crate::logbuf::{LogBuffer, RecordHeader, MAX_ENTRIES};
 use crate::recovery;
 use crate::scheme::common::{wait_mem, InflightHeaders, LogAcceptTracker};
-use crate::scheme::{RecoveryReport, Scheme, SchemeKind};
+use crate::scheme::{RecoveryReport, Scheme, SchemeGauges, SchemeKind};
 
 /// Hardware cost of the begin/end region instructions.
 const MARKER_COST: u64 = 3;
@@ -144,6 +144,15 @@ impl Default for HwUndo {
 impl Scheme for HwUndo {
     fn kind(&self) -> SchemeKind {
         SchemeKind::HwUndo
+    }
+
+    fn gauges(&self) -> SchemeGauges {
+        SchemeGauges {
+            log_fill_lines: self.threads.values().map(|t| t.log.live_lines()).sum(),
+            uncommitted_regions: self.threads.values().filter(|t| t.active.is_some()).count()
+                as u64,
+            dep_queue_depth: 0,
+        }
     }
 
     fn on_thread_start(&mut self, hw: &mut Hw, thread: usize, now: Cycle) -> Cycle {

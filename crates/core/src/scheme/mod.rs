@@ -155,6 +155,19 @@ pub struct RecoveryReport {
     pub restored_lines: u64,
 }
 
+/// Instantaneous occupancy readings a scheme reports to the telemetry
+/// sampler (all zero for schemes without the corresponding structure).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchemeGauges {
+    /// Live lines across all hardware/software log buffers.
+    pub log_fill_lines: u64,
+    /// Regions begun but not yet durable.
+    pub uncommitted_regions: u64,
+    /// Outstanding dependency edges regions are waiting on (ASAP's
+    /// Dependence List occupancy; zero for synchronous schemes).
+    pub dep_queue_depth: u64,
+}
+
 /// The hooks a persistence scheme implements.
 ///
 /// Time flows through the hooks explicitly: each receives the thread's
@@ -222,6 +235,12 @@ pub trait Scheme {
 
     /// A memory-system event (WPQ acceptance or PM write) to process.
     fn on_mem_event(&mut self, _hw: &mut Hw, _ev: &MemEvent) {}
+
+    /// Current occupancy readings for the telemetry sampler. Only called
+    /// when a sample is due, so an O(threads) walk is acceptable.
+    fn gauges(&self) -> SchemeGauges {
+        SchemeGauges::default()
+    }
 
     /// The thread is context-switched off its core (§5.7): complete its
     /// in-flight persist bookkeeping tied to core-local structures.

@@ -22,7 +22,7 @@ use crate::hw::Hw;
 use crate::logbuf::LogBuffer;
 use crate::recovery;
 use crate::scheme::common::{wait_mem, ActiveLog};
-use crate::scheme::{RecoveryReport, Scheme, SchemeKind};
+use crate::scheme::{RecoveryReport, Scheme, SchemeGauges, SchemeKind};
 
 /// Cost of issuing one `clwb` instruction.
 const CLWB_COST: u64 = 4;
@@ -178,6 +178,15 @@ impl Scheme for SwUndo {
         match self.mode {
             SwMode::Full => SchemeKind::SwUndo,
             SwMode::DpoOnly => SchemeKind::SwDpoOnly,
+        }
+    }
+
+    fn gauges(&self) -> SchemeGauges {
+        SchemeGauges {
+            log_fill_lines: self.threads.values().map(|t| t.log.live_lines()).sum(),
+            uncommitted_regions: self.threads.values().filter(|t| t.active.is_some()).count()
+                as u64,
+            dep_queue_depth: 0,
         }
     }
 

@@ -418,6 +418,13 @@ impl CacheHierarchy {
         self.store.len()
     }
 
+    /// Number of cached lines whose dirty bit is set — the telemetry
+    /// sampler's dirty-line gauge. O(resident lines); the sampler's
+    /// decimating buffer bounds how often this walk runs.
+    pub fn dirty_lines(&self) -> u64 {
+        self.store.values().filter(|s| s.dirty).count() as u64
+    }
+
     /// Whether the hierarchy is empty.
     pub fn is_empty(&self) -> bool {
         self.store.is_empty()

@@ -158,6 +158,9 @@ pub struct MemSystem {
     next_id: u64,
     stats: Stats,
     trace: Trace,
+    /// PM media writes per line, kept only when telemetry asks for the
+    /// hottest-lines table (`None` = tracking off, zero overhead).
+    line_writes: Option<std::collections::HashMap<LineAddr, u64>>,
 }
 
 impl MemSystem {
@@ -175,6 +178,7 @@ impl MemSystem {
             next_id: 0,
             stats: Stats::new(),
             trace: Trace::disabled(),
+            line_writes: None,
         }
     }
 
@@ -182,6 +186,24 @@ impl MemSystem {
     /// channel as the trace thread id).
     pub fn set_trace_settings(&mut self, settings: TraceSettings) {
         self.trace = Trace::new(settings);
+    }
+
+    /// Turns per-line PM write counting on or off (the telemetry report's
+    /// hottest-lines table). Off by default; resets counts when toggled.
+    pub fn set_hot_line_tracking(&mut self, on: bool) {
+        self.line_writes = on.then(std::collections::HashMap::new);
+    }
+
+    /// The `n` most-written PM lines as `(line, media_writes)`, hottest
+    /// first (ties by line address). Empty unless tracking is on.
+    pub fn hottest_lines(&self, n: usize) -> Vec<(u64, u64)> {
+        let Some(map) = &self.line_writes else {
+            return Vec::new();
+        };
+        let mut v: Vec<(u64, u64)> = map.iter().map(|(l, c)| (l.0, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
     }
 
     /// The memory-side event trace.
@@ -298,6 +320,9 @@ impl MemSystem {
                 image.write_line(slot.op.target, &slot.op.data);
                 self.stats.bump(pm_write_counter(slot.op.kind));
                 self.stats.bump("pm.write.total");
+                if let Some(map) = &mut self.line_writes {
+                    *map.entry(slot.op.target).or_insert(0) += 1;
+                }
                 let residency = t.since(slot.accepted_at);
                 self.stats.sample("mem.wpq.residency_cycles", residency);
                 self.trace.emit(

@@ -278,6 +278,60 @@ impl Default for SystemConfig {
     }
 }
 
+/// Every `ASAP_`-prefixed environment variable the simulator and its
+/// harnesses understand. [`warn_unknown_asap_env`] checks the process
+/// environment against this registry so typos (`ASAP_TRACE_CAPP`, …) are
+/// reported instead of silently ignored.
+pub const KNOWN_ASAP_ENV: &[&str] = &[
+    "ASAP_BENCHES",
+    "ASAP_DEBUG_RECOVERY",
+    "ASAP_JOBS",
+    "ASAP_OPS",
+    "ASAP_REPORT_OUT",
+    "ASAP_TELEMETRY",
+    "ASAP_TELEMETRY_OUT",
+    "ASAP_TELEMETRY_PERIOD",
+    "ASAP_THREADS",
+    "ASAP_TRACE",
+    "ASAP_TRACE_CAP",
+    "ASAP_WALLCLOCK",
+];
+
+/// Returns the `ASAP_`-prefixed names from `names` that are not in
+/// [`KNOWN_ASAP_ENV`], sorted. Pure so it is testable without touching the
+/// process environment.
+pub fn unknown_asap_vars<I, S>(names: I) -> Vec<String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut out: Vec<String> = names
+        .into_iter()
+        .map(Into::into)
+        .filter(|n| n.starts_with("ASAP_") && !KNOWN_ASAP_ENV.contains(&n.as_str()))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Scans the process environment once and warns on stderr about any
+/// unrecognized `ASAP_`-prefixed variable. Harness entry points call this;
+/// repeat calls are no-ops.
+pub fn warn_unknown_asap_env() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let names = std::env::vars_os().filter_map(|(k, _)| k.into_string().ok());
+        for name in unknown_asap_vars(names) {
+            eprintln!(
+                "warning: unrecognized environment variable {name} \
+                 (known ASAP_* knobs: {})",
+                KNOWN_ASAP_ENV.join(", ")
+            );
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +410,41 @@ mod tests {
         assert_eq!(a.lh_wpq_bytes_per_channel(), 128 * 70);
         // Table 2: "Bloom filter: 1KB/channel".
         assert_eq!(a.bloom_bytes_per_channel(), 1024);
+    }
+
+    #[test]
+    fn env_registry_flags_typos_only() {
+        let names = [
+            "ASAP_TRACE",      // known
+            "ASAP_TRACE_CAPP", // typo
+            "ASAP_TELEMETRY",  // known
+            "ASAP_TELEMETRY_PERIOD",
+            "PATH",      // non-ASAP: ignored
+            "ASAPX_FOO", // no underscore prefix match: ignored
+            "ASAP_FRobnicate",
+        ];
+        let unknown = unknown_asap_vars(names);
+        assert_eq!(unknown, vec!["ASAP_FRobnicate", "ASAP_TRACE_CAPP"]);
+    }
+
+    #[test]
+    fn env_registry_accepts_all_known() {
+        assert!(unknown_asap_vars(KNOWN_ASAP_ENV.iter().map(|s| s.to_string())).is_empty());
+        // Registry stays sorted so the warning text is stable.
+        let mut sorted = KNOWN_ASAP_ENV.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KNOWN_ASAP_ENV);
+    }
+
+    #[test]
+    fn env_registry_dedups() {
+        let unknown = unknown_asap_vars(["ASAP_OOPS", "ASAP_OOPS"]);
+        assert_eq!(unknown, vec!["ASAP_OOPS"]);
+    }
+
+    #[test]
+    fn warn_unknown_asap_env_is_idempotent() {
+        warn_unknown_asap_env();
+        warn_unknown_asap_env();
     }
 }

@@ -39,14 +39,18 @@ pub mod json;
 pub mod lock;
 pub mod sched;
 pub mod stats;
+pub mod timeseries;
 pub mod trace;
 
 pub use clock::Cycle;
-pub use config::{AsapConfig, CacheConfig, MemConfig, SystemConfig};
+pub use config::{
+    warn_unknown_asap_env, AsapConfig, CacheConfig, MemConfig, SystemConfig, KNOWN_ASAP_ENV,
+};
 pub use events::EventQueue;
 pub use lock::VirtualLock;
 pub use sched::ThreadClocks;
 pub use stats::{Histogram, Stats, Summary};
+pub use timeseries::{TelemetrySettings, TimeSeries};
 pub use trace::{
     chrome_trace_json, StallClass, StallReason, Trace, TraceEvent, TracePart, TraceRecord,
     TraceSettings,

@@ -606,6 +606,69 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_is_that_sample() {
+        let mut h = Histogram::default();
+        h.record(42);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42);
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max() {
+        let mut h = Histogram::default();
+        for v in [3u64, 10, 17, 1000, 65_536] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 65_536);
+        // Out-of-range q clamps rather than panicking.
+        assert_eq!(h.quantile(-1.0), 3);
+        assert_eq!(h.quantile(2.0), 65_536);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::default();
+        for v in 0..500u64 {
+            h.record(v * v % 10_000 + 1);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let vals: Vec<u64> = qs.iter().map(|&q| h.quantile(q)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotone: {vals:?}");
+        }
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_stay_monotone_and_bounded() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in 1..200u64 {
+            a.record(v);
+        }
+        for v in 5_000..5_300u64 {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        let (p50, p95, p99) = (a.quantile(0.5), a.quantile(0.95), a.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        assert_eq!(a.quantile(0.0), 1);
+        assert_eq!(a.quantile(1.0), 5_299);
+        // Median of the merged distribution lies in b's range (300 of 499
+        // samples are from b), p50 rank = ceil(0.5*499) = 250 → b's bucket.
+        assert!(p50 >= 200, "median should come from the merged-in data");
+    }
+
+    #[test]
     fn stats_json_contains_quantiles() {
         let mut s = Stats::new();
         s.add("pm.write.total", 7);

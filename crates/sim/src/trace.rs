@@ -460,7 +460,8 @@ fn emit_chrome(out: &mut String, first: &mut bool, pid: u32, r: &TraceRecord) {
         TraceEvent::WpqAccept { channel, kind } => {
             format!(
                 "{{\"name\":\"wpq_accept\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
-                 \"pid\":{pid},\"tid\":{channel},\"args\":{{\"kind\":\"{kind}\"}}}}"
+                 \"pid\":{pid},\"tid\":{channel},\"args\":{{\"kind\":\"{}\"}}}}",
+                json::escape(kind)
             )
         }
         TraceEvent::WpqDrain {
@@ -471,7 +472,8 @@ fn emit_chrome(out: &mut String, first: &mut bool, pid: u32, r: &TraceRecord) {
             format!(
                 "{{\"name\":\"wpq_drain\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
                  \"pid\":{pid},\"tid\":{channel},\
-                 \"args\":{{\"kind\":\"{kind}\",\"residency\":{residency}}}}}"
+                 \"args\":{{\"kind\":\"{}\",\"residency\":{residency}}}}}",
+                json::escape(kind)
             )
         }
         TraceEvent::StallBegin { reason } => {
@@ -604,6 +606,68 @@ mod tests {
         let closes = j.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn zero_cap_ring_drops_everything_but_counts() {
+        let mut t = Trace::new(TraceSettings::with_cap(0));
+        assert!(t.enabled());
+        for i in 0..7u64 {
+            rec(&mut t, i, 0, TraceEvent::CrashInjected);
+        }
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 7);
+        assert!(t.records().next().is_none());
+    }
+
+    #[test]
+    fn drop_counter_survives_interleaved_reads() {
+        let mut t = Trace::new(TraceSettings::with_cap(1));
+        rec(&mut t, 0, 0, TraceEvent::CrashInjected);
+        assert_eq!((t.len(), t.dropped()), (1, 0));
+        rec(&mut t, 1, 0, TraceEvent::CrashInjected);
+        rec(&mut t, 2, 0, TraceEvent::CrashInjected);
+        assert_eq!((t.len(), t.dropped()), (1, 2));
+        // dropped + len always equals the number of emits.
+        assert_eq!(t.dropped() + t.len() as u64, 3);
+    }
+
+    #[test]
+    fn chrome_json_escapes_exotic_labels() {
+        let exotic = "wpq \"kind\"\\with\nnewline\tand\u{1}ctl";
+        let mut t = Trace::new(TraceSettings::with_cap(8));
+        rec(
+            &mut t,
+            5,
+            0,
+            TraceEvent::WpqAccept {
+                channel: 0,
+                kind: exotic,
+            },
+        );
+        let j = chrome_trace_json(&[TracePart {
+            name: "pm \"quoted\"\n",
+            pid: 1,
+            trace: &t,
+        }]);
+        // The emitted document must parse, and the decoded strings must
+        // round-trip the exotic originals exactly.
+        let v = crate::json::parse(&j).expect("chrome trace JSON is well-formed");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        let decoded: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("args"))
+            .filter_map(|a| a.get("kind"))
+            .filter_map(|k| k.as_str())
+            .collect();
+        assert_eq!(decoded, vec![exotic]);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("args"))
+            .filter_map(|a| a.get("name"))
+            .filter_map(|n| n.as_str())
+            .collect();
+        assert!(names.contains(&"pm \"quoted\"\n"));
     }
 
     #[test]

@@ -78,6 +78,16 @@ pub struct RunResult {
     /// Deterministic text dump of the CPU and memory traces (only when
     /// the spec enables tracing); byte-identical across identical runs.
     pub trace_dump: Option<String>,
+    /// Occupancy time-series JSON (only when the spec enables telemetry);
+    /// deterministic, bounded by the decimating buffer.
+    pub timeseries: Option<String>,
+    /// Region-lifecycle log JSON (only when the spec enables telemetry).
+    pub lifecycle: Option<String>,
+    /// Lifecycle dependency DAG as Graphviz DOT (telemetry only).
+    pub lifecycle_dot: Option<String>,
+    /// The hottest PM lines as `(line, media_writes)`, hottest first
+    /// (telemetry only; capped at [`HOT_LINES`] entries).
+    pub hot_lines: Vec<(u64, u64)>,
     /// Whether the run completed or crashed.
     pub outcome: RunOutcome,
     /// Recovery report when the run crashed and recovered.
@@ -92,7 +102,35 @@ const _: fn() = || {
     assert_send::<RunResult>();
 };
 
+/// How many hottest PM lines a telemetry-enabled run reports.
+pub const HOT_LINES: usize = 32;
+
 impl RunResult {
+    /// One self-contained telemetry JSON object for this run — cell
+    /// identity, time series, lifecycle log and hottest lines — or `None`
+    /// when the spec ran without telemetry. This is what the bench
+    /// harness's merged export is made of.
+    pub fn telemetry_json(&self) -> Option<String> {
+        let ts = self.timeseries.as_deref()?;
+        let lc = self.lifecycle.as_deref().unwrap_or("null");
+        let mut hot = String::from("[");
+        for (i, (line, n)) in self.hot_lines.iter().enumerate() {
+            if i > 0 {
+                hot.push(',');
+            }
+            hot.push_str(&format!("[{line},{n}]"));
+        }
+        hot.push(']');
+        Some(format!(
+            "{{\"bench\":\"{}\",\"scheme\":\"{}\",\"threads\":{},\"value_bytes\":{},\
+             \"timeseries\":{ts},\"lifecycle\":{lc},\"hot_lines\":{hot}}}",
+            self.spec.bench.label(),
+            self.spec.scheme,
+            self.spec.threads,
+            self.spec.value_bytes,
+        ))
+    }
+
     /// Throughput of `self` relative to `base`.
     pub fn speedup_over(&self, base: &RunResult) -> f64 {
         if base.throughput == 0.0 {
@@ -116,7 +154,8 @@ impl RunResult {
 fn machine_for(spec: &WorkloadSpec) -> Machine {
     let mut cfg = MachineConfig::new(spec.scheme, spec.threads)
         .with_system(spec.system)
-        .with_trace(spec.trace);
+        .with_trace(spec.trace)
+        .with_telemetry(spec.telemetry);
     if spec.track {
         cfg = cfg.with_tracking();
     }
@@ -222,6 +261,16 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
     } else {
         (None, None)
     };
+    let (timeseries, lifecycle, lifecycle_dot) = if spec.telemetry.enabled {
+        (
+            Some(m.timeseries().to_json()),
+            Some(m.lifecycle().to_json()),
+            Some(m.lifecycle().to_dot()),
+        )
+    } else {
+        (None, None, None)
+    };
+    let hot_lines = m.hw().mem.hottest_lines(HOT_LINES);
     RunResult {
         spec: *spec,
         tx,
@@ -236,6 +285,10 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         recovery,
         chrome_trace,
         trace_dump,
+        timeseries,
+        lifecycle,
+        lifecycle_dot,
+        hot_lines,
     }
 }
 
@@ -280,6 +333,34 @@ mod tests {
         assert_eq!(a.exec_cycles, b.exec_cycles);
         assert_eq!(a.pm_writes, b.pm_writes);
         assert_eq!(a.tx, b.tx);
+    }
+
+    #[test]
+    fn telemetry_run_exports_deterministic_series_and_lifecycle() {
+        use asap_sim::TelemetrySettings;
+        let spec = small(BenchId::Hm, SchemeKind::Asap)
+            .with_telemetry(TelemetrySettings::enabled().with_period(64));
+        let a = run(&spec);
+        let b = run(&spec);
+        let ts = a.timeseries.as_deref().expect("timeseries exported");
+        let lc = a.lifecycle.as_deref().expect("lifecycle exported");
+        let dot = a.lifecycle_dot.as_deref().expect("DOT exported");
+        assert_eq!(a.timeseries, b.timeseries, "series must be deterministic");
+        assert_eq!(a.lifecycle, b.lifecycle);
+        assert_eq!(a.hot_lines, b.hot_lines);
+        assert!(ts.contains("\"wpq.ch0\""), "series names present: {ts}");
+        assert!(lc.contains("\"commits\""));
+        assert!(dot.starts_with("digraph regions {"));
+        assert!(!a.hot_lines.is_empty());
+        // The composed per-run telemetry object parses with the in-tree
+        // parser — the harness merge relies on that.
+        let obj = a.telemetry_json().expect("telemetry object");
+        let v = asap_sim::json::parse(&obj).expect("telemetry JSON parses");
+        assert_eq!(v.get("bench").and_then(|b| b.as_str()), Some("HM"), "{obj}");
+        // A telemetry-free run exports nothing.
+        let off = run(&small(BenchId::Hm, SchemeKind::Asap));
+        assert!(off.timeseries.is_none() && off.telemetry_json().is_none());
+        assert!(off.hot_lines.is_empty());
     }
 
     #[test]

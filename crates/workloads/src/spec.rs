@@ -3,7 +3,7 @@
 use std::fmt;
 
 use asap_core::scheme::SchemeKind;
-use asap_sim::{SystemConfig, TraceSettings};
+use asap_sim::{SystemConfig, TelemetrySettings, TraceSettings};
 
 /// The nine benchmarks of Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -122,6 +122,9 @@ pub struct WorkloadSpec {
     /// Event-trace settings (off by default; `ASAP_TRACE` via
     /// [`TraceSettings::from_env`]).
     pub trace: TraceSettings,
+    /// Telemetry sampler settings (off by default; `ASAP_TELEMETRY` via
+    /// [`TelemetrySettings::from_env`]).
+    pub telemetry: TelemetrySettings,
 }
 
 impl WorkloadSpec {
@@ -140,6 +143,7 @@ impl WorkloadSpec {
             track: false,
             crash_after: None,
             trace: TraceSettings::disabled(),
+            telemetry: TelemetrySettings::disabled(),
         }
     }
 
@@ -199,6 +203,13 @@ impl WorkloadSpec {
     /// Enables event tracing for the run.
     pub fn with_trace(mut self, trace: TraceSettings) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns this spec with telemetry sampling configured (e.g.
+    /// [`TelemetrySettings::from_env`] for the `ASAP_TELEMETRY` knobs).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySettings) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

@@ -8,6 +8,7 @@
 
 use asap_bench::{run_grid, run_grid_jobs};
 use asap_core::scheme::SchemeKind;
+use asap_sim::TelemetrySettings;
 use asap_workloads::{BenchId, RunResult, WorkloadSpec};
 
 /// A small but heterogeneous grid: different benchmarks, schemes, thread
@@ -34,6 +35,15 @@ fn grid() -> Vec<WorkloadSpec> {
             .with_threads(4)
             .with_ops(20)
             .with_value_bytes(2048),
+    );
+    // One telemetry-enabled cell: the sampler and lifecycle log are driven
+    // by virtual time only, so their exports must also be byte-identical
+    // between the serial and parallel harness paths.
+    specs.push(
+        WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap)
+            .with_threads(2)
+            .with_ops(25)
+            .with_telemetry(TelemetrySettings::enabled()),
     );
     specs
 }
@@ -67,6 +77,10 @@ fn assert_identical(a: &RunResult, b: &RunResult) {
         b.stalls.commit_wait.to_bits()
     );
     assert_eq!(a.stats.to_json(), b.stats.to_json());
+    assert_eq!(a.timeseries, b.timeseries);
+    assert_eq!(a.lifecycle, b.lifecycle);
+    assert_eq!(a.lifecycle_dot, b.lifecycle_dot);
+    assert_eq!(a.hot_lines, b.hot_lines);
 }
 
 #[test]
