@@ -18,6 +18,40 @@ ASAP_TELEMETRY=1 ASAP_OPS=30 ASAP_THREADS=2 ASAP_REPORT_OUT=target/run_report.ht
   cargo run --release --example run_report
 test -s target/run_report.html
 
+echo "==> microbenchmarks build (run manually: cargo bench --bench micro)"
+cargo bench -p asap-bench --bench micro --no-run
+
+echo "==> figure smoke run (serial fig7, HM only)"
+SMOKE_START=$(date +%s.%N)
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= \
+  cargo bench -p asap-bench --bench fig7_speedup >/dev/null
+SMOKE_SECS=$(awk "BEGIN{printf \"%.3f\", $(date +%s.%N) - $SMOKE_START}")
+echo "    serial fig7 smoke: ${SMOKE_SECS}s"
+
+# Opt-in perf gate: warn (exit 0) when the smoke run exceeds the threshold.
+if [ -n "${ASAP_PERF_GATE:-}" ]; then
+  LAST=$(python3 - <<'EOF'
+import json, sys
+try:
+    entries = [e for e in json.load(open("BENCH_WALLCLOCK.json"))
+               if e.get("figure") == "fig7_speedup"]
+    print(entries[-1]["host_seconds"] if entries else "")
+except Exception:
+    print("")
+EOF
+)
+  OVER=$(awk "BEGIN{print ($SMOKE_SECS > $ASAP_PERF_GATE) ? 1 : 0}")
+  if [ "$OVER" = 1 ]; then
+    echo "PERF WARNING: serial fig7 smoke ${SMOKE_SECS}s exceeds gate ${ASAP_PERF_GATE}s" >&2
+    if [ -n "$LAST" ]; then
+      DELTA=$(awk "BEGIN{printf \"%+.3f\", $SMOKE_SECS - $LAST}")
+      echo "PERF WARNING: delta vs last BENCH_WALLCLOCK.json fig7 entry (${LAST}s): ${DELTA}s" >&2
+    fi
+  else
+    echo "    perf gate ok (<= ${ASAP_PERF_GATE}s)"
+  fi
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

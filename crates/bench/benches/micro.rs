@@ -16,7 +16,7 @@ use asap_core::scheme::SchemeKind;
 use asap_mem::cache::AccessKind;
 use asap_mem::{BloomFilter, CacheHierarchy, MemSystem, PersistKind, PersistOp, Rid};
 use asap_pmem::{LineAddr, MemoryImage, PmAddr, PM_BASE};
-use asap_sim::{Cycle, Summary, SystemConfig};
+use asap_sim::{Cycle, EventQueue, Summary, SystemConfig};
 
 const WARMUP_ITERS: u64 = 2_000;
 const BATCHES: u64 = 10;
@@ -47,6 +47,33 @@ fn bench(name: &str, mut f: impl FnMut()) {
         per_batch.mean(),
         per_batch.stddev(),
     );
+}
+
+fn bench_events() {
+    // Rolling near-future window: the common simulator shape (a handful of
+    // in-flight events per channel, popped in time order). Stays within
+    // warmed calendar buckets, so the loop is allocation-free.
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    bench("event_queue_push_pop", || {
+        t += 13;
+        q.push(Cycle(t + 16), t);
+        q.push(Cycle(t + 900), t + 1);
+        black_box(q.pop());
+        black_box(q.pop());
+    });
+
+    // Same-cycle burst: every event of a batch lands in one bucket and
+    // must pop in insertion order (FIFO within a cycle).
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = 0u64;
+    bench("event_queue_burst_fifo", || {
+        t += 1;
+        for i in 0..8u64 {
+            q.push(Cycle(t), i);
+        }
+        while q.pop().is_some() {}
+    });
 }
 
 fn bench_cache() {
@@ -210,6 +237,7 @@ fn bench_transaction() {
 }
 
 fn main() {
+    bench_events();
     bench_cache();
     bench_image();
     bench_wpq();

@@ -156,21 +156,22 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
         total(grids, |r| r.pm_writes),
         unix_time,
     );
-    // The file is a JSON array; splice the record in before the final `]`
-    // so repeated figure runs accumulate a trajectory.
-    let body = match std::fs::read_to_string(&path) {
-        Ok(prev) => {
-            let prev = prev.trim_end();
-            match prev.strip_suffix(']') {
-                Some(head) if head.trim_end().ends_with('[') => {
-                    format!("[\n  {record}\n]\n")
-                }
-                Some(head) => format!("{},\n  {record}\n]\n", head.trim_end()),
-                None => format!("[\n  {record}\n]\n"), // malformed: start over
-            }
-        }
-        Err(_) => format!("[\n  {record}\n]\n"),
-    };
+    // The file is a JSON array; append the record so repeated figure runs
+    // accumulate a trajectory, keeping only the newest
+    // [`MAX_WALLCLOCK_ENTRIES`] records per figure (prior records are kept
+    // verbatim — only membership changes, never formatting).
+    let mut records: Vec<String> = std::fs::read_to_string(&path)
+        .map(|prev| extract_json_objects(&prev))
+        .unwrap_or_default();
+    records.push(record);
+    let dropped = cap_trajectory(&mut records, figure);
+    if dropped > 0 {
+        eprintln!(
+            "wallclock: {figure} trajectory capped at {MAX_WALLCLOCK_ENTRIES} \
+             entries ({dropped} oldest dropped)"
+        );
+    }
+    let body = format!("[\n  {}\n]\n", records.join(",\n  "));
     // Write-temp-then-rename: figures may run concurrently (or be
     // interrupted), and a half-written trajectory file would poison every
     // later append. `rename` within one directory is atomic on POSIX.
@@ -184,6 +185,58 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
         Err(e) => eprintln!("wallclock: could not write {}: {e}", path.display()),
     }
     emit_telemetry(figure, grids);
+}
+
+/// Newest records kept per figure in the wall-clock trajectory file; the
+/// oldest beyond this are dropped on append (noted on stderr).
+const MAX_WALLCLOCK_ENTRIES: usize = 64;
+
+/// Extracts the top-level `{…}` objects of a JSON array as verbatim text
+/// slices (the trajectory records contain no nested braces or brace
+/// characters inside strings). A malformed file yields an empty list, so
+/// the caller starts a fresh trajectory rather than corrupting the file
+/// further.
+fn extract_json_objects(s: &str) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' if depth > 0 => {
+                depth -= 1;
+                if depth == 0 {
+                    v.push(s[start..=i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    v
+}
+
+/// Drops the oldest records of `figure` beyond [`MAX_WALLCLOCK_ENTRIES`]
+/// (other figures' records are untouched) and returns how many were
+/// dropped.
+fn cap_trajectory(records: &mut Vec<String>, figure: &str) -> usize {
+    let tag = format!("\"figure\":\"{figure}\"");
+    let mine = records.iter().filter(|r| r.contains(&tag)).count();
+    let dropped = mine.saturating_sub(MAX_WALLCLOCK_ENTRIES);
+    let mut left = dropped;
+    records.retain(|r| {
+        if left > 0 && r.contains(&tag) {
+            left -= 1;
+            false
+        } else {
+            true
+        }
+    });
+    dropped
 }
 
 /// Writes `body` to a same-directory temp file, then renames it over
@@ -280,6 +333,36 @@ pub fn header(label: &str, cols: &[&str]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trajectory_extraction_and_cap() {
+        assert!(extract_json_objects("garbage").is_empty());
+        assert!(extract_json_objects("").is_empty());
+        let s = "[\n  {\"figure\":\"a\",\"x\":1},\n  {\"figure\":\"b\",\"x\":2}\n]\n";
+        assert_eq!(
+            extract_json_objects(s),
+            vec!["{\"figure\":\"a\",\"x\":1}", "{\"figure\":\"b\",\"x\":2}"]
+        );
+
+        // Over-full trajectory: the oldest records of the capped figure
+        // are dropped, records of other figures stay, order is preserved.
+        let mut records: Vec<String> = (0..MAX_WALLCLOCK_ENTRIES + 3)
+            .map(|i| format!("{{\"figure\":\"f7\",\"n\":{i}}}"))
+            .collect();
+        records.insert(1, "{\"figure\":\"other\",\"n\":99}".to_string());
+        assert_eq!(cap_trajectory(&mut records, "f7"), 3);
+        assert_eq!(records.len(), MAX_WALLCLOCK_ENTRIES + 1);
+        assert_eq!(records[0], "{\"figure\":\"other\",\"n\":99}");
+        assert_eq!(records[1], "{\"figure\":\"f7\",\"n\":3}");
+        assert_eq!(
+            records.last().unwrap(),
+            &format!("{{\"figure\":\"f7\",\"n\":{}}}", MAX_WALLCLOCK_ENTRIES + 2)
+        );
+        // Under the cap: untouched.
+        assert_eq!(cap_trajectory(&mut records, "f7"), 0);
+        assert_eq!(cap_trajectory(&mut records, "other"), 0);
+        assert_eq!(records.len(), MAX_WALLCLOCK_ENTRIES + 1);
+    }
 
     #[test]
     fn geomean_basics() {

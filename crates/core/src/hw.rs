@@ -252,14 +252,17 @@ impl Hw {
     /// Evictions are returned for the caller/scheme to handle.
     pub fn cache_access(&mut self, thread: usize, line: LineAddr, kind: AccessKind) -> Access {
         let core = self.thread_core[thread];
-        let (fill, miss_latency) =
-            if self.caches.peek_level(core, line) == asap_mem::HitLevel::Memory {
-                let fill = self.mem.read_for_fill(line, &self.image);
-                (Some(fill), self.mem.read_latency(line))
-            } else {
-                (None, 0)
-            };
-        self.caches.access(core, line, kind, fill, miss_latency)
+        // One tag walk: the probe decides whether fill data is needed and
+        // is handed back to the access so the hierarchy does not re-probe.
+        let probe = self.caches.probe(core, line);
+        let (fill, miss_latency) = if probe.level == asap_mem::HitLevel::Memory {
+            let fill = self.mem.read_for_fill(line, &self.image);
+            (Some(fill), self.mem.read_latency(line))
+        } else {
+            (None, 0)
+        };
+        self.caches
+            .access_probed(core, line, kind, probe, fill, miss_latency)
     }
 
     /// The current architectural value of `line`: cache copy if present,
@@ -284,7 +287,7 @@ impl Hw {
         line: LineAddr,
         offset: usize,
         bytes: &[u8],
-    ) -> (u64, Vec<Evicted>) {
+    ) -> (u64, Option<Evicted>) {
         assert!(
             offset + bytes.len() <= LINE_BYTES as usize,
             "store crosses line"

@@ -812,12 +812,18 @@ impl ThreadCtx<'_> {
     }
 
     /// One cache access with event pumping, eviction routing and latency.
-    fn access_line(&mut self, line: LineAddr, kind: AccessKind) {
+    ///
+    /// Returns `(persistent, hooked)`: the accessed line's post-access
+    /// persistent bit, and whether an eviction hook ran (only then can the
+    /// scheme have displaced `line` itself again). Store callers use the
+    /// pair to skip re-resolving the line on the hit path.
+    fn access_line(&mut self, line: LineAddr, kind: AccessKind) -> (bool, bool) {
         let m = &mut *self.m;
         m.pump(self.now);
         let access = m.hw.cache_access(self.t, line, kind);
         self.now += access.latency;
-        for e in &access.evicted {
+        let hooked = access.evicted.is_some();
+        if let Some(e) = &access.evicted {
             m.hw.trace.emit(
                 self.now,
                 self.t as u32,
@@ -828,8 +834,14 @@ impl ThreadCtx<'_> {
             );
             m.scheme.on_evict(&mut m.hw, e, self.now);
         }
-        // Region bookkeeping for persistent lines.
-        let persistent = m.hw.caches.line(line).is_some_and(|s| s.pbit);
+        // Region bookkeeping for persistent lines. Without an eviction hook
+        // nothing can have touched the just-accessed line, so the bit
+        // captured by the access itself is current.
+        let persistent = if hooked {
+            m.hw.caches.line(line).is_some_and(|s| s.pbit)
+        } else {
+            access.pbit
+        };
         if persistent && m.nest[self.t] > 0 {
             let rid = m.cur_rid[self.t].expect("in region");
             if kind == AccessKind::Load {
@@ -841,13 +853,13 @@ impl ThreadCtx<'_> {
         } else if persistent && kind == AccessKind::Store {
             m.hw.stats.bump("machine.nonregion_pm_write");
         }
+        (persistent, hooked)
     }
 
     fn write_line_span(&mut self, line: LineAddr, off: usize, bytes: &[u8]) {
         let t = self.t;
-        self.access_line(line, AccessKind::Store);
+        let (persistent, hooked) = self.access_line(line, AccessKind::Store);
         let m = &mut *self.m;
-        let persistent = m.hw.caches.line(line).is_some_and(|s| s.pbit);
         let in_region = m.nest[t] > 0 && persistent;
         let rid = m.cur_rid[t];
         if in_region {
@@ -855,11 +867,13 @@ impl ThreadCtx<'_> {
             self.now = m.scheme.pre_write(&mut m.hw, t, rid, line, self.now);
         }
         // A scheme's own log stores may (rarely) have evicted the target
-        // line from the small-cache configs: refill before mutating.
-        if m.hw.caches.line(line).is_none() {
+        // line from the small-cache configs: refill before mutating. Only
+        // a hook (`pre_write` above, `on_evict` inside the access) can
+        // have done that — the plain hit path skips the lookup.
+        if (in_region || hooked) && m.hw.caches.line(line).is_none() {
             let access = m.hw.cache_access(t, line, AccessKind::Store);
             self.now += access.latency;
-            for e in &access.evicted {
+            if let Some(e) = &access.evicted {
                 m.scheme.on_evict(&mut m.hw, e, self.now);
             }
         }

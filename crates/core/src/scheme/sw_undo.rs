@@ -151,7 +151,7 @@ impl SwUndo {
         now: Cycle,
     ) -> Cycle {
         let (lat, evicted) = hw.scheme_store(t, line, 0, data);
-        for e in evicted {
+        if let Some(e) = evicted {
             self.on_evict(hw, &e, now);
         }
         now + lat

@@ -12,8 +12,30 @@
 //! - victim selection skips lines whose `LockBit` is set (their first-write
 //!   LPO has not completed, §4.6.1); if a set is entirely locked the forced
 //!   eviction is reported so the caller can stall for the LPO.
+//!
+//! # Memory layout
+//!
+//! The structures are data-oriented for the simulator's per-access hot
+//! path (see DESIGN.md §Memory layout & hot-path engineering):
+//!
+//! - line data lives in a *slab arena* ([`LineSlab`]) indexed by an
+//!   open-addressed `LineAddr → slot` table (the PR 2 `PageIndex`
+//!   pattern), with a one-entry last-lookup cache;
+//! - every tag way carries its line's slab slot, so a cache hit resolves
+//!   data with **zero** hash probes;
+//! - each [`TagArray`] is one fixed-stride SoA allocation (`ways ≤ 16`
+//!   inline per set) instead of `Vec<Vec<Way>>`;
+//! - the slab tracks per-core private-cache presence masks, so remote-hit
+//!   detection and store write-invalidation visit only the cores that
+//!   actually hold a copy instead of scanning every core's tag sets.
+//!
+//! None of this may change behaviour: victim choice depends only on the
+//! relative order of unique LRU stamps, and all scans iterate cores in
+//! ascending order — exactly like the nested-`Vec` layout it replaced.
 
-use asap_pmem::{AddrMap, LineAddr};
+use std::cell::Cell;
+
+use asap_pmem::LineAddr;
 use asap_sim::{CacheConfig, SystemConfig};
 
 use crate::line::{LineState, LINE_SIZE};
@@ -52,8 +74,13 @@ pub struct Access {
     pub latency: u64,
     /// Where the line was found.
     pub level: HitLevel,
-    /// LLC evictions triggered by the fill (at most one).
-    pub evicted: Vec<Evicted>,
+    /// The LLC eviction triggered by the fill, if any (at most one; held
+    /// inline so the hit path never allocates).
+    pub evicted: Option<Evicted>,
+    /// The accessed line's page-table persistent bit, captured after the
+    /// fill/hit — callers that already hold the `Access` can branch on it
+    /// without a second line lookup.
+    pub pbit: bool,
 }
 
 /// Extra cycles a store-miss write-allocate costs beyond the LLC lookup
@@ -71,26 +98,286 @@ pub enum AccessKind {
     Store,
 }
 
-/// One way of a set: the cached line and its LRU stamp.
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    line: LineAddr,
-    last_used: u64,
+/// Sentinel for "no line" in tag ways, slab keys and the MRU hints. Real
+/// line addresses are physical addresses divided by 64, far below this.
+const NO_LINE: LineAddr = LineAddr(u64::MAX);
+/// Sentinel slab slot / way index.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Open-addressed linear-probe `LineAddr → slab slot` map — the PR 2
+/// `PageIndex` pattern: Fibonacci hashing, power-of-two capacity, grow at
+/// 3/4 load. Unlike `PageIndex` it also supports removal (LLC evictions),
+/// implemented as tombstone-free backward-shift deletion so probe chains
+/// never degrade over a long run.
+struct LineIndex {
+    /// Key per bucket; `u64::MAX` marks an empty bucket.
+    keys: Vec<u64>,
+    /// Slab slot per bucket (parallel to `keys`).
+    slots: Vec<u32>,
+    mask: usize,
+    len: usize,
 }
 
-/// A set-associative LRU tag array (timing only — data lives in the store).
+const EMPTY_KEY: u64 = u64::MAX;
+
+impl LineIndex {
+    fn new() -> Self {
+        let cap = 256;
+        LineIndex {
+            keys: vec![EMPTY_KEY; cap],
+            slots: vec![0; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> usize {
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & self.mask
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u32> {
+        let mut i = self.bucket(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.slots[i]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, slot: u32) {
+        if (self.len + 1) * 4 > (self.mask + 1) * 3 {
+            self.grow();
+        }
+        let mut i = self.bucket(key);
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY_KEY {
+                self.keys[i] = key;
+                self.slots[i] = slot;
+                self.len += 1;
+                return;
+            }
+            debug_assert_ne!(k, key, "line already indexed");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key`, returning its slot. Backward-shift deletion: walk
+    /// the probe chain after the hole and pull back every entry whose home
+    /// bucket does not lie cyclically inside `(hole, entry]`.
+    fn remove(&mut self, key: u64) -> Option<u32> {
+        let mut i = self.bucket(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                break;
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+        let slot = self.slots[i];
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let k = self.keys[j];
+            if k == EMPTY_KEY {
+                break;
+            }
+            let home = self.bucket(k);
+            let stays = if hole < j {
+                hole < home && home <= j
+            } else {
+                hole < home || home <= j
+            };
+            if !stays {
+                self.keys[hole] = k;
+                self.slots[hole] = self.slots[j];
+                hole = j;
+            }
+        }
+        self.keys[hole] = EMPTY_KEY;
+        self.len -= 1;
+        Some(slot)
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.mask + 1) * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; cap]);
+        let old_slots = std::mem::take(&mut self.slots);
+        self.slots = vec![0; cap];
+        self.mask = cap - 1;
+        self.len = 0;
+        for (k, s) in old_keys.into_iter().zip(old_slots) {
+            if k != EMPTY_KEY {
+                self.insert(k, s);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY_KEY);
+        self.len = 0;
+    }
+}
+
+/// Slab arena holding every cached line's state.
 ///
-/// Each set carries a *way hint*: the address of its most-recently-used
-/// line. Repeated accesses to the same line — by far the common case on the
-/// simulator's hot path — then resolve `contains`/`touch` with one compare
+/// Slots are recycled through a freelist, so steady-state traffic (insert
+/// on fill, remove on eviction) performs no heap allocation once the
+/// resident set has peaked. Alongside each line the slab keeps per-core
+/// presence masks for the private levels — bit `c` of `l1_mask[slot]` is
+/// set iff core `c`'s L1 tag array holds the line.
+struct LineSlab {
+    /// Line address per slot; [`NO_LINE`] marks a free slot.
+    keys: Vec<LineAddr>,
+    states: Vec<LineState>,
+    /// Per-slot bitmask of cores whose L1 holds the line.
+    l1_mask: Vec<u64>,
+    /// Per-slot bitmask of cores whose L2 holds the line.
+    l2_mask: Vec<u64>,
+    free: Vec<u32>,
+    index: LineIndex,
+    len: usize,
+    /// One-entry lookup cache `(line.0, slot)`: the hierarchy is queried
+    /// several times per simulated access for the same line, and a single
+    /// compare beats even the open-addressed probe.
+    last: Cell<(u64, u32)>,
+}
+
+impl LineSlab {
+    fn new() -> Self {
+        LineSlab {
+            keys: Vec::new(),
+            states: Vec::new(),
+            l1_mask: Vec::new(),
+            l2_mask: Vec::new(),
+            free: Vec::new(),
+            index: LineIndex::new(),
+            len: 0,
+            last: Cell::new((EMPTY_KEY, 0)),
+        }
+    }
+
+    /// Resolves a line address to its slot, if cached.
+    #[inline]
+    fn slot_of(&self, line: LineAddr) -> Option<u32> {
+        let (lk, ls) = self.last.get();
+        if lk == line.0 {
+            return Some(ls);
+        }
+        let slot = self.index.get(line.0)?;
+        self.last.set((line.0, slot));
+        Some(slot)
+    }
+
+    #[inline]
+    fn state(&self, slot: u32) -> &LineState {
+        debug_assert_ne!(self.keys[slot as usize], NO_LINE, "stale slot");
+        &self.states[slot as usize]
+    }
+
+    #[inline]
+    fn state_mut(&mut self, slot: u32) -> &mut LineState {
+        debug_assert_ne!(self.keys[slot as usize], NO_LINE, "stale slot");
+        &mut self.states[slot as usize]
+    }
+
+    fn insert(&mut self, line: LineAddr, st: LineState) -> u32 {
+        debug_assert_ne!(line, NO_LINE);
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.keys[s as usize] = line;
+                self.states[s as usize] = st;
+                self.l1_mask[s as usize] = 0;
+                self.l2_mask[s as usize] = 0;
+                s
+            }
+            None => {
+                let s = self.keys.len() as u32;
+                self.keys.push(line);
+                self.states.push(st);
+                self.l1_mask.push(0);
+                self.l2_mask.push(0);
+                s
+            }
+        };
+        self.index.insert(line.0, slot);
+        self.last.set((line.0, slot));
+        self.len += 1;
+        slot
+    }
+
+    /// Frees `slot` (holding `line`), returning the line's final state.
+    fn remove_slot(&mut self, line: LineAddr, slot: u32) -> LineState {
+        debug_assert_eq!(self.keys[slot as usize], line, "slot/line mismatch");
+        let removed = self.index.remove(line.0);
+        debug_assert_eq!(removed, Some(slot));
+        self.keys[slot as usize] = NO_LINE;
+        self.free.push(slot);
+        if self.last.get().0 == line.0 {
+            self.last.set((EMPTY_KEY, 0));
+        }
+        self.len -= 1;
+        self.states[slot as usize].clone()
+    }
+
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.states.clear();
+        self.l1_mask.clear();
+        self.l2_mask.clear();
+        self.free.clear();
+        self.index.clear();
+        self.len = 0;
+        self.last.set((EMPTY_KEY, 0));
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (LineAddr, &LineState)> {
+        self.keys
+            .iter()
+            .zip(&self.states)
+            .filter(|(k, _)| **k != NO_LINE)
+            .map(|(k, s)| (*k, s))
+    }
+}
+
+/// A set-associative LRU tag array (timing only — data lives in the slab).
+///
+/// One flat SoA allocation with a fixed stride of `ways` entries per set;
+/// an empty way holds [`NO_LINE`]. Each way also records its line's slab
+/// slot, so tag hits hand the data location straight back.
+///
+/// Each set carries a *way hint*: the index of its most-recently-used
+/// way. Repeated accesses to the same line — by far the common case on the
+/// simulator's hot path — then resolve `lookup`/`touch` with one compare
 /// instead of a way scan. Skipping the re-stamp of an already-MRU line is
 /// sound: it cannot change the relative `last_used` order, which is all
-/// LRU victim selection looks at.
+/// LRU victim selection looks at. Every stamping operation draws a fresh
+/// `tick`, so stamps are unique per array and the LRU minimum is unique —
+/// victim choice cannot depend on scan order or physical layout.
 #[derive(Clone, Debug)]
 struct TagArray {
-    sets: Vec<Vec<Way>>,
-    /// Per-set MRU line (the way hint); `None` when unknown.
-    mru: Vec<Option<LineAddr>>,
+    /// `sets * ways` line addresses, stride `ways`; `NO_LINE` = empty way.
+    lines: Vec<LineAddr>,
+    /// Slab slot per way (parallel to `lines`).
+    slots: Vec<u32>,
+    /// LRU stamp per way (parallel to `lines`).
+    stamps: Vec<u64>,
+    /// Per-set MRU line (the way hint); `NO_LINE` when unknown.
+    mru_line: Vec<LineAddr>,
+    /// Way index of the MRU line (valid when `mru_line` is not `NO_LINE`).
+    mru_way: Vec<u32>,
+    sets: usize,
     ways: usize,
     tick: u64,
 }
@@ -98,100 +385,152 @@ struct TagArray {
 impl TagArray {
     fn new(cfg: &CacheConfig) -> Self {
         let sets = cfg.sets() as usize;
+        let ways = cfg.ways as usize;
+        debug_assert!(ways <= 16, "inline sets sized for ways <= 16");
         TagArray {
-            sets: vec![Vec::new(); sets],
-            mru: vec![None; sets],
-            ways: cfg.ways as usize,
+            lines: vec![NO_LINE; sets * ways],
+            slots: vec![NO_SLOT; sets * ways],
+            stamps: vec![0; sets * ways],
+            mru_line: vec![NO_LINE; sets],
+            mru_way: vec![NO_SLOT; sets],
+            sets,
+            ways,
             tick: 0,
         }
     }
 
+    #[inline]
     fn set_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets.len() as u64) as usize
+        (line.0 % self.sets as u64) as usize
+    }
+
+    /// Finds `line`'s way, returning its slab slot.
+    #[inline]
+    fn lookup(&self, line: LineAddr) -> Option<u32> {
+        let set = self.set_of(line);
+        if self.mru_line[set] == line {
+            let base = set * self.ways;
+            return Some(self.slots[base + self.mru_way[set] as usize]);
+        }
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.lines[base + w] == line {
+                return Some(self.slots[base + w]);
+            }
+        }
+        None
     }
 
     fn contains(&self, line: LineAddr) -> bool {
-        let set = self.set_of(line);
-        if self.mru[set] == Some(line) {
-            return true;
-        }
-        self.sets[set].iter().any(|w| w.line == line)
+        self.lookup(line).is_some()
     }
 
     fn touch(&mut self, line: LineAddr) {
         let set = self.set_of(line);
-        if self.mru[set] == Some(line) {
+        if self.mru_line[set] == line {
             // Already the newest stamp in its set; re-stamping preserves
             // the relative order, so skip it.
             return;
         }
         self.tick += 1;
         let tick = self.tick;
-        if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
-            w.last_used = tick;
-            self.mru[set] = Some(line);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.lines[base + w] == line {
+                self.stamps[base + w] = tick;
+                self.mru_line[set] = line;
+                self.mru_way[set] = w as u32;
+                return;
+            }
         }
     }
 
     fn remove(&mut self, line: LineAddr) {
         let set = self.set_of(line);
-        if self.mru[set] == Some(line) {
-            self.mru[set] = None;
+        if self.mru_line[set] == line {
+            self.mru_line[set] = NO_LINE;
+            self.mru_way[set] = NO_SLOT;
         }
-        self.sets[set].retain(|w| w.line != line);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.lines[base + w] == line {
+                self.lines[base + w] = NO_LINE;
+                return;
+            }
+        }
     }
 
-    /// Inserts `line`; if the set is full, evicts and returns the victim
-    /// preferring unlocked lines (per `evictable`). The bool is true when a
-    /// locked line had to be forced out.
-    fn insert<F>(&mut self, line: LineAddr, evictable: F) -> Option<(LineAddr, bool)>
+    /// Inserts `line` (cached in slab slot `slot`); if the set is full,
+    /// evicts and returns the victim's `(line, slot, forced)` preferring
+    /// unlocked lines (per `evictable`, judged by slab slot). `forced` is
+    /// true when a locked line had to be forced out.
+    fn insert<F>(
+        &mut self,
+        line: LineAddr,
+        slot: u32,
+        evictable: F,
+    ) -> Option<(LineAddr, u32, bool)>
     where
-        F: Fn(LineAddr) -> bool,
+        F: Fn(u32) -> bool,
     {
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_of(line);
-        let set = &mut self.sets[set_idx];
-        debug_assert!(!set.iter().any(|w| w.line == line), "double insert");
-        let mut victim = None;
-        if set.len() >= self.ways {
-            // LRU among evictable ways; fall back to overall LRU if all
-            // ways are locked.
-            let pick = set
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| evictable(w.line))
-                .min_by_key(|(_, w)| w.last_used)
-                .map(|(i, _)| (i, false))
-                .or_else(|| {
-                    set.iter()
-                        .enumerate()
-                        .min_by_key(|(_, w)| w.last_used)
-                        .map(|(i, _)| (i, true))
-                });
-            if let Some((i, forced)) = pick {
-                victim = Some((set.remove(i).line, forced));
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        debug_assert!(
+            (0..self.ways).all(|w| self.lines[base + w] != line),
+            "double insert"
+        );
+        let mut way = None;
+        for w in 0..self.ways {
+            if self.lines[base + w] == NO_LINE {
+                way = Some(w);
+                break;
             }
         }
-        set.push(Way {
-            line,
-            last_used: tick,
-        });
+        let mut victim = None;
+        let way = match way {
+            Some(w) => w,
+            None => {
+                // LRU among evictable ways; fall back to overall LRU if all
+                // ways are locked. Stamps are unique, so `min` is unique.
+                let mut best: Option<(usize, u64)> = None;
+                let mut best_any: Option<(usize, u64)> = None;
+                for w in 0..self.ways {
+                    let stamp = self.stamps[base + w];
+                    if best_any.is_none_or(|(_, s)| stamp < s) {
+                        best_any = Some((w, stamp));
+                    }
+                    if evictable(self.slots[base + w]) && best.is_none_or(|(_, s)| stamp < s) {
+                        best = Some((w, stamp));
+                    }
+                }
+                let (w, forced) = match best {
+                    Some((w, _)) => (w, false),
+                    None => (best_any.expect("set is full").0, true),
+                };
+                victim = Some((self.lines[base + w], self.slots[base + w], forced));
+                w
+            }
+        };
+        self.lines[base + way] = line;
+        self.slots[base + way] = slot;
+        self.stamps[base + way] = tick;
         // The inserted line carries the newest stamp in the set; this also
         // retires any hint pointing at the victim.
-        self.mru[set_idx] = Some(line);
+        self.mru_line[set] = line;
+        self.mru_way[set] = way as u32;
         victim
     }
 
     fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets.iter().flatten().map(|w| w.line)
+        self.lines.iter().copied().filter(|l| *l != NO_LINE)
     }
 
     fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
-        self.mru.fill(None);
+        self.lines.fill(NO_LINE);
+        self.mru_line.fill(NO_LINE);
+        self.mru_way.fill(NO_SLOT);
     }
 }
 
@@ -207,12 +546,21 @@ pub struct EvictionCounts {
     pub dirty: u64,
 }
 
-/// The full cache hierarchy: shared data store plus per-level tag arrays.
+/// The result of probing the hierarchy for a line without touching it:
+/// where it would hit, plus (internally) the slab slot so a following
+/// [`CacheHierarchy::access_probed`] resolves data with no further lookup.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    /// Where an access would hit right now.
+    pub level: HitLevel,
+    slot: u32,
+}
+
+/// The full cache hierarchy: shared slab data store plus per-level SoA tag
+/// arrays carrying slab slot ids.
 pub struct CacheHierarchy {
-    /// Shared data store for every cached line. Deterministic fast hasher:
-    /// looked up several times per simulated memory access, never iterated
-    /// in an order-sensitive way (see [`asap_pmem::hash`]).
-    store: AddrMap<LineAddr, LineState>,
+    /// Shared data store for every cached line.
+    slab: LineSlab,
     l1: Vec<TagArray>,
     l2: Vec<TagArray>,
     llc: TagArray,
@@ -228,8 +576,9 @@ impl CacheHierarchy {
     /// Builds the hierarchy for `cores` cores per `cfg`.
     pub fn new(cfg: &SystemConfig) -> Self {
         let cores = cfg.cores as usize;
+        debug_assert!(cores <= 64, "presence masks hold up to 64 cores");
         CacheHierarchy {
-            store: AddrMap::default(),
+            slab: LineSlab::new(),
             l1: (0..cores).map(|_| TagArray::new(&cfg.l1)).collect(),
             l2: (0..cores).map(|_| TagArray::new(&cfg.l2)).collect(),
             llc: TagArray::new(&cfg.llc),
@@ -252,23 +601,40 @@ impl CacheHierarchy {
         self.l1.len()
     }
 
-    /// Where would an access by `core` to `line` hit right now?
-    pub fn peek_level(&self, core: usize, line: LineAddr) -> HitLevel {
-        if self.l1[core].contains(line) {
-            HitLevel::L1
-        } else if self.l2[core].contains(line) {
-            HitLevel::L2
-        } else if self.llc.contains(line) {
-            let remote = (0..self.l1.len())
-                .any(|c| c != core && (self.l1[c].contains(line) || self.l2[c].contains(line)));
-            if remote {
+    /// Where would an access by `core` to `line` hit right now? The
+    /// returned [`Probe`] can be handed to
+    /// [`access_probed`](Self::access_probed) to avoid a second tag walk.
+    pub fn probe(&self, core: usize, line: LineAddr) -> Probe {
+        if let Some(slot) = self.l1[core].lookup(line) {
+            return Probe {
+                level: HitLevel::L1,
+                slot,
+            };
+        }
+        if let Some(slot) = self.l2[core].lookup(line) {
+            return Probe {
+                level: HitLevel::L2,
+                slot,
+            };
+        }
+        if let Some(slot) = self.llc.lookup(line) {
+            let private = self.slab.l1_mask[slot as usize] | self.slab.l2_mask[slot as usize];
+            let level = if private & !(1u64 << core) != 0 {
                 HitLevel::Remote
             } else {
                 HitLevel::Llc
-            }
-        } else {
-            HitLevel::Memory
+            };
+            return Probe { level, slot };
         }
+        Probe {
+            level: HitLevel::Memory,
+            slot: NO_SLOT,
+        }
+    }
+
+    /// Where would an access by `core` to `line` hit right now?
+    pub fn peek_level(&self, core: usize, line: LineAddr) -> HitLevel {
+        self.probe(core, line).level
     }
 
     /// Performs an access by `core` to `line`.
@@ -293,23 +659,47 @@ impl CacheHierarchy {
         fill: Option<([u8; LINE_SIZE], bool)>,
         miss_latency: u64,
     ) -> Access {
-        let level = self.peek_level(core, line);
-        let mut evicted = Vec::new();
+        let probe = self.probe(core, line);
+        self.access_probed(core, line, kind, probe, fill, miss_latency)
+    }
+
+    /// [`access`](Self::access) with the hit level pre-resolved by
+    /// [`probe`](Self::probe) — the fast path for callers that needed the
+    /// level first to decide whether to fetch fill data. `probe` must come
+    /// from the same `(core, line)` with no intervening cache mutation.
+    pub fn access_probed(
+        &mut self,
+        core: usize,
+        line: LineAddr,
+        kind: AccessKind,
+        probe: Probe,
+        fill: Option<([u8; LINE_SIZE], bool)>,
+        miss_latency: u64,
+    ) -> Access {
+        debug_assert_eq!(probe.level, self.probe(core, line).level, "stale probe");
+        let level = probe.level;
+        let mut slot = probe.slot;
+        let mut evicted = None;
         if level == HitLevel::Memory {
             let (data, pbit) = fill.expect("miss requires fill data");
             let mut st = LineState::from_bytes(data);
             st.pbit = pbit;
-            self.store.insert(line, st);
-            let store = &self.store;
-            if let Some((victim, forced)) = self
-                .llc
-                .insert(line, |l| store.get(&l).is_none_or(|s| s.evictable()))
+            slot = self.slab.insert(line, st);
+            let slab = &self.slab;
+            if let Some((victim, vslot, forced)) =
+                self.llc.insert(line, slot, |s| slab.state(s).evictable())
             {
-                let state = self.store.remove(&victim).expect("victim must be in store");
-                for c in 0..self.l1.len() {
+                // Back-invalidate only the cores whose private levels hold
+                // the victim (ascending core order, like the full scan the
+                // masks replace).
+                let mut m = self.slab.l1_mask[vslot as usize] | self.slab.l2_mask[vslot as usize];
+                while m != 0 {
+                    let c = m.trailing_zeros() as usize;
+                    m &= m - 1;
                     self.l1[c].remove(victim);
                     self.l2[c].remove(victim);
                 }
+                let state = self.slab.remove_slot(victim, vslot);
                 self.evictions.total += 1;
                 if forced {
                     self.evictions.forced += 1;
@@ -317,7 +707,7 @@ impl CacheHierarchy {
                 if state.dirty {
                     self.evictions.dirty += 1;
                 }
-                evicted.push(Evicted {
+                evicted = Some(Evicted {
                     line: victim,
                     state,
                     forced,
@@ -325,24 +715,36 @@ impl CacheHierarchy {
             }
         }
         // Promote into the private levels (tag-only; no writeback needed
-        // since data lives in the shared store).
+        // since data lives in the shared slab). A silent private-level
+        // victim keeps its slab entry — only its presence bit dies.
         if !self.l1[core].contains(line) {
-            self.l1[core].insert(line, |_| true);
+            if let Some((_, vslot, _)) = self.l1[core].insert(line, slot, |_| true) {
+                self.slab.l1_mask[vslot as usize] &= !(1u64 << core);
+            }
+            self.slab.l1_mask[slot as usize] |= 1u64 << core;
         }
         if !self.l2[core].contains(line) {
-            self.l2[core].insert(line, |_| true);
+            if let Some((_, vslot, _)) = self.l2[core].insert(line, slot, |_| true) {
+                self.slab.l2_mask[vslot as usize] &= !(1u64 << core);
+            }
+            self.slab.l2_mask[slot as usize] |= 1u64 << core;
         }
         self.l1[core].touch(line);
         self.l2[core].touch(line);
         self.llc.touch(line);
         if kind == AccessKind::Store {
-            // Write-invalidate other cores' private copies.
-            for c in 0..self.l1.len() {
-                if c != core {
-                    self.l1[c].remove(line);
-                    self.l2[c].remove(line);
-                }
+            // Write-invalidate other cores' private copies (ascending core
+            // order over the presence masks).
+            let mut m = (self.slab.l1_mask[slot as usize] | self.slab.l2_mask[slot as usize])
+                & !(1u64 << core);
+            while m != 0 {
+                let c = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.l1[c].remove(line);
+                self.l2[c].remove(line);
             }
+            self.slab.l1_mask[slot as usize] &= 1u64 << core;
+            self.slab.l2_mask[slot as usize] &= 1u64 << core;
         }
         let latency = match kind {
             // Stores retire through the store buffer: they do not wait for
@@ -372,76 +774,91 @@ impl CacheHierarchy {
             latency,
             level,
             evicted,
+            pbit: self.slab.state(slot).pbit,
         }
     }
 
     /// Read access to a cached line's state.
     pub fn line(&self, line: LineAddr) -> Option<&LineState> {
-        self.store.get(&line)
+        let slot = self.slab.slot_of(line)?;
+        Some(self.slab.state(slot))
     }
 
     /// Mutable access to a cached line's state (data, dirty, tag bits).
     pub fn line_mut(&mut self, line: LineAddr) -> Option<&mut LineState> {
-        self.store.get_mut(&line)
+        let slot = self.slab.slot_of(line)?;
+        Some(self.slab.state_mut(slot))
     }
 
     /// Whether `line` is present anywhere in the hierarchy.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.store.contains_key(&line)
+        self.slab.slot_of(line).is_some()
     }
 
     /// Copies a line's current data out and clears its dirty bit, leaving
     /// the line cached (the effect of `clwb` or a hardware DPO snapshot).
     pub fn writeback_copy(&mut self, line: LineAddr) -> Option<[u8; LINE_SIZE]> {
-        self.store.get_mut(&line).map(|s| {
-            s.dirty = false;
-            s.data
-        })
+        let slot = self.slab.slot_of(line)?;
+        let s = self.slab.state_mut(slot);
+        s.dirty = false;
+        Some(s.data)
     }
 
     /// Discards every cached line without writeback — a power failure.
     pub fn invalidate_all(&mut self) {
-        self.store.clear();
+        self.slab.clear();
         for t in self.l1.iter_mut().chain(self.l2.iter_mut()) {
             t.clear();
         }
         self.llc.clear();
     }
 
-    /// Iterates over all cached lines and their states.
+    /// Iterates over all cached lines and their states (slab slot order).
     pub fn lines(&self) -> impl Iterator<Item = (LineAddr, &LineState)> {
-        self.store.iter().map(|(&l, s)| (l, s))
+        self.slab.iter()
     }
 
     /// Number of lines currently cached.
     pub fn len(&self) -> usize {
-        self.store.len()
+        self.slab.len
     }
 
     /// Number of cached lines whose dirty bit is set — the telemetry
-    /// sampler's dirty-line gauge. O(resident lines); the sampler's
+    /// sampler's dirty-line gauge. O(slab slots); the sampler's
     /// decimating buffer bounds how often this walk runs.
     pub fn dirty_lines(&self) -> u64 {
-        self.store.values().filter(|s| s.dirty).count() as u64
+        self.slab.iter().filter(|(_, s)| s.dirty).count() as u64
     }
 
     /// Whether the hierarchy is empty.
     pub fn is_empty(&self) -> bool {
-        self.store.is_empty()
+        self.slab.len == 0
     }
 
-    /// Consistency check: every tag-array line must be in the data store
-    /// and every L1/L2 line must also be in the LLC (inclusivity).
+    /// Consistency check: every tag-array line must be in the data slab
+    /// (with matching slot ids and presence masks) and every L1/L2 line
+    /// must also be in the LLC (inclusivity).
     pub fn check_inclusive(&self) -> bool {
-        let llc_ok = self.llc.lines().all(|l| self.store.contains_key(&l));
+        let llc_ok = self.llc.lines().all(|l| self.slab.slot_of(l).is_some());
         let priv_ok = self
             .l1
             .iter()
             .chain(self.l2.iter())
             .flat_map(|t| t.lines())
             .all(|l| self.llc.contains(l));
-        let store_ok = self.store.keys().all(|&l| self.llc.contains(l));
-        llc_ok && priv_ok && store_ok
+        let store_ok = self.slab.iter().all(|(l, _)| self.llc.contains(l));
+        let masks_ok = (0..self.l1.len()).all(|c| {
+            self.l1[c].lines().all(|l| {
+                self.slab
+                    .slot_of(l)
+                    .is_some_and(|s| self.slab.l1_mask[s as usize] & (1 << c) != 0)
+            }) && self.l2[c].lines().all(|l| {
+                self.slab
+                    .slot_of(l)
+                    .is_some_and(|s| self.slab.l2_mask[s as usize] & (1 << c) != 0)
+            })
+        });
+        llc_ok && priv_ok && store_ok && masks_ok
     }
 }
 
@@ -449,7 +866,7 @@ impl std::fmt::Debug for CacheHierarchy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CacheHierarchy")
             .field("cores", &self.l1.len())
-            .field("cached_lines", &self.store.len())
+            .field("cached_lines", &self.slab.len)
             .finish()
     }
 }
@@ -544,8 +961,8 @@ mod tests {
         let mut evicted = 0;
         for i in 0..llc_lines + 64 {
             let a = h.access(0, LineAddr(i), AccessKind::Load, fill(), 0);
-            evicted += a.evicted.len();
-            for e in &a.evicted {
+            evicted += a.evicted.iter().count();
+            if let Some(e) = &a.evicted {
                 assert!(!h.contains(e.line));
             }
         }
@@ -567,9 +984,9 @@ mod tests {
         h.line_mut(LineAddr(0)).unwrap().lock_bit = true;
         // Next fill in the same set must evict line at stride*1, not 0.
         let a = h.access(0, LineAddr(ways * set_stride), AccessKind::Load, fill(), 0);
-        assert_eq!(a.evicted.len(), 1);
-        assert_eq!(a.evicted[0].line, LineAddr(set_stride));
-        assert!(!a.evicted[0].forced);
+        let e = a.evicted.expect("one eviction");
+        assert_eq!(e.line, LineAddr(set_stride));
+        assert!(!e.forced);
         assert!(h.contains(LineAddr(0)));
     }
 
@@ -584,8 +1001,7 @@ mod tests {
             h.line_mut(LineAddr(i * sets)).unwrap().lock_bit = true;
         }
         let a = h.access(0, LineAddr(ways * sets), AccessKind::Load, fill(), 0);
-        assert_eq!(a.evicted.len(), 1);
-        assert!(a.evicted[0].forced);
+        assert!(a.evicted.expect("one eviction").forced);
     }
 
     #[test]
@@ -639,7 +1055,7 @@ mod tests {
         let mut got = None;
         for i in 1..=ways {
             let a = h.access(0, LineAddr(i * sets), AccessKind::Load, fill(), 0);
-            for e in a.evicted {
+            if let Some(e) = a.evicted {
                 if e.line == LineAddr(0) {
                     got = Some(e);
                 }
@@ -655,7 +1071,7 @@ mod tests {
     fn way_hint_tracks_presence_under_churn() {
         let cfg = SystemConfig::small();
         let mut t = TagArray::new(&cfg.l1);
-        t.insert(LineAddr(0), |_| true);
+        t.insert(LineAddr(0), 0, |_| true);
         assert!(t.contains(LineAddr(0)));
         t.touch(LineAddr(0)); // MRU fast path
         t.remove(LineAddr(0));
@@ -663,7 +1079,7 @@ mod tests {
         t.touch(LineAddr(0)); // absent: must not resurrect the hint
         assert!(!t.contains(LineAddr(0)));
         t.clear();
-        t.insert(LineAddr(0), |_| true);
+        t.insert(LineAddr(0), 0, |_| true);
         assert!(t.contains(LineAddr(0)));
     }
 
@@ -685,8 +1101,8 @@ mod tests {
         }
         h.access(0, LineAddr(0), AccessKind::Load, None, 0);
         let a = h.access(0, LineAddr(ways * sets), AccessKind::Load, fill(), 0);
-        assert_eq!(a.evicted.len(), 1);
-        assert_eq!(a.evicted[0].line, LineAddr(sets), "true LRU is evicted");
+        let e = a.evicted.expect("one eviction");
+        assert_eq!(e.line, LineAddr(sets), "true LRU is evicted");
     }
 
     #[test]
@@ -698,5 +1114,76 @@ mod tests {
             h.access(core, LineAddr(i * 3 % 2048), AccessKind::Load, fill(), 0);
         }
         assert!(h.check_inclusive());
+    }
+
+    /// The slab must recycle slots through its freelist: evicting then
+    /// refilling lines may not grow the arena once it has peaked.
+    #[test]
+    fn slab_freelist_reuses_slots_after_eviction() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        let llc_lines = cfg.llc.size_bytes / 64;
+        for i in 0..llc_lines * 4 {
+            h.access(0, LineAddr(i), AccessKind::Load, fill(), 0);
+        }
+        let peak = h.slab.keys.len();
+        assert!(h.eviction_counts().total > 0, "churn must evict");
+        for i in 0..llc_lines * 4 {
+            h.access(0, LineAddr(i * 7 + 1), AccessKind::Load, fill(), 0);
+        }
+        assert_eq!(h.slab.keys.len(), peak, "freelist must recycle slots");
+        assert_eq!(
+            h.slab.len + h.slab.free.len(),
+            h.slab.keys.len(),
+            "every slot is live or free"
+        );
+        assert!(h.check_inclusive());
+    }
+
+    /// A crash flush (`invalidate_all`) empties the slab; subsequent fills
+    /// must reuse the already-allocated arena and index.
+    #[test]
+    fn slab_freelist_survives_crash_flush() {
+        let cfg = SystemConfig::small();
+        let mut h = CacheHierarchy::new(&cfg);
+        for i in 0..256u64 {
+            h.access(0, LineAddr(i), AccessKind::Load, fill(), 0);
+        }
+        h.invalidate_all();
+        assert!(h.is_empty());
+        for i in 0..256u64 {
+            h.access(0, LineAddr(i + 1000), AccessKind::Load, fill(), 0);
+        }
+        assert_eq!(h.len(), 256);
+        assert!(h.check_inclusive());
+    }
+
+    /// Backward-shift deletion keeps the open-addressed index correct
+    /// through colliding insert/remove churn.
+    #[test]
+    fn line_index_removal_preserves_probe_chains() {
+        let mut idx = LineIndex::new();
+        // Many keys, enough to force growth and long probe chains.
+        for i in 0..1000u64 {
+            idx.insert(i * 0x1000 + 3, i as u32);
+        }
+        for i in (0..1000u64).step_by(2) {
+            assert_eq!(idx.remove(i * 0x1000 + 3), Some(i as u32));
+        }
+        for i in 0..1000u64 {
+            let got = idx.get(i * 0x1000 + 3);
+            if i % 2 == 0 {
+                assert_eq!(got, None, "removed key {i} must be gone");
+            } else {
+                assert_eq!(got, Some(i as u32), "kept key {i} must survive");
+            }
+        }
+        // Reinsert the removed half.
+        for i in (0..1000u64).step_by(2) {
+            idx.insert(i * 0x1000 + 3, i as u32 + 5000);
+        }
+        for i in (0..1000u64).step_by(2) {
+            assert_eq!(idx.get(i * 0x1000 + 3), Some(i as u32 + 5000));
+        }
     }
 }

@@ -70,6 +70,21 @@ enum ChEvent {
     DrainCheck,
 }
 
+/// Freelist/list terminator for the store-forward node slab.
+const FWD_NIL: u32 = u32::MAX;
+
+/// One node of a per-line store-forward list, slab-allocated so indexing
+/// and unindexing an op never touches the heap at steady state (the old
+/// layout kept a `Vec` per live line, paying an allocation and a free for
+/// every single-op line — i.e. for almost every persist op).
+#[derive(Clone, Debug)]
+struct FwdNode {
+    id: OpId,
+    data: [u8; 64],
+    /// Next (newer) op targeting the same line, or [`FWD_NIL`].
+    next: u32,
+}
+
 /// One memory channel: WPQ plus the PM write engine.
 #[derive(Debug)]
 struct Channel {
@@ -85,11 +100,15 @@ struct Channel {
     /// Entry currently being written to the media, if any.
     writing: Option<OpId>,
     next_seq: u64,
-    /// Store-forward index: data of every live op targeting this channel
-    /// (on the wire, pending, or in the WPQ), per line, in submission-id
-    /// order — the newest write to a line is the last entry. Maintained on
-    /// submit, media write, drop, and crash flush.
-    by_line: AddrMap<LineAddr, Vec<(OpId, [u8; 64])>>,
+    /// Store-forward index: every live op targeting this channel (on the
+    /// wire, pending, or in the WPQ), per line, as a `(head, tail)` list
+    /// of slab nodes in submission-id order — the newest write to a line
+    /// is the tail node. Maintained on submit, media write, drop, and
+    /// crash flush.
+    by_line: AddrMap<LineAddr, (u32, u32)>,
+    /// Node arena for `by_line`, recycled through `fwd_free`.
+    fwd_nodes: Vec<FwdNode>,
+    fwd_free: Vec<u32>,
 }
 
 impl Channel {
@@ -101,6 +120,8 @@ impl Channel {
             writing: None,
             next_seq: 0,
             by_line: AddrMap::default(),
+            fwd_nodes: Vec::new(),
+            fwd_free: Vec::new(),
         }
     }
 
@@ -108,20 +129,81 @@ impl Channel {
         self.wpq.len() < self.capacity
     }
 
-    /// Removes one op from the store-forward index (it left the live set).
-    fn unindex(&mut self, line: LineAddr, id: OpId) {
-        let entries = self
-            .by_line
-            .get_mut(&line)
-            .expect("live op must be indexed");
-        let pos = entries
-            .iter()
-            .position(|(eid, _)| *eid == id)
-            .expect("live op must be indexed");
-        entries.remove(pos);
-        if entries.is_empty() {
-            self.by_line.remove(&line);
+    /// Adds an op to the store-forward index. Ids are monotonic, so
+    /// appending at the tail keeps each per-line list sorted by id.
+    fn index(&mut self, line: LineAddr, id: OpId, data: [u8; 64]) {
+        let node = FwdNode {
+            id,
+            data,
+            next: FWD_NIL,
+        };
+        let n = match self.fwd_free.pop() {
+            Some(n) => {
+                self.fwd_nodes[n as usize] = node;
+                n
+            }
+            None => {
+                self.fwd_nodes.push(node);
+                (self.fwd_nodes.len() - 1) as u32
+            }
+        };
+        match self.by_line.entry(line) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let tail = e.get().1;
+                self.fwd_nodes[tail as usize].next = n;
+                e.get_mut().1 = n;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert((n, n));
+            }
         }
+    }
+
+    /// The newest live write to `line`, if any.
+    fn newest(&self, line: LineAddr) -> Option<&[u8; 64]> {
+        let (_, tail) = self.by_line.get(&line)?;
+        Some(&self.fwd_nodes[*tail as usize].data)
+    }
+
+    /// Removes one op from the store-forward index (it left the live set).
+    /// Per-line lists are short (usually one node: a drained op is the
+    /// oldest for its line, i.e. the head), so the walk is effectively
+    /// constant time.
+    fn unindex(&mut self, line: LineAddr, id: OpId) {
+        let &(head, tail) = self.by_line.get(&line).expect("live op must be indexed");
+        let mut prev = FWD_NIL;
+        let mut cur = head;
+        loop {
+            let n = &self.fwd_nodes[cur as usize];
+            if n.id == id {
+                break;
+            }
+            prev = cur;
+            cur = n.next;
+            assert_ne!(cur, FWD_NIL, "live op must be indexed");
+        }
+        let next = self.fwd_nodes[cur as usize].next;
+        if prev == FWD_NIL {
+            if next == FWD_NIL {
+                self.by_line.remove(&line);
+            } else {
+                self.by_line.insert(line, (next, tail));
+            }
+        } else {
+            self.fwd_nodes[prev as usize].next = next;
+            if cur == tail {
+                self.by_line.insert(line, (head, prev));
+            }
+        }
+        self.fwd_free.push(cur);
+    }
+
+    /// Empties the store-forward index (crash flush). The node arena and
+    /// map buckets keep their capacity for reuse after recovery.
+    fn clear_index(&mut self) {
+        self.by_line.clear();
+        self.fwd_nodes.clear();
+        self.fwd_free.clear();
     }
 }
 
@@ -160,7 +242,7 @@ pub struct MemSystem {
     trace: Trace,
     /// PM media writes per line, kept only when telemetry asks for the
     /// hottest-lines table (`None` = tracking off, zero overhead).
-    line_writes: Option<std::collections::HashMap<LineAddr, u64>>,
+    line_writes: Option<AddrMap<LineAddr, u64>>,
 }
 
 impl MemSystem {
@@ -191,7 +273,7 @@ impl MemSystem {
     /// Turns per-line PM write counting on or off (the telemetry report's
     /// hottest-lines table). Off by default; resets counts when toggled.
     pub fn set_hot_line_tracking(&mut self, on: bool) {
-        self.line_writes = on.then(std::collections::HashMap::new);
+        self.line_writes = on.then(AddrMap::default);
     }
 
     /// The `n` most-written PM lines as `(line, media_writes)`, hottest
@@ -223,13 +305,7 @@ impl MemSystem {
         self.next_id += 1;
         let ch = self.channel_of(op.target);
         self.stats.bump(submit_counter(op.kind));
-        // Ids are monotonic, so pushing here keeps each per-line entry list
-        // sorted by id — the newest write is always the last element.
-        self.channels[ch as usize]
-            .by_line
-            .entry(op.target)
-            .or_default()
-            .push((id, op.data));
+        self.channels[ch as usize].index(op.target, id, op.data);
         self.events.push(
             now + self.cfg.mc_hop_latency,
             (ch, ChEvent::Arrive(id, op, now)),
@@ -256,12 +332,12 @@ impl MemSystem {
     /// persistent bit.
     pub fn read_for_fill(&mut self, line: LineAddr, image: &MemoryImage) -> ([u8; 64], bool) {
         let ch = &self.channels[self.channel_of(line) as usize];
-        // The per-line entries are in submission order, so the newest
-        // matching write — wherever it currently travels — is the last one.
-        let newest = ch.by_line.get(&line).and_then(|v| v.last());
+        // The per-line node list is in submission order, so the newest
+        // matching write — wherever it currently travels — is the tail.
+        let newest = ch.newest(line);
         let pbit = image.line_is_persistent(line);
         match newest {
-            Some((_, data)) => {
+            Some(data) => {
                 let data = *data;
                 self.stats.bump("mem.read.forwarded");
                 (data, pbit)
@@ -498,7 +574,7 @@ impl MemSystem {
             ch.writing = None;
             // Every live op either reached the image (WPQ) or was lost
             // (pending / on the wire): nothing is forwardable any more.
-            ch.by_line.clear();
+            ch.clear_index();
         }
         // Ops still travelling to their controller (unprocessed arrival
         // events) never reached the persistence domain either.
@@ -920,5 +996,81 @@ mod tests {
         assert_eq!(image.read_line(LineAddr(5))[0], 3);
         assert_eq!(mem.stats().get("dram.write.writeback"), 1);
         assert_eq!(mem.stats().get("pm.write.total"), 0);
+    }
+
+    #[test]
+    fn fwd_slab_reuses_nodes_after_drain() {
+        let mut cfg = test_cfg();
+        cfg.mem.controllers = 1;
+        cfg.mem.channels_per_mc = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        // Warm up: a burst of ops grows the node slab, then drains fully.
+        for round in 0..3u64 {
+            for i in 0..8 {
+                mem.submit(dpo(pm_line(i), round as u8, None), Cycle(round * 10_000));
+            }
+            mem.advance_to(Cycle((round + 1) * 10_000 - 1), &mut image);
+        }
+        let ch = &mem.channels[0];
+        assert!(ch.by_line.is_empty(), "all ops drained");
+        let arena = ch.fwd_nodes.len();
+        assert_eq!(ch.fwd_free.len(), arena, "every node back on the freelist");
+        // Steady state: the same traffic shape must not grow the arena.
+        for i in 0..8 {
+            mem.submit(dpo(pm_line(i), 9, None), Cycle(40_000));
+        }
+        mem.advance_to(Cycle(50_000), &mut image);
+        let ch = &mem.channels[0];
+        assert_eq!(ch.fwd_nodes.len(), arena, "nodes recycled, none allocated");
+        assert_eq!(ch.fwd_free.len(), arena);
+    }
+
+    #[test]
+    fn fwd_slab_resets_on_crash_flush() {
+        let (mut mem, mut image) = setup();
+        for i in 0..6 {
+            mem.submit(dpo(pm_line(i), i as u8, None), Cycle(0));
+        }
+        mem.advance_to(Cycle(20), &mut image); // some accepted, none drained
+        mem.flush_to_image(&mut image);
+        for ch in &mem.channels {
+            assert!(ch.by_line.is_empty(), "index emptied by crash flush");
+            assert!(ch.fwd_nodes.is_empty());
+            assert!(ch.fwd_free.is_empty());
+        }
+        // Post-recovery traffic rebuilds the index from scratch.
+        mem.submit(dpo(pm_line(0), 7, None), Cycle(100));
+        let (data, _) = mem.read_for_fill(pm_line(0), &image);
+        assert_eq!(data[0], 7);
+    }
+
+    #[test]
+    fn fwd_list_removal_handles_middle_and_tail() {
+        // Three live ops on one line (wpq_entries=1 keeps two pending), then
+        // drain them one at a time: unindex removes head, middle, and tail
+        // positions while read_for_fill keeps seeing the newest write.
+        let mut cfg = test_cfg();
+        cfg.mem.wpq_entries = 1;
+        cfg.mem.controllers = 1;
+        cfg.mem.channels_per_mc = 1;
+        let mut mem = MemSystem::new(&cfg);
+        let mut image = MemoryImage::new();
+        mem.submit(dpo(pm_line(0), 1, None), Cycle(0));
+        mem.submit(dpo(pm_line(0), 2, None), Cycle(0));
+        mem.submit(dpo(pm_line(0), 3, None), Cycle(0));
+        for _ in 0..3 {
+            let (data, _) = mem.read_for_fill(pm_line(0), &image);
+            assert_eq!(data[0], 3, "newest live write forwards");
+            let before = mem.stats().get("pm.write.total");
+            let mut t = 16;
+            while mem.stats().get("pm.write.total") == before {
+                t += 1;
+                mem.advance_to(Cycle(t), &mut image);
+                assert!(t < 1_000_000, "drain must make progress");
+            }
+        }
+        assert!(mem.channels[0].by_line.is_empty());
+        assert_eq!(image.read_line(pm_line(0))[0], 3, "newest wins on media");
     }
 }

@@ -91,7 +91,7 @@ impl Micro {
         };
         let access = self.caches.access(core, line, kind, fill, miss);
         self.now += access.latency;
-        for e in access.evicted {
+        if let Some(e) = access.evicted {
             if e.state.dirty {
                 let op = PersistOp::new(PersistKind::WriteBack, e.line, e.state.data, None);
                 self.mem.submit(op, self.now);

@@ -286,7 +286,9 @@ pub const KNOWN_ASAP_ENV: &[&str] = &[
     "ASAP_BENCHES",
     "ASAP_DEBUG_RECOVERY",
     "ASAP_JOBS",
+    "ASAP_MICRO_ITERS",
     "ASAP_OPS",
+    "ASAP_PERF_GATE",
     "ASAP_REPORT_OUT",
     "ASAP_TELEMETRY",
     "ASAP_TELEMETRY_OUT",

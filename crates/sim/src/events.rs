@@ -1,40 +1,34 @@
 //! A stable min-priority event queue keyed by [`Cycle`].
+//!
+//! Implemented as a bucketed *calendar queue* (the classic discrete-event
+//! simulator structure, cf. gem5's event queue): pending events live in a
+//! wheel of power-of-two cycle buckets and pop in `(time, insertion-seq)`
+//! order, exactly like the comparison-based `BinaryHeap` this replaced.
+//! Almost all simulator events are scheduled within a few thousand cycles
+//! of "now" (DRAM/PM latencies, WPQ residency timers), so a pop usually
+//! touches a single small bucket instead of rebalancing a heap, and the
+//! bucket vectors are recycled so steady-state traffic performs no heap
+//! allocation. A `tests`-side proptest holds the calendar to bit-exact
+//! pop-order equivalence against the original heap.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cell::Cell;
 
 use crate::clock::Cycle;
+
+/// log2 of the bucket width in cycles: events within the same 64-cycle
+/// window share a bucket.
+const BUCKET_SHIFT: u32 = 6;
+/// Number of wheel slots (power of two). The wheel spans
+/// `SLOTS << BUCKET_SHIFT` = 16384 cycles per revolution, comfortably
+/// beyond every latency and residency timer in `SystemConfig`.
+const SLOTS: usize = 256;
+const SLOT_MASK: u64 = (SLOTS as u64) - 1;
 
 /// One scheduled entry: time, tie-break sequence number, payload.
 struct Entry<E> {
     at: Cycle,
     seq: u64,
     payload: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want min-time first and,
-        // within a time, FIFO insertion order.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// A deterministic min-priority queue of timestamped events.
@@ -55,16 +49,35 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(order, ['z', 'x', 'y']);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Wheel slots; an event at `at` lives in slot
+    /// `(at >> BUCKET_SHIFT) & SLOT_MASK`. Entries from different wheel
+    /// revolutions can share a slot; the absolute bucket number
+    /// (`at >> BUCKET_SHIFT`) disambiguates.
+    buckets: Vec<Vec<Entry<E>>>,
+    len: usize,
     next_seq: u64,
+    /// Absolute bucket number at or before the earliest pending event.
+    /// Memoized across `peek_time` calls (hence `Cell`): skipping empty
+    /// buckets is amortized instead of repeated per query. Purely a
+    /// search hint — it never affects which event pops next.
+    cursor: Cell<u64>,
+    /// Location `(slot, index, at)` of the current minimum, found by the
+    /// last [`Self::find_min`]; invalidated by every mutation so a
+    /// `peek_time` immediately followed by `pop` scans only once.
+    cached_min: Cell<Option<(u32, u32, Cycle)>>,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(SLOTS);
+        buckets.resize_with(SLOTS, Vec::new);
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets,
+            len: 0,
             next_seq: 0,
+            cursor: Cell::new(0),
+            cached_min: Cell::new(None),
         }
     }
 
@@ -72,12 +85,70 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Cycle, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
+        let abs = at.0 >> BUCKET_SHIFT;
+        if self.len == 0 || abs < self.cursor.get() {
+            self.cursor.set(abs);
+        }
+        self.cached_min.set(None);
+        self.buckets[(abs & SLOT_MASK) as usize].push(Entry { at, seq, payload });
+        self.len += 1;
+    }
+
+    /// Locates the earliest `(at, seq)` entry, returning `(slot, index,
+    /// at)`. Scans absolute buckets forward from the cursor; if a full
+    /// wheel revolution finds nothing (every pending event is far in the
+    /// future), falls back to one linear scan and re-aims the cursor.
+    fn find_min(&self) -> Option<(u32, u32, Cycle)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(hit) = self.cached_min.get() {
+            return Some(hit);
+        }
+        let start = self.cursor.get();
+        for abs in start..start + SLOTS as u64 {
+            let slot = (abs & SLOT_MASK) as usize;
+            let mut best: Option<(u32, u64, Cycle)> = None;
+            for (i, e) in self.buckets[slot].iter().enumerate() {
+                if e.at.0 >> BUCKET_SHIFT == abs
+                    && best.is_none_or(|(_, seq, at)| (e.at, e.seq) < (at, seq))
+                {
+                    best = Some((i as u32, e.seq, e.at));
+                }
+            }
+            if let Some((i, _, at)) = best {
+                self.cursor.set(abs);
+                let hit = (slot as u32, i, at);
+                self.cached_min.set(Some(hit));
+                return Some(hit);
+            }
+        }
+        // Sparse tail: nothing within one revolution of the cursor. Scan
+        // everything once for the global `(at, seq)` minimum.
+        let mut best: Option<(u32, u32, u64, Cycle)> = None;
+        for (slot, bucket) in self.buckets.iter().enumerate() {
+            for (i, e) in bucket.iter().enumerate() {
+                if best.is_none_or(|(_, _, seq, at)| (e.at, e.seq) < (at, seq)) {
+                    best = Some((slot as u32, i as u32, e.seq, e.at));
+                }
+            }
+        }
+        let (slot, i, _, at) = best.expect("len > 0 implies an entry exists");
+        self.cursor.set(at.0 >> BUCKET_SHIFT);
+        let hit = (slot, i, at);
+        self.cached_min.set(Some(hit));
+        Some(hit)
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let (slot, i, _) = self.find_min()?;
+        self.cached_min.set(None);
+        // Within a bucket the minimum is chosen by `(at, seq)`, so the
+        // in-vector order left behind by `swap_remove` is irrelevant.
+        let e = self.buckets[slot as usize].swap_remove(i as usize);
+        self.len -= 1;
+        Some((e.at, e.payload))
     }
 
     /// Removes the earliest event only if it fires at or before `deadline`.
@@ -91,23 +162,23 @@ impl<E> EventQueue<E> {
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.at)
+        self.find_min().map(|(_, _, at)| at)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Iterates over all pending payloads in unspecified order (used for
     /// state queries such as store-forwarding against in-flight traffic).
     pub fn iter(&self) -> impl Iterator<Item = &E> {
-        self.heap.iter().map(|e| &e.payload)
+        self.buckets.iter().flatten().map(|e| &e.payload)
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -120,7 +191,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len)
             .field("next_at", &self.peek_time())
             .finish()
     }
@@ -199,5 +270,192 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(Cycle(1), ());
         assert!(format!("{q:?}").contains("EventQueue"));
+    }
+
+    /// Events scheduled more than a full wheel revolution ahead (and a mix
+    /// of near/far pushes landing in the *same* wheel slot from different
+    /// revolutions) must still pop in global time order.
+    #[test]
+    fn far_future_events_pop_in_order() {
+        let span = (SLOTS as u64) << BUCKET_SHIFT;
+        let mut q = EventQueue::new();
+        q.push(Cycle(7 * span + 3), 'd');
+        q.push(Cycle(3), 'a'); // same slot as 'd', seven revolutions earlier
+        q.push(Cycle(2 * span), 'b');
+        q.push(Cycle(5 * span + 1), 'c');
+        assert_eq!(q.peek_time(), Some(Cycle(3)));
+        assert_eq!(q.pop(), Some((Cycle(3), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(2 * span), 'b')));
+        assert_eq!(q.pop(), Some((Cycle(5 * span + 1), 'c')));
+        assert_eq!(q.pop(), Some((Cycle(7 * span + 3), 'd')));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Pushing an earlier event after the cursor has advanced past its
+    /// bucket must rewind the cursor (the memoization is a hint only).
+    #[test]
+    fn push_into_past_rewinds_cursor() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10_000), 'z');
+        assert_eq!(q.peek_time(), Some(Cycle(10_000)));
+        q.push(Cycle(1), 'a');
+        assert_eq!(q.pop(), Some((Cycle(1), 'a')));
+        assert_eq!(q.pop(), Some((Cycle(10_000), 'z')));
+    }
+
+    /// The original heap-based queue, kept as the ordering oracle for the
+    /// equivalence proptest below.
+    mod reference {
+        use super::Cycle;
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        struct Entry<E> {
+            at: Cycle,
+            seq: u64,
+            payload: E,
+        }
+
+        impl<E> PartialEq for Entry<E> {
+            fn eq(&self, other: &Self) -> bool {
+                self.at == other.at && self.seq == other.seq
+            }
+        }
+
+        impl<E> Eq for Entry<E> {}
+
+        impl<E> PartialOrd for Entry<E> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl<E> Ord for Entry<E> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .at
+                    .cmp(&self.at)
+                    .then_with(|| other.seq.cmp(&self.seq))
+            }
+        }
+
+        pub struct HeapQueue<E> {
+            heap: BinaryHeap<Entry<E>>,
+            next_seq: u64,
+        }
+
+        impl<E> HeapQueue<E> {
+            pub fn new() -> Self {
+                HeapQueue {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                }
+            }
+
+            pub fn push(&mut self, at: Cycle, payload: E) {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.heap.push(Entry { at, seq, payload });
+            }
+
+            pub fn pop(&mut self) -> Option<(Cycle, E)> {
+                self.heap.pop().map(|e| (e.at, e.payload))
+            }
+
+            pub fn peek_time(&self) -> Option<Cycle> {
+                self.heap.peek().map(|e| e.at)
+            }
+
+            pub fn len(&self) -> usize {
+                self.heap.len()
+            }
+        }
+    }
+
+    mod prop {
+        use super::reference::HeapQueue;
+        use super::{Cycle, EventQueue, BUCKET_SHIFT, SLOTS};
+        use proptest::prelude::*;
+
+        #[derive(Clone, Debug)]
+        enum Op {
+            /// Push one event at this cycle.
+            Push(u64),
+            /// Push a burst of events on the same cycle (FIFO tie-break
+            /// stress).
+            Burst(u64, u8),
+            Pop,
+            PopUntil(u64),
+        }
+
+        fn cycle_strategy() -> impl Strategy<Value = u64> {
+            let span = (SLOTS as u64) << BUCKET_SHIFT;
+            prop_oneof![
+                // Dense near-term traffic, the simulator's common case.
+                4 => 0u64..5_000,
+                // Beyond one wheel revolution.
+                2 => 0u64..20 * span,
+                // Pathologically far future (sparse-tail fallback path).
+                1 => 0u64..u64::MAX / 2,
+            ]
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                3 => cycle_strategy().prop_map(Op::Push),
+                1 => (cycle_strategy(), 2u8..6).prop_map(|(c, n)| Op::Burst(c, n)),
+                3 => Just(Op::Pop),
+                1 => cycle_strategy().prop_map(Op::PopUntil),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+            /// The calendar queue and the original binary heap must emit
+            /// identical `(cycle, payload)` sequences — and agree on
+            /// `peek_time`/`len` — under arbitrary interleaved traffic.
+            #[test]
+            fn calendar_matches_heap(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+                let mut cal = EventQueue::new();
+                let mut heap = HeapQueue::new();
+                let mut payload = 0u32;
+                for op in &ops {
+                    match *op {
+                        Op::Push(at) => {
+                            cal.push(Cycle(at), payload);
+                            heap.push(Cycle(at), payload);
+                            payload += 1;
+                        }
+                        Op::Burst(at, n) => {
+                            for _ in 0..n {
+                                cal.push(Cycle(at), payload);
+                                heap.push(Cycle(at), payload);
+                                payload += 1;
+                            }
+                        }
+                        Op::Pop => {
+                            prop_assert_eq!(cal.pop(), heap.pop());
+                        }
+                        Op::PopUntil(deadline) => {
+                            // Oracle semantics: pop only if due by deadline.
+                            let expect = match heap.peek_time() {
+                                Some(t) if t <= Cycle(deadline) => heap.pop(),
+                                _ => None,
+                            };
+                            prop_assert_eq!(cal.pop_until(Cycle(deadline)), expect);
+                        }
+                    }
+                    prop_assert_eq!(cal.peek_time(), heap.peek_time());
+                    prop_assert_eq!(cal.len(), heap.len());
+                }
+                // Drain: the full remaining order must match exactly.
+                while let Some(got) = cal.pop() {
+                    prop_assert_eq!(Some(got), heap.pop());
+                }
+                prop_assert_eq!(heap.pop(), None);
+                prop_assert!(cal.is_empty());
+            }
+        }
     }
 }

@@ -30,18 +30,68 @@ pub fn debug_field(m: &mut Machine, base: PmAddr, i: u64) -> u64 {
 /// pattern used by the benchmarks so tests can validate values.
 pub fn payload(key: u64, tag: u64, len: usize) -> Vec<u8> {
     let mut v = Vec::with_capacity(len);
-    let mut x = key
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(tag.wrapping_mul(0xd1b5_4a32_d192_ed03))
-        | 1;
-    while v.len() < len {
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        v.extend_from_slice(&x.to_le_bytes());
-    }
-    v.truncate(len);
+    let mut s = PayloadStream::new(key, tag);
+    v.resize(len, 0);
+    s.fill(&mut v);
     v
+}
+
+/// Streaming generator of the [`payload`] byte sequence (xorshift64, 8
+/// bytes per step), so hot-path writers can produce the pattern one cache
+/// line at a time instead of materializing the whole value.
+struct PayloadStream {
+    x: u64,
+    buf: [u8; 8],
+    avail: usize,
+}
+
+impl PayloadStream {
+    fn new(key: u64, tag: u64) -> Self {
+        PayloadStream {
+            x: key
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(tag.wrapping_mul(0xd1b5_4a32_d192_ed03))
+                | 1,
+            buf: [0; 8],
+            avail: 0,
+        }
+    }
+
+    /// Writes the next `out.len()` bytes of the sequence into `out`.
+    fn fill(&mut self, out: &mut [u8]) {
+        for b in out {
+            if self.avail == 0 {
+                self.x ^= self.x << 13;
+                self.x ^= self.x >> 7;
+                self.x ^= self.x << 17;
+                self.buf = self.x.to_le_bytes();
+                self.avail = 8;
+            }
+            *b = self.buf[8 - self.avail];
+            self.avail -= 1;
+        }
+    }
+}
+
+/// Batched sequential-store fast path for benchmark values: streams the
+/// [`payload`] pattern into simulated PM one cache-line span at a time
+/// through a stack buffer. The store sequence the machine sees is
+/// byte-identical to `ctx.write_bytes(addr, &payload(key, tag, len))` —
+/// same spans, same bytes, same latencies — but a multi-kilobyte value
+/// update (the Fig. 7 large-value sweeps store runs of 32 consecutive
+/// already-owned lines) no longer heap-allocates a `Vec` per operation.
+pub fn write_payload(ctx: &mut ThreadCtx, addr: PmAddr, key: u64, tag: u64, len: usize) {
+    let mut s = PayloadStream::new(key, tag);
+    let mut span = [0u8; asap_pmem::LINE_BYTES as usize];
+    let mut pos = 0usize;
+    while pos < len {
+        let a = addr.offset(pos as u64);
+        let off = a.offset_in_line() as usize;
+        let n = (len - pos).min(asap_pmem::LINE_BYTES as usize - off);
+        s.fill(&mut span[..n]);
+        ctx.write_bytes(a, &span[..n]);
+        pos += n;
+    }
 }
 
 #[cfg(test)]

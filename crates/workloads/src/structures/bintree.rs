@@ -5,7 +5,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field, NULL};
+use crate::pmops::{as_ptr, debug_field, read_field, write_field, write_payload, NULL};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -43,7 +43,7 @@ impl BinTree {
         write_field(ctx, node, VAL, val.0);
         write_field(ctx, node, LEFT, NULL);
         write_field(ctx, node, RIGHT, NULL);
-        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_payload(ctx, val, key, tag, value_bytes as usize);
         node
     }
 
@@ -59,7 +59,7 @@ impl BinTree {
             let k = read_field(ctx, cur, KEY);
             if k == key {
                 let val = PmAddr(read_field(ctx, cur, VAL));
-                ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                write_payload(ctx, val, key, tag, value_bytes as usize);
                 return;
             }
             let dir = if key < k { LEFT } else { RIGHT };
@@ -156,6 +156,7 @@ impl Benchmark for BinTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pmops::payload;
     use asap_core::machine::MachineConfig;
     use asap_core::scheme::SchemeKind;
     use rand::SeedableRng;

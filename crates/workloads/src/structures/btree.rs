@@ -5,7 +5,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field};
+use crate::pmops::{as_ptr, debug_field, read_field, write_field, write_payload};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -46,7 +46,7 @@ impl BTree {
 
     fn new_value(ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) -> u64 {
         let val = ctx.pm_alloc(value_bytes).expect("heap");
-        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_payload(ctx, val, key, tag, value_bytes as usize);
         val.0
     }
 
@@ -116,7 +116,7 @@ impl BTree {
                 let k = read_field(ctx, node, KEYS + i);
                 if k == key {
                     let val = PmAddr(read_field(ctx, node, VALS + i));
-                    ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                    write_payload(ctx, val, key, tag, value_bytes as usize);
                     return;
                 }
                 if key < k && idx == n {
@@ -145,7 +145,7 @@ impl BTree {
                 let up = read_field(ctx, node, KEYS + idx);
                 if up == key {
                     let val = PmAddr(read_field(ctx, node, VALS + idx));
-                    ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                    write_payload(ctx, val, key, tag, value_bytes as usize);
                     return;
                 }
                 let idx2 = if key > up { idx + 1 } else { idx };
@@ -262,6 +262,7 @@ impl Benchmark for BTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pmops::payload;
     use asap_core::machine::MachineConfig;
     use asap_core::scheme::SchemeKind;
     use rand::SeedableRng;

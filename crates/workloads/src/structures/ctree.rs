@@ -10,7 +10,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{debug_field, payload, read_field, write_field, NULL};
+use crate::pmops::{debug_field, read_field, write_field, write_payload, NULL};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -55,7 +55,7 @@ impl CritBitTree {
     fn new_leaf(ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) -> u64 {
         let leaf = ctx.pm_alloc(16).expect("heap");
         let val = ctx.pm_alloc(value_bytes).expect("heap");
-        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_payload(ctx, val, key, tag, value_bytes as usize);
         write_field(ctx, leaf, LKEY, key);
         write_field(ctx, leaf, LVAL, val.0);
         leaf.0 | LEAF_TAG
@@ -79,7 +79,7 @@ impl CritBitTree {
         let found_key = read_field(ctx, untag(p), LKEY);
         if found_key == key {
             let val = PmAddr(read_field(ctx, untag(p), LVAL));
-            ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+            write_payload(ctx, val, key, tag, value_bytes as usize);
             return;
         }
         // Most-significant differing bit decides the new node's position.
@@ -200,6 +200,7 @@ impl Benchmark for CritBitTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pmops::payload;
     use asap_core::machine::MachineConfig;
     use asap_core::scheme::SchemeKind;
     use rand::SeedableRng;

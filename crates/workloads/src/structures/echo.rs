@@ -10,7 +10,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field};
+use crate::pmops::{as_ptr, debug_field, read_field, write_field, write_payload};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -63,7 +63,7 @@ impl Echo {
                 // the pointer, retire the old snapshot.
                 let old = PmAddr(read_field(ctx, e, VAL));
                 let new = ctx.pm_alloc(value_bytes).expect("heap");
-                ctx.write_bytes(new, &payload(key, tag, value_bytes as usize));
+                write_payload(ctx, new, key, tag, value_bytes as usize);
                 let ver = read_field(ctx, e, VER);
                 write_field(ctx, e, VAL, new.0);
                 write_field(ctx, e, VER, ver + 1);
@@ -74,7 +74,7 @@ impl Echo {
         }
         let entry = ctx.pm_alloc(ENTRY_BYTES).expect("heap");
         let val = ctx.pm_alloc(value_bytes).expect("heap");
-        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_payload(ctx, val, key, tag, value_bytes as usize);
         write_field(ctx, entry, KEY, key);
         write_field(ctx, entry, VER, 1);
         write_field(ctx, entry, VAL, val.0);
@@ -159,6 +159,7 @@ impl Benchmark for Echo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pmops::payload;
     use asap_core::machine::MachineConfig;
     use asap_core::scheme::SchemeKind;
     use rand::SeedableRng;

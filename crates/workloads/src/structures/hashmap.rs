@@ -5,7 +5,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field};
+use crate::pmops::{as_ptr, debug_field, read_field, write_field, write_payload};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -55,14 +55,14 @@ impl HashTable {
         while let Some(e) = cur {
             if read_field(ctx, e, KEY) == key {
                 let val = PmAddr(read_field(ctx, e, VAL));
-                ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                write_payload(ctx, val, key, tag, value_bytes as usize);
                 return;
             }
             cur = as_ptr(read_field(ctx, e, NEXT));
         }
         let entry = ctx.pm_alloc(ENTRY_BYTES).expect("heap");
         let val = ctx.pm_alloc(value_bytes).expect("heap");
-        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_payload(ctx, val, key, tag, value_bytes as usize);
         write_field(ctx, entry, KEY, key);
         write_field(ctx, entry, VAL, val.0);
         let head = ctx.read_u64(head_cell);
@@ -152,6 +152,7 @@ impl Benchmark for HashTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pmops::payload;
     use asap_core::machine::MachineConfig;
     use asap_core::scheme::SchemeKind;
     use rand::SeedableRng;

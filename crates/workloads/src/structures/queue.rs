@@ -10,7 +10,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field, NULL};
+use crate::pmops::{as_ptr, debug_field, read_field, write_field, write_payload, NULL};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -48,7 +48,7 @@ impl Queue {
     pub fn enqueue(&self, ctx: &mut ThreadCtx, key: u64, tag: u64, value_bytes: u64) {
         let node = ctx.pm_alloc(NODE_BYTES).expect("heap");
         let val = ctx.pm_alloc(value_bytes).expect("heap");
-        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_payload(ctx, val, key, tag, value_bytes as usize);
         write_field(ctx, node, VAL, val.0);
         write_field(ctx, node, NEXT, NULL);
         write_field(ctx, node, NKEY, key);

@@ -8,7 +8,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{as_ptr, debug_field, payload, read_field, write_field, NULL};
+use crate::pmops::{as_ptr, debug_field, read_field, write_field, write_payload, NULL};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -133,7 +133,7 @@ impl RbTree {
             let k = read_field(ctx, n, KEY);
             if k == key {
                 let val = PmAddr(read_field(ctx, n, VAL));
-                ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+                write_payload(ctx, val, key, tag, value_bytes as usize);
                 return;
             }
             parent = cur;
@@ -142,7 +142,7 @@ impl RbTree {
         }
         let node = ctx.pm_alloc(NODE_BYTES).expect("heap");
         let val = ctx.pm_alloc(value_bytes).expect("heap");
-        ctx.write_bytes(val, &payload(key, tag, value_bytes as usize));
+        write_payload(ctx, val, key, tag, value_bytes as usize);
         write_field(ctx, node, KEY, key);
         write_field(ctx, node, VAL, val.0);
         write_field(ctx, node, LEFT, NULL);
@@ -252,6 +252,7 @@ impl Benchmark for RbTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pmops::payload;
     use asap_core::machine::MachineConfig;
     use asap_core::scheme::SchemeKind;
     use rand::SeedableRng;

@@ -12,7 +12,7 @@ use asap_pmem::PmAddr;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
-use crate::pmops::{payload, read_field, write_field};
+use crate::pmops::{read_field, write_field, write_payload};
 use crate::spec::WorkloadSpec;
 use crate::structures::Benchmark;
 
@@ -147,7 +147,7 @@ impl Tpcc {
             let blob = self
                 .order_info
                 .offset((d * ORDERS_PER_DISTRICT + slot) * self.info_bytes);
-            ctx.write_bytes(blob, &payload(o_id, d, self.info_bytes as usize));
+            write_payload(ctx, blob, o_id, d, self.info_bytes as usize);
         }
     }
 

@@ -45,6 +45,27 @@ fn grid() -> Vec<WorkloadSpec> {
             .with_ops(25)
             .with_telemetry(TelemetrySettings::enabled()),
     );
+    // A crash cell: power failure drains the calendar event queue, ADR
+    // flushes the WPQ, and the cache slab / forward-index arenas reset —
+    // recovery must replay identically on every harness thread.
+    specs.push(
+        WorkloadSpec::new(BenchId::Hm, SchemeKind::HwUndo)
+            .with_threads(2)
+            .with_ops(30)
+            .with_tracking()
+            .with_crash_after(40),
+    );
+    // A residency-delayed WPQ: `DrainCheck` events land thousands of
+    // cycles out, exercising the calendar wheel's far-future revolution
+    // handling inside a real workload.
+    let mut delayed = asap_sim::SystemConfig::table2();
+    delayed.mem.wpq_residency = 4096;
+    specs.push(
+        WorkloadSpec::new(BenchId::Tpcc, SchemeKind::Asap)
+            .with_threads(2)
+            .with_ops(15)
+            .with_system(delayed),
+    );
     specs
 }
 
@@ -81,6 +102,8 @@ fn assert_identical(a: &RunResult, b: &RunResult) {
     assert_eq!(a.lifecycle, b.lifecycle);
     assert_eq!(a.lifecycle_dot, b.lifecycle_dot);
     assert_eq!(a.hot_lines, b.hot_lines);
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(format!("{:?}", a.recovery), format!("{:?}", b.recovery));
 }
 
 #[test]
