@@ -28,13 +28,33 @@ ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= \
 SMOKE_SECS=$(awk "BEGIN{printf \"%.3f\", $(date +%s.%N) - $SMOKE_START}")
 echo "    serial fig7 smoke: ${SMOKE_SECS}s"
 
+echo "==> run-cache smoke (disk tier: second pass all hits, stdout identical)"
+RC_DIR=$(mktemp -d)
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= \
+  ASAP_RUNCACHE=disk ASAP_RUNCACHE_DIR="$RC_DIR" \
+  cargo bench -p asap-bench --bench fig7_speedup >target/runcache_pass1.out 2>/dev/null
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= \
+  ASAP_RUNCACHE=disk ASAP_RUNCACHE_DIR="$RC_DIR" \
+  cargo bench -p asap-bench --bench fig7_speedup >target/runcache_pass2.out 2>target/runcache_pass2.err
+cmp target/runcache_pass1.out target/runcache_pass2.out \
+  || { echo "RUNCACHE FAILURE: cached stdout differs from fresh run" >&2; exit 1; }
+grep -q ", 0 misses" target/runcache_pass2.err \
+  || { echo "RUNCACHE FAILURE: second pass was not served entirely from cache" >&2; \
+       grep "runcache:" target/runcache_pass2.err >&2 || true; exit 1; }
+rm -rf "$RC_DIR"
+echo "    cached rerun byte-identical, all cells hit"
+
 # Opt-in perf gate: warn (exit 0) when the smoke run exceeds the threshold.
 if [ -n "${ASAP_PERF_GATE:-}" ]; then
   LAST=$(python3 - <<'EOF'
 import json, sys
 try:
+    # Warm records measured the memoized path, not the simulator; only
+    # cold entries are comparable (records predating the cache tag count
+    # as cold).
     entries = [e for e in json.load(open("BENCH_WALLCLOCK.json"))
-               if e.get("figure") == "fig7_speedup"]
+               if e.get("figure") == "fig7_speedup"
+               and e.get("cache", "cold") != "warm"]
     print(entries[-1]["host_seconds"] if entries else "")
 except Exception:
     print("")

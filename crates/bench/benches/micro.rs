@@ -1,6 +1,7 @@
 //! Microbenchmarks of the simulator substrates: cache hierarchy access, WPQ
 //! submit/drain, log-record encode/decode, Dependence List broadcast, bloom
-//! filter probes, and an end-to-end small transaction.
+//! filter probes, spec fingerprinting, run-cache disk hits/inserts, and an
+//! end-to-end small transaction.
 //!
 //! Plain `fn main` harness (no criterion — the build environment is offline):
 //! each benchmark warms up, then runs timed batches and reports ns/iter with
@@ -222,6 +223,51 @@ fn bench_bloom() {
     });
 }
 
+fn bench_fingerprint() {
+    // The cache key computation run_grid performs once per cell before
+    // the worker pool starts: canonical serialization + two-lane hash of
+    // the complete spec.
+    let spec = asap_workloads::WorkloadSpec::new(asap_workloads::BenchId::Tpcc, SchemeKind::Asap)
+        .with_threads(8)
+        .with_value_bytes(2048);
+    bench("spec_fingerprint", || {
+        black_box(black_box(&spec).fingerprint());
+    });
+
+    // The raw hash over a cell-sized canonical buffer, isolating the
+    // mixing loop from the serialization above.
+    let bytes = vec![0x5au8; 256];
+    bench("fingerprint_hash_256b", || {
+        black_box(asap_sim::fingerprint::hash_bytes(black_box(&bytes)));
+    });
+}
+
+fn bench_runcache() {
+    use asap_bench::runcache::{insert, lookup, RunCacheConfig};
+
+    // One small real result, inserted into a hermetic disk store.
+    let spec = asap_workloads::WorkloadSpec::small(asap_workloads::BenchId::Q, SchemeKind::Asap)
+        .with_ops(10);
+    let result = asap_workloads::run(&spec);
+    let fp = spec.fingerprint();
+    let dir = std::env::temp_dir().join(format!("asap-runcache-micro-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = RunCacheConfig::disk_only(&dir, 64);
+    insert(&fp, &result, &cfg);
+
+    // A disk hit: read + lossless parse + mtime touch of one cell file.
+    bench("runcache_disk_hit", || {
+        black_box(lookup(black_box(&fp), &cfg).is_some());
+    });
+
+    // An insert: serialize + atomic write + cap scan (the store holds a
+    // single file, so this is the fixed per-cell overhead floor).
+    bench("runcache_disk_insert", || {
+        insert(black_box(&fp), black_box(&result), &cfg);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn bench_transaction() {
     let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
     let a = m.pm_alloc(64 * 16).unwrap();
@@ -245,5 +291,7 @@ fn main() {
     bench_log();
     bench_deplist();
     bench_bloom();
+    bench_fingerprint();
+    bench_runcache();
     bench_transaction();
 }

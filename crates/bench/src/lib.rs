@@ -21,7 +21,10 @@
 //!   time series and the region-lifecycle log in virtual time (see
 //!   EXPERIMENTS.md §Telemetry);
 //! - `ASAP_TELEMETRY_OUT` — directory for the per-figure merged
-//!   telemetry JSON (default `target/telemetry/`; empty disables).
+//!   telemetry JSON (default `target/telemetry/`; empty disables);
+//! - `ASAP_RUNCACHE` / `ASAP_RUNCACHE_DIR` / `ASAP_RUNCACHE_CAP` —
+//!   content-addressed result memoization (`off`/`mem`/`disk`, default
+//!   `mem`; see [`runcache`]).
 //!
 //! Unrecognized `ASAP_`-prefixed variables draw a warning on stderr at
 //! grid startup (see [`asap_sim::warn_unknown_asap_env`]) — a typo'd
@@ -34,6 +37,9 @@
 
 #![warn(missing_docs)]
 
+pub mod runcache;
+
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -41,6 +47,8 @@ use std::time::Duration;
 use asap_core::scheme::SchemeKind;
 use asap_sim::{TelemetrySettings, TraceSettings};
 use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
+
+use runcache::RunCacheConfig;
 
 /// Transactions per thread, from `ASAP_OPS` (default 200).
 pub fn ops() -> u64 {
@@ -82,20 +90,86 @@ pub fn jobs() -> usize {
 }
 
 /// Runs every spec in `specs` and returns the results in the same order,
-/// using [`jobs`] host worker threads.
+/// using [`jobs`] host worker threads and the environment-configured
+/// result cache ([`RunCacheConfig::from_env`]).
 ///
 /// Each cell is an independent, deterministic, single-threaded (host-side)
-/// simulation, so parallel execution cannot change any result — only the
-/// wall clock. `tests/parallel_equivalence.rs` in the workspace root holds
-/// the harness to that claim.
+/// simulation, so neither parallel execution nor memoization can change
+/// any result — only the wall clock. `tests/parallel_equivalence.rs` in
+/// the workspace root holds the harness to both claims.
 pub fn run_grid(specs: &[WorkloadSpec]) -> Vec<RunResult> {
     run_grid_jobs(specs, jobs())
 }
 
-/// [`run_grid`] with an explicit worker count (used by the equivalence
-/// tests; `jobs <= 1` runs inline without spawning).
+/// [`run_grid`] with an explicit worker count (`jobs <= 1` runs inline
+/// without spawning).
 pub fn run_grid_jobs(specs: &[WorkloadSpec], jobs: usize) -> Vec<RunResult> {
+    run_grid_with(specs, jobs, &RunCacheConfig::from_env())
+}
+
+/// [`run_grid`] with an explicit worker count *and* cache configuration.
+/// Cache lookups happen up front — by content fingerprint, so duplicate
+/// cells within one grid collapse to a single simulation too — and only
+/// the missing cells go to the worker pool; results come back in spec
+/// order regardless, so stdout is byte-identical whatever hits.
+pub fn run_grid_with(
+    specs: &[WorkloadSpec],
+    jobs: usize,
+    cache: &RunCacheConfig,
+) -> Vec<RunResult> {
     asap_sim::warn_unknown_asap_env();
+    if !cache.enabled() {
+        return pool_run(specs, jobs);
+    }
+    let fps: Vec<_> = specs.iter().map(WorkloadSpec::fingerprint).collect();
+    let mut results: Vec<Option<RunResult>> = vec![None; specs.len()];
+    // First index of each distinct fingerprint; later duplicates are
+    // filled by fan-out below instead of consulting the tiers (or the
+    // pool) again.
+    let mut first: HashMap<asap_sim::Fingerprint, usize> = HashMap::new();
+    let mut to_run: Vec<usize> = Vec::new();
+    for (i, fp) in fps.iter().enumerate() {
+        if first.contains_key(fp) {
+            continue;
+        }
+        first.insert(*fp, i);
+        match runcache::lookup(fp, cache) {
+            Some(mut r) => {
+                // Fingerprint equality makes the cached spec equal to the
+                // requested one; overwrite anyway so a cache can never
+                // alter what a figure prints about its own inputs.
+                r.spec = specs[i];
+                results[i] = Some(r);
+            }
+            None => {
+                runcache::note_miss();
+                to_run.push(i);
+            }
+        }
+    }
+    let missing: Vec<WorkloadSpec> = to_run.iter().map(|&i| specs[i]).collect();
+    for (&i, r) in to_run.iter().zip(pool_run(&missing, jobs)) {
+        runcache::insert(&fps[i], &r, cache);
+        results[i] = Some(r);
+    }
+    for i in 0..specs.len() {
+        if results[i].is_none() {
+            let mut r = results[first[&fps[i]]].clone().expect("representative ran");
+            r.spec = specs[i];
+            results[i] = Some(r);
+        }
+    }
+    // Cumulative for the process (stderr, like the wall-clock note — the
+    // figure's stdout must not depend on cache state).
+    eprintln!("{}", runcache::summary_line(&runcache::counters()));
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell filled"))
+        .collect()
+}
+
+/// The raw worker pool: simulates every spec, no memoization.
+fn pool_run(specs: &[WorkloadSpec], jobs: usize) -> Vec<RunResult> {
     if jobs <= 1 || specs.len() <= 1 {
         return specs.iter().map(run).collect();
     }
@@ -127,9 +201,13 @@ fn total(results: &[&[RunResult]], f: impl Fn(&RunResult) -> u64) -> u64 {
 /// Appends one record for `figure` to the wall-clock trajectory file
 /// (`BENCH_WALLCLOCK.json`, override with `ASAP_WALLCLOCK`; set it empty to
 /// disable). The file is a JSON array of records:
-/// `{figure, host_seconds, jobs, cells, sim_cycles, pm_writes, unix_time}` —
-/// host seconds move with harness work; simulated cycles and traffic must
-/// not, which is what makes the trajectory useful to future perf PRs.
+/// `{figure, host_seconds, jobs, cells, cache, sim_cycles, pm_writes,
+/// unix_time}` — host seconds move with harness work; simulated cycles and
+/// traffic must not, which is what makes the trajectory useful to future
+/// perf PRs. `cache` is `"warm"` when any run-cache hit served part of this
+/// process (so its host seconds measure the memoized path, not the
+/// simulator) and `"cold"` otherwise; perf comparisons like the
+/// `ASAP_PERF_GATE` check in `ci.sh` must skip warm records.
 ///
 /// The note confirming the write goes to *stderr*: stdout stays
 /// byte-identical across `ASAP_JOBS` settings and host speeds.
@@ -145,13 +223,19 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
+    let cache_tag = if runcache::counters().hits() > 0 {
+        "warm"
+    } else {
+        "cold"
+    };
     let record = format!(
         "{{\"figure\":\"{}\",\"host_seconds\":{:.3},\"jobs\":{},\"cells\":{},\
-         \"sim_cycles\":{},\"pm_writes\":{},\"unix_time\":{}}}",
+         \"cache\":\"{}\",\"sim_cycles\":{},\"pm_writes\":{},\"unix_time\":{}}}",
         figure,
         elapsed.as_secs_f64(),
         jobs(),
         grids.iter().map(|g| g.len()).sum::<usize>(),
+        cache_tag,
         total(grids, |r| r.exec_cycles),
         total(grids, |r| r.pm_writes),
         unix_time,
@@ -423,8 +507,10 @@ mod tests {
                     .with_telemetry(TelemetrySettings::enabled())
             })
             .collect();
-        let serial = run_grid_jobs(&specs, 1);
-        let parallel = run_grid_jobs(&specs, 2);
+        // Cache pinned off so both grids really run — a memoized second
+        // grid would make the comparison vacuous.
+        let serial = run_grid_with(&specs, 1, &RunCacheConfig::off());
+        let parallel = run_grid_with(&specs, 2, &RunCacheConfig::off());
         let a = merged_telemetry_json("test", &[&serial]).expect("telemetry on");
         let b = merged_telemetry_json("test", &[&parallel]).expect("telemetry on");
         assert_eq!(a, b, "merge must not depend on ASAP_JOBS");
@@ -433,7 +519,7 @@ mod tests {
         let off = vec![WorkloadSpec::new(BenchId::Q, SchemeKind::Asap)
             .with_threads(2)
             .with_ops(10)];
-        let res = run_grid_jobs(&off, 1);
+        let res = run_grid_with(&off, 1, &RunCacheConfig::off());
         assert!(merged_telemetry_json("test", &[&res]).is_none());
     }
 
@@ -447,13 +533,37 @@ mod tests {
                     .with_ops(20)
             })
             .collect();
-        let serial = run_grid_jobs(&specs, 1);
-        let parallel = run_grid_jobs(&specs, 3);
+        // Cache pinned off so the parallel grid actually re-simulates.
+        let serial = run_grid_with(&specs, 1, &RunCacheConfig::off());
+        let parallel = run_grid_with(&specs, 3, &RunCacheConfig::off());
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.exec_cycles, b.exec_cycles);
             assert_eq!(a.drained_cycles, b.drained_cycles);
             assert_eq!(a.pm_writes, b.pm_writes);
             assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         }
+    }
+
+    #[test]
+    fn duplicate_cells_collapse_and_match_fresh() {
+        use asap_workloads::resultjson::results_identical;
+        let spec = WorkloadSpec::new(BenchId::Q, SchemeKind::Asap)
+            .with_threads(2)
+            .with_ops(20);
+        let specs = vec![spec, spec, spec];
+        let dir = std::env::temp_dir().join(format!("asap-grid-dedup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = run_grid_with(&specs, 1, &RunCacheConfig::off());
+        // Cold cached grid: one simulation, fan-out to all three slots.
+        let cold = run_grid_with(&specs, 1, &RunCacheConfig::disk_only(&dir, 8));
+        // Warm grid in a parallel pool: served from disk entirely.
+        let warm = run_grid_with(&specs, 2, &RunCacheConfig::disk_only(&dir, 8));
+        for grid in [&cold, &warm] {
+            assert_eq!(grid.len(), specs.len());
+            for (a, b) in grid.iter().zip(&fresh) {
+                assert!(results_identical(a, b), "cached grid must equal fresh");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -290,6 +290,9 @@ pub const KNOWN_ASAP_ENV: &[&str] = &[
     "ASAP_OPS",
     "ASAP_PERF_GATE",
     "ASAP_REPORT_OUT",
+    "ASAP_RUNCACHE",
+    "ASAP_RUNCACHE_CAP",
+    "ASAP_RUNCACHE_DIR",
     "ASAP_TELEMETRY",
     "ASAP_TELEMETRY_OUT",
     "ASAP_TELEMETRY_PERIOD",

@@ -43,7 +43,12 @@ pub enum Value {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (stored as `f64`; exact for integers < 2^53).
+    /// An integer literal (no `.`/`e`) that fits in `i128`. Kept exact —
+    /// `u64` counters and cycle counts round-trip losslessly, which the
+    /// run-result cache (`asap_bench::runcache`) depends on. Integer
+    /// literals too large for `i128` fall back to [`Value::Num`].
+    Int(i128),
+    /// Any other JSON number (stored as `f64`; exact for integers < 2^53).
     Num(f64),
     /// A string (escapes already decoded).
     Str(String),
@@ -54,10 +59,29 @@ pub enum Value {
 }
 
 impl Value {
-    /// The value as a float, if it is a number.
+    /// The value as a float, if it is a number (integers are cast).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an integer in range. Floats are
+    /// *not* coerced: a lossless integer round-trip either stays on the
+    /// [`Value::Int`] path or fails loudly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
             _ => None,
         }
     }
@@ -102,6 +126,7 @@ impl Value {
         match self {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
             Value::Num(n) => out.push_str(&num(*n)),
             Value::Str(s) => {
                 out.push('"');
@@ -356,14 +381,20 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
+        let mut integral = true;
+        while let Some(b @ (b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) = self.peek() {
+            integral &= b.is_ascii_digit();
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
+        // Integer literals stay exact ([`Value::Int`]); anything with a
+        // fraction/exponent — or beyond i128 — takes the float path.
+        if integral {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Value::Int(i));
+            }
+        }
         let n: f64 = text.parse().map_err(|_| ParseError {
             pos: start,
             msg: "invalid number",
@@ -397,6 +428,35 @@ mod tests {
         assert_eq!(parse("false").unwrap(), Value::Bool(false));
         assert_eq!(parse("-12.5e2").unwrap(), Value::Num(-1250.0));
         assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parse_keeps_integers_exact() {
+        // u64::MAX is far beyond f64's 2^53 integer range; the Int path
+        // keeps it exact (the run cache round-trips cycle counters
+        // through this).
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            Value::Int(u64::MAX as i128)
+        );
+        assert_eq!(
+            parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("-7").unwrap().as_i64(), Some(-7));
+        assert_eq!(parse("-7").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("5").unwrap().as_f64(), Some(5.0));
+        // Integer emission round-trips byte-identically.
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v.to_json(), "18446744073709551615");
+        // Beyond i128 falls back to the float path instead of failing.
+        let big = "9".repeat(60);
+        assert!(matches!(parse(&big).unwrap(), Value::Num(_)));
+        // Fractions and exponents always take the float path.
+        assert!(matches!(parse("1e3").unwrap(), Value::Num(_)));
+        assert!(matches!(parse("2.0").unwrap(), Value::Num(_)));
     }
 
     #[test]

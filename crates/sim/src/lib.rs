@@ -35,6 +35,7 @@
 pub mod clock;
 pub mod config;
 pub mod events;
+pub mod fingerprint;
 pub mod json;
 pub mod lock;
 pub mod sched;
@@ -47,6 +48,7 @@ pub use config::{
     warn_unknown_asap_env, AsapConfig, CacheConfig, MemConfig, SystemConfig, KNOWN_ASAP_ENV,
 };
 pub use events::EventQueue;
+pub use fingerprint::{Canon, Fingerprint};
 pub use lock::VirtualLock;
 pub use sched::ThreadClocks;
 pub use stats::{Histogram, Stats, Summary};

@@ -211,6 +211,67 @@ impl Histogram {
         }
     }
 
+    /// Renders the histogram as a lossless JSON object: the exact summary
+    /// plus the raw bucket counts, so [`Histogram::from_exact_json`]
+    /// reconstructs a bit-identical histogram. The 128-bit sums are
+    /// emitted as decimal *strings* — they can exceed what any JSON
+    /// number representation keeps exact.
+    ///
+    /// This is the persistence format of the run-result cache; the
+    /// derived-quantile report for humans is [`Histogram::to_json`].
+    pub fn to_exact_json(&self) -> String {
+        let s = &self.summary;
+        let mut counts = String::from("[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                counts.push(',');
+            }
+            counts.push_str(&c.to_string());
+        }
+        counts.push(']');
+        format!(
+            "{{\"count\":{},\"sum\":\"{}\",\"sum_sq\":\"{}\",\"min\":{},\"max\":{},\
+             \"buckets\":{counts}}}",
+            s.count, s.sum, s.sum_sq, s.min, s.max,
+        )
+    }
+
+    /// Reconstructs a histogram from [`Histogram::to_exact_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed field.
+    pub fn from_exact_json(v: &json::Value) -> Result<Histogram, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("histogram: missing {k}"));
+        let int = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("histogram: {k} not a u64"))
+        };
+        let big = |k: &str| -> Result<u128, String> {
+            field(k)?
+                .as_str()
+                .and_then(|s| s.parse::<u128>().ok())
+                .ok_or_else(|| format!("histogram: {k} not a u128 string"))
+        };
+        let counts = field("buckets")?
+            .as_array()
+            .ok_or("histogram: buckets not an array")?
+            .iter()
+            .map(|c| c.as_u64().ok_or("histogram: bucket count not a u64"))
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(Histogram {
+            summary: Summary {
+                count: int("count")?,
+                sum: big("sum")?,
+                sum_sq: big("sum_sq")?,
+                min: int("min")?,
+                max: int("max")?,
+            },
+            counts,
+        })
+    }
+
     /// Renders the histogram as a JSON object.
     pub fn to_json(&self) -> String {
         let s = &self.summary;
@@ -249,7 +310,7 @@ impl Histogram {
 /// assert_eq!(s.summary("region.cycles").unwrap().mean(), 120.0);
 /// assert_eq!(s.histogram("region.cycles").unwrap().p50(), 120);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
     counters: BTreeMap<String, u64>,
     summaries: BTreeMap<String, Histogram>,
@@ -343,6 +404,59 @@ impl Stats {
         for (k, h) in &other.summaries {
             self.summaries.entry(k.clone()).or_default().merge_from(h);
         }
+    }
+
+    /// Renders the whole registry losslessly (counters verbatim, each
+    /// distribution via [`Histogram::to_exact_json`]), compact and
+    /// canonical: [`Stats::from_exact_json`] reconstructs an identical
+    /// registry, and identical registries serialize byte-identically.
+    pub fn to_exact_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json::escape(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.summaries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json::escape(k), h.to_exact_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Reconstructs a registry from [`Stats::to_exact_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed field.
+    pub fn from_exact_json(v: &json::Value) -> Result<Stats, String> {
+        let counters = v
+            .get("counters")
+            .and_then(json::Value::as_object)
+            .ok_or("stats: missing counters object")?
+            .iter()
+            .map(|(k, c)| {
+                c.as_u64()
+                    .map(|c| (k.clone(), c))
+                    .ok_or_else(|| format!("stats: counter {k} not a u64"))
+            })
+            .collect::<Result<BTreeMap<String, u64>, _>>()?;
+        let summaries = v
+            .get("histograms")
+            .and_then(json::Value::as_object)
+            .ok_or("stats: missing histograms object")?
+            .iter()
+            .map(|(k, h)| Histogram::from_exact_json(h).map(|h| (k.clone(), h)))
+            .collect::<Result<BTreeMap<String, Histogram>, _>>()?;
+        Ok(Stats {
+            counters,
+            summaries,
+        })
     }
 
     /// Renders the whole registry as a JSON object:
@@ -666,6 +780,47 @@ mod tests {
         // Median of the merged distribution lies in b's range (300 of 499
         // samples are from b), p50 rank = ceil(0.5*499) = 250 → b's bucket.
         assert!(p50 >= 200, "median should come from the merged-in data");
+    }
+
+    #[test]
+    fn exact_json_round_trips_bit_identically() {
+        let mut s = Stats::new();
+        s.add("pm.write.total", u64::MAX);
+        s.add("plain", 3);
+        s.sample("region.cycles", 0);
+        s.sample("region.cycles", u64::MAX);
+        s.sample("region.cycles", u64::MAX); // sum_sq saturates u128
+        s.sample("weird \"name\"\n", 42);
+        let text = s.to_exact_json();
+        let back = Stats::from_exact_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, s);
+        // Canonical: re-serialization is byte-identical.
+        assert_eq!(back.to_exact_json(), text);
+        // The derived report of the reconstruction matches too.
+        assert_eq!(back.to_json(), s.to_json());
+        // Empty registry round-trips.
+        let empty = Stats::new();
+        let t = empty.to_exact_json();
+        assert_eq!(
+            Stats::from_exact_json(&json::parse(&t).unwrap()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn exact_json_rejects_malformed() {
+        let bad = [
+            "{}",
+            "{\"counters\":{},\"histograms\":{\"h\":{}}}",
+            "{\"counters\":{\"c\":-1},\"histograms\":{}}",
+            "{\"counters\":{\"c\":1.5},\"histograms\":{}}",
+            "{\"counters\":{},\"histograms\":{\"h\":{\"count\":1,\"sum\":1,\
+             \"sum_sq\":\"1\",\"min\":1,\"max\":1,\"buckets\":[1]}}}",
+        ];
+        for text in bad {
+            let v = json::parse(text).expect("parses as JSON");
+            assert!(Stats::from_exact_json(&v).is_err(), "accepted: {text}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod driver;
 pub mod pmops;
+pub mod resultjson;
 pub mod spec;
 pub mod structures;
 

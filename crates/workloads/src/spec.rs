@@ -3,6 +3,9 @@
 use std::fmt;
 
 use asap_core::scheme::SchemeKind;
+use asap_sim::fingerprint::{
+    canon_system_config, canon_telemetry_settings, canon_trace_settings, Canon, Fingerprint,
+};
 use asap_sim::{SystemConfig, TelemetrySettings, TraceSettings};
 
 /// The nine benchmarks of Table 3.
@@ -212,6 +215,61 @@ impl WorkloadSpec {
         self.telemetry = telemetry;
         self
     }
+
+    /// The spec's content fingerprint: a stable 128-bit hash of a
+    /// canonical serialization of *every* field — benchmark, scheme
+    /// (including ablation opt subsets), the full system configuration,
+    /// scale parameters, seed, crash arming, and the trace/telemetry
+    /// settings (those change the exported artifacts, so a cached result
+    /// must be keyed on them too).
+    ///
+    /// Because a run is a pure function of its spec and the binary, this
+    /// fingerprint plus [`asap_sim::fingerprint::build_fingerprint`] is a
+    /// complete cache key for a [`RunResult`](crate::RunResult): equal
+    /// fingerprints (same binary) imply bit-identical results. The
+    /// fingerprint suite in `tests/prop_resultjson.rs` holds the
+    /// "every field" claim by mutating each one and asserting the hash
+    /// moves.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut c = Canon::new();
+        // Format tag: a cheap guard against ever feeding a differently
+        // shaped encoding to the same hash.
+        c.str("asap-cell-v1");
+        c.str(self.bench.label());
+        canon_scheme(&mut c, self.scheme);
+        canon_system_config(&mut c, &self.system);
+        c.u32(self.threads)
+            .u64(self.ops_per_thread)
+            .u64(self.value_bytes)
+            .u64(self.keyspace)
+            .u64(self.setup_keys)
+            .u64(self.seed)
+            .bool(self.track)
+            .opt_u64(self.crash_after);
+        canon_trace_settings(&mut c, &self.trace);
+        canon_telemetry_settings(&mut c, &self.telemetry);
+        c.fingerprint()
+    }
+}
+
+/// Canonically encodes a scheme, including the ablation opt subset.
+/// `Asap` and `AsapWith(AsapOpts::all())` encode differently — they
+/// simulate identically today, but conflating distinct spec values in a
+/// cache key is never worth the risk.
+fn canon_scheme(c: &mut Canon, scheme: SchemeKind) {
+    match scheme {
+        SchemeKind::NoPersist => c.u32(0),
+        SchemeKind::SwUndo => c.u32(1),
+        SchemeKind::SwDpoOnly => c.u32(2),
+        SchemeKind::HwUndo => c.u32(3),
+        SchemeKind::HwRedo => c.u32(4),
+        SchemeKind::Asap => c.u32(5),
+        SchemeKind::AsapWith(opts) => c
+            .u32(6)
+            .bool(opts.dpo_coalescing)
+            .bool(opts.lpo_dropping)
+            .bool(opts.dpo_dropping),
+    };
 }
 
 #[cfg(test)]
@@ -232,6 +290,48 @@ mod tests {
     fn display_uses_labels() {
         assert_eq!(BenchId::Q.to_string(), "Q");
         assert_eq!(BenchId::Ss.to_string(), "SS");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_field_sensitive() {
+        use asap_core::scheme::AsapOpts;
+        let base = WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap);
+        assert_eq!(base.fingerprint(), base.fingerprint());
+        let variants = [
+            WorkloadSpec::new(BenchId::Q, SchemeKind::Asap),
+            WorkloadSpec::new(BenchId::Hm, SchemeKind::SwUndo),
+            WorkloadSpec::new(BenchId::Hm, SchemeKind::AsapWith(AsapOpts::all())),
+            base.with_threads(5),
+            base.with_ops(201),
+            base.with_value_bytes(2048),
+            base.with_seed(1),
+            base.with_tracking(),
+            base.with_crash_after(0),
+            base.with_system(SystemConfig::small()),
+            base.with_trace(TraceSettings::enabled()),
+            base.with_telemetry(TelemetrySettings::enabled()),
+        ];
+        for v in &variants {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_asap_opt_subsets() {
+        use asap_core::scheme::AsapOpts;
+        let spec = |o| WorkloadSpec::new(BenchId::Q, SchemeKind::AsapWith(o)).fingerprint();
+        let fps = [
+            spec(AsapOpts::none()),
+            spec(AsapOpts::coalescing_only()),
+            spec(AsapOpts::coalescing_and_lpo()),
+            spec(AsapOpts::all()),
+            WorkloadSpec::new(BenchId::Q, SchemeKind::Asap).fingerprint(),
+        ];
+        for (i, a) in fps.iter().enumerate() {
+            for b in &fps[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Demonstrates the two-tier run cache: the same grid is executed three
+//! times — cold, warm-from-memory, and (after simulating a new process)
+//! warm-from-disk — and the wall clock plus cache counters are printed
+//! for each pass. Results are asserted bit-identical across all passes.
+//!
+//! ```sh
+//! cargo run --release --example runcache_demo
+//! ```
+//!
+//! The figure benches get the same behavior from the environment instead:
+//! `ASAP_RUNCACHE=disk cargo bench --bench fig7_speedup` twice makes the
+//! second invocation a pure cache read (see EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use asap_bench::run_grid_with;
+use asap_bench::runcache::{counters, summary_line, RunCacheConfig};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::resultjson::results_identical;
+use asap_workloads::{BenchId, WorkloadSpec};
+
+fn main() {
+    let specs: Vec<WorkloadSpec> = BenchId::all()
+        .into_iter()
+        .flat_map(|b| {
+            [SchemeKind::NoPersist, SchemeKind::Asap, SchemeKind::HwUndo]
+                .into_iter()
+                .map(move |s| WorkloadSpec::new(b, s).with_threads(2).with_ops(60))
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("asap-runcache-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Memory + disk, as `ASAP_RUNCACHE=disk` would configure.
+    let cfg = RunCacheConfig {
+        mem: true,
+        disk: Some(dir.clone()),
+        cap: 256,
+    };
+
+    println!("--- run cache demo: {} cells ---\n", specs.len());
+    let t0 = Instant::now();
+    let cold = run_grid_with(&specs, 1, &cfg);
+    let cold_s = t0.elapsed().as_secs_f64();
+    println!(
+        "cold pass   {cold_s:>8.3}s   ({})",
+        summary_line(&counters())
+    );
+
+    let t0 = Instant::now();
+    let warm_mem = run_grid_with(&specs, 1, &cfg);
+    let mem_s = t0.elapsed().as_secs_f64();
+    println!(
+        "mem pass    {mem_s:>8.3}s   ({})",
+        summary_line(&counters())
+    );
+
+    // A fresh process would start with an empty memory tier and hit the
+    // disk store; a disk-only config simulates that here.
+    let t0 = Instant::now();
+    let warm_disk = run_grid_with(&specs, 1, &RunCacheConfig::disk_only(&dir, 256));
+    let disk_s = t0.elapsed().as_secs_f64();
+    println!(
+        "disk pass   {disk_s:>8.3}s   ({})",
+        summary_line(&counters())
+    );
+
+    for warm in [&warm_mem, &warm_disk] {
+        assert!(
+            cold.iter()
+                .zip(warm.iter())
+                .all(|(a, b)| results_identical(a, b)),
+            "cached results must be bit-identical to fresh ones"
+        );
+    }
+    println!(
+        "\nall {} results bit-identical; mem {:.0}x, disk {:.0}x faster than cold",
+        specs.len(),
+        cold_s / mem_s.max(1e-9),
+        cold_s / disk_s.max(1e-9),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

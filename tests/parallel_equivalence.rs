@@ -4,9 +4,16 @@
 //! is single-threaded and deterministic, so any divergence here means the
 //! harness corrupted ordering or shared state.
 //!
+//! The run cache must be held to the same standard: a result served from
+//! the in-process or on-disk memo tier has to be indistinguishable —
+//! artifact by artifact — from re-simulating the cell. The pool tests pin
+//! the cache *off* so they keep comparing real runs; the cache tests pin a
+//! hermetic disk store and compare against a fresh reference.
+//!
 //! `ci.sh` runs this suite under both `ASAP_JOBS=1` and `ASAP_JOBS=4`.
 
-use asap_bench::{run_grid, run_grid_jobs};
+use asap_bench::runcache::RunCacheConfig;
+use asap_bench::{run_grid, run_grid_jobs, run_grid_with};
 use asap_core::scheme::SchemeKind;
 use asap_sim::TelemetrySettings;
 use asap_workloads::{BenchId, RunResult, WorkloadSpec};
@@ -98,6 +105,8 @@ fn assert_identical(a: &RunResult, b: &RunResult) {
         b.stalls.commit_wait.to_bits()
     );
     assert_eq!(a.stats.to_json(), b.stats.to_json());
+    assert_eq!(a.chrome_trace, b.chrome_trace);
+    assert_eq!(a.trace_dump, b.trace_dump);
     assert_eq!(a.timeseries, b.timeseries);
     assert_eq!(a.lifecycle, b.lifecycle);
     assert_eq!(a.lifecycle_dot, b.lifecycle_dot);
@@ -109,17 +118,49 @@ fn assert_identical(a: &RunResult, b: &RunResult) {
 #[test]
 fn serial_and_parallel_grids_are_identical() {
     let specs = grid();
-    let serial = run_grid_jobs(&specs, 1);
-    let parallel = run_grid_jobs(&specs, 4);
+    // Cache off: this test is about the worker pool, and a memoized
+    // second grid would compare a result with itself.
+    let serial = run_grid_with(&specs, 1, &RunCacheConfig::off());
+    let parallel = run_grid_with(&specs, 4, &RunCacheConfig::off());
     assert_eq!(serial.len(), parallel.len());
     for (a, b) in serial.iter().zip(&parallel) {
         assert_identical(a, b);
     }
 }
 
+/// A cell served from the run cache must be indistinguishable from a
+/// fresh simulation — every scalar, the stats registry, and all exported
+/// artifacts (telemetry series, lifecycle log/DOT, traces) byte for
+/// byte, whether the hit comes from a cold-started disk store or a warm
+/// one, serially or through the worker pool.
+#[test]
+fn cached_grid_is_identical_to_fresh_runs() {
+    let specs = grid();
+    let dir = std::env::temp_dir().join(format!("asap-runcache-equiv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fresh = run_grid_with(&specs, 1, &RunCacheConfig::off());
+    // Hermetic disk-only store: no process-global tier involved, so the
+    // second and third grids below are served by real file round-trips.
+    let store = RunCacheConfig::disk_only(&dir, 64);
+    let cold = run_grid_with(&specs, 1, &store);
+    let warm_serial = run_grid_with(&specs, 1, &store);
+    let warm_parallel = run_grid_with(&specs, 4, &store);
+    for cached in [&cold, &warm_serial, &warm_parallel] {
+        assert_eq!(cached.len(), fresh.len());
+        for (a, b) in cached.iter().zip(&fresh) {
+            assert_identical(a, b);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `run_grid` (the env-driven entry the benches use) must agree with the
-/// serial reference no matter what `ASAP_JOBS` the environment sets —
-/// this is the variant ci.sh exercises at `ASAP_JOBS=1` and `ASAP_JOBS=4`.
+/// serial reference no matter what `ASAP_JOBS` or `ASAP_RUNCACHE` the
+/// environment sets — this is the variant ci.sh exercises at
+/// `ASAP_JOBS=1` and `ASAP_JOBS=4` (and, under the default `mem` cache
+/// mode, it doubles as an in-process-tier equivalence check: the serial
+/// reference populates the tier and the env-driven grid is served from
+/// it).
 #[test]
 fn env_driven_grid_matches_serial_reference() {
     let specs = grid();
@@ -135,7 +176,7 @@ fn env_driven_grid_matches_serial_reference() {
 fn results_preserve_spec_order() {
     let specs = grid();
     for jobs in [2, 4, 8] {
-        let results = run_grid_jobs(&specs, jobs);
+        let results = run_grid_with(&specs, jobs, &RunCacheConfig::off());
         assert_eq!(results.len(), specs.len());
         for (spec, res) in specs.iter().zip(&results) {
             assert_eq!(res.spec.bench, spec.bench, "order broken at {jobs} jobs");
@@ -159,7 +200,7 @@ fn more_jobs_than_specs() {
             .with_threads(1)
             .with_ops(10),
     ];
-    let results = run_grid_jobs(&specs, 16);
+    let results = run_grid_with(&specs, 16, &RunCacheConfig::off());
     assert_eq!(results.len(), 2);
     assert!(results.iter().all(|r| r.tx > 0));
 }
