@@ -44,6 +44,24 @@ grep -q ", 0 misses" target/runcache_pass2.err \
 rm -rf "$RC_DIR"
 echo "    cached rerun byte-identical, all cells hit"
 
+echo "==> observability smoke (NDJSON stream valid, stdout untouched)"
+EV_FILE=$(mktemp -u)
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= \
+  ASAP_EVENTS="$EV_FILE" ASAP_PROGRESS=off \
+  cargo bench -p asap-bench --bench fig7_speedup >target/obs_on.out 2>/dev/null
+cargo run --release -q --example events_check -- "$EV_FILE" \
+  || { echo "OBS FAILURE: event stream invalid" >&2; exit 1; }
+cmp target/obs_on.out target/runcache_pass1.out \
+  || { echo "OBS FAILURE: stdout changed with ASAP_EVENTS on (jobs=1)" >&2; exit 1; }
+rm -f "$EV_FILE"
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=4 ASAP_WALLCLOCK= \
+  ASAP_EVENTS="$EV_FILE" ASAP_PROGRESS=off \
+  cargo bench -p asap-bench --bench fig7_speedup >target/obs_on_j4.out 2>/dev/null
+cmp target/obs_on_j4.out target/runcache_pass1.out \
+  || { echo "OBS FAILURE: stdout changed with ASAP_EVENTS on (jobs=4)" >&2; exit 1; }
+rm -f "$EV_FILE"
+echo "    event stream parseable and balanced; bench stdout byte-identical"
+
 # Opt-in perf gate: warn (exit 0) when the smoke run exceeds the threshold.
 if [ -n "${ASAP_PERF_GATE:-}" ]; then
   LAST=$(python3 - <<'EOF'

@@ -37,17 +37,21 @@
 
 #![warn(missing_docs)]
 
+mod progress;
 pub mod runcache;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use asap_core::machine::RunOutcome;
 use asap_core::scheme::SchemeKind;
-use asap_sim::{TelemetrySettings, TraceSettings};
+use asap_sim::obs::{self, events, metrics, phase};
+use asap_sim::{Fingerprint, TelemetrySettings, TraceSettings};
 use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
 
+use progress::Progress;
 use runcache::RunCacheConfig;
 
 /// Transactions per thread, from `ASAP_OPS` (default 200).
@@ -112,43 +116,118 @@ pub fn run_grid_jobs(specs: &[WorkloadSpec], jobs: usize) -> Vec<RunResult> {
 /// cells within one grid collapse to a single simulation too — and only
 /// the missing cells go to the worker pool; results come back in spec
 /// order regardless, so stdout is byte-identical whatever hits.
+///
+/// Observability (all off the figure's stdout): when `ASAP_EVENTS` is
+/// set, the grid emits `grid_start`, one `cell_start`/`cell_end` pair
+/// per cell (ordered by completion, keyed by fingerprint), and
+/// `grid_end` records; `ASAP_PROGRESS=1` draws a live status line on
+/// stderr; host time is attributed to the [`phase`] profiler either way.
 pub fn run_grid_with(
     specs: &[WorkloadSpec],
     jobs: usize,
     cache: &RunCacheConfig,
 ) -> Vec<RunResult> {
     asap_sim::warn_unknown_asap_env();
-    if !cache.enabled() {
-        return pool_run(specs, jobs);
+    let events_on = events::enabled();
+    let progress = Progress::from_env(specs.len());
+    let t0 = Instant::now();
+    if events_on {
+        events::Event::new("grid_start")
+            .field_str("schema", events::SCHEMA)
+            .field_u64("cells", specs.len() as u64)
+            .field_u64("jobs", jobs as u64)
+            .field_str("cache", if cache.enabled() { "on" } else { "off" })
+            .emit();
     }
-    let fps: Vec<_> = specs.iter().map(WorkloadSpec::fingerprint).collect();
+    // Fingerprints key both memoization and the event stream; with
+    // neither consumer active, skip hashing entirely.
+    let fps: Option<Vec<Fingerprint>> = (cache.enabled() || events_on).then(|| {
+        let _t = phase::scope(phase::Phase::Fingerprint);
+        specs.iter().map(WorkloadSpec::fingerprint).collect()
+    });
+    let results = if cache.enabled() {
+        grid_with_cache(
+            specs,
+            jobs,
+            cache,
+            fps.as_deref().expect("cache implies fps"),
+            &progress,
+        )
+    } else {
+        pool_run(specs, jobs, fps.as_deref(), &progress)
+    };
+    progress.finish();
+    if events_on {
+        let c = runcache::counters();
+        events::Event::new("grid_end")
+            .field_u64("cells", specs.len() as u64)
+            .field_u64("host_us", t0.elapsed().as_micros() as u64)
+            .field_u64("cache_hits", c.hits())
+            .field_u64("cache_misses", c.misses)
+            .emit();
+    }
+    if cache.enabled() {
+        // Cumulative for the process (stderr, like the wall-clock note —
+        // the figure's stdout must not depend on cache state).
+        obs::note!("{}", runcache::summary_line(&runcache::counters()));
+    }
+    results
+}
+
+/// The cached path of [`run_grid_with`]: probe the tiers, simulate the
+/// misses, fan duplicates out from their first occurrence.
+fn grid_with_cache(
+    specs: &[WorkloadSpec],
+    jobs: usize,
+    cache: &RunCacheConfig,
+    fps: &[Fingerprint],
+    progress: &Progress,
+) -> Vec<RunResult> {
     let mut results: Vec<Option<RunResult>> = vec![None; specs.len()];
     // First index of each distinct fingerprint; later duplicates are
     // filled by fan-out below instead of consulting the tiers (or the
     // pool) again.
-    let mut first: HashMap<asap_sim::Fingerprint, usize> = HashMap::new();
+    let mut first: HashMap<Fingerprint, usize> = HashMap::new();
     let mut to_run: Vec<usize> = Vec::new();
-    for (i, fp) in fps.iter().enumerate() {
-        if first.contains_key(fp) {
-            continue;
-        }
-        first.insert(*fp, i);
-        match runcache::lookup(fp, cache) {
-            Some(mut r) => {
-                // Fingerprint equality makes the cached spec equal to the
-                // requested one; overwrite anyway so a cache can never
-                // alter what a figure prints about its own inputs.
-                r.spec = specs[i];
-                results[i] = Some(r);
+    {
+        let _t = phase::scope(phase::Phase::CacheProbe);
+        for (i, fp) in fps.iter().enumerate() {
+            if first.contains_key(fp) {
+                continue;
             }
-            None => {
-                runcache::note_miss();
-                to_run.push(i);
+            first.insert(*fp, i);
+            let probe_t0 = Instant::now();
+            match runcache::lookup(fp, cache) {
+                Some((mut r, tier)) => {
+                    // Fingerprint equality makes the cached spec equal to
+                    // the requested one; overwrite anyway so a cache can
+                    // never alter what a figure prints about its own
+                    // inputs.
+                    r.spec = specs[i];
+                    emit_cell_start(&specs[i], fp);
+                    emit_cell_end(
+                        &specs[i],
+                        fp,
+                        tier.label(),
+                        &r,
+                        probe_t0.elapsed().as_micros() as u64,
+                    );
+                    results[i] = Some(r);
+                    progress.tick(true);
+                }
+                None => {
+                    runcache::note_miss();
+                    to_run.push(i);
+                }
             }
         }
     }
     let missing: Vec<WorkloadSpec> = to_run.iter().map(|&i| specs[i]).collect();
-    for (&i, r) in to_run.iter().zip(pool_run(&missing, jobs)) {
+    let missing_fps: Vec<Fingerprint> = to_run.iter().map(|&i| fps[i]).collect();
+    for (&i, r) in to_run
+        .iter()
+        .zip(pool_run(&missing, jobs, Some(&missing_fps), progress))
+    {
         runcache::insert(&fps[i], &r, cache);
         results[i] = Some(r);
     }
@@ -156,12 +235,13 @@ pub fn run_grid_with(
         if results[i].is_none() {
             let mut r = results[first[&fps[i]]].clone().expect("representative ran");
             r.spec = specs[i];
+            runcache::note_dedup_fanout();
+            emit_cell_start(&specs[i], &fps[i]);
+            emit_cell_end(&specs[i], &fps[i], "dedup", &r, 0);
+            progress.tick(true);
             results[i] = Some(r);
         }
     }
-    // Cumulative for the process (stderr, like the wall-clock note — the
-    // figure's stdout must not depend on cache state).
-    eprintln!("{}", runcache::summary_line(&runcache::counters()));
     results
         .into_iter()
         .map(|r| r.expect("every cell filled"))
@@ -169,21 +249,35 @@ pub fn run_grid_with(
 }
 
 /// The raw worker pool: simulates every spec, no memoization.
-fn pool_run(specs: &[WorkloadSpec], jobs: usize) -> Vec<RunResult> {
+/// `fps` is present whenever the event stream is on (the grid runner
+/// computes fingerprints for either consumer), so cell records can be
+/// keyed by content.
+fn pool_run(
+    specs: &[WorkloadSpec],
+    jobs: usize,
+    fps: Option<&[Fingerprint]>,
+    progress: &Progress,
+) -> Vec<RunResult> {
     if jobs <= 1 || specs.len() <= 1 {
-        return specs.iter().map(run).collect();
+        return (0..specs.len())
+            .map(|i| run_cell(i, specs, fps, progress, 0))
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunResult>>> = specs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(specs.len()) {
-            scope.spawn(|| loop {
+        let next = &next;
+        let slots = &slots;
+        for w in 0..jobs.min(specs.len()) {
+            scope.spawn(move || loop {
                 // Self-scheduling work queue: cells vary widely in cost
                 // (2KB payloads are ~10x 64B cells), so static chunking
                 // would leave workers idle.
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(spec) = specs.get(i) else { break };
-                *slots[i].lock().unwrap() = Some(run(spec));
+                if i >= specs.len() {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(run_cell(i, specs, fps, progress, w));
             });
         }
     });
@@ -191,6 +285,70 @@ fn pool_run(specs: &[WorkloadSpec], jobs: usize) -> Vec<RunResult> {
         .into_iter()
         .map(|s| s.into_inner().unwrap().expect("every cell ran"))
         .collect()
+}
+
+/// Simulates one cell on worker `w`, bracketing it with cell events and
+/// accounting host time to the Simulate phase and the worker's registry
+/// counters.
+fn run_cell(
+    i: usize,
+    specs: &[WorkloadSpec],
+    fps: Option<&[Fingerprint]>,
+    progress: &Progress,
+    w: usize,
+) -> RunResult {
+    let spec = &specs[i];
+    let fp = fps.map(|f| &f[i]);
+    if let Some(fp) = fp {
+        emit_cell_start(spec, fp);
+    }
+    let t0 = Instant::now();
+    let r = {
+        let _t = phase::scope(phase::Phase::Simulate);
+        run(spec)
+    };
+    let host_us = t0.elapsed().as_micros() as u64;
+    if let Some(fp) = fp {
+        emit_cell_end(spec, fp, "miss", &r, host_us);
+    }
+    metrics::counter(&format!("pool.worker{w}.cells")).inc();
+    metrics::counter(&format!("pool.worker{w}.busy_us")).add(host_us);
+    progress.tick(false);
+    r
+}
+
+/// Starts a cell record carrying the cell's identity fields.
+fn cell_record(ev: &str, spec: &WorkloadSpec, fp: &Fingerprint) -> events::Event {
+    events::Event::new(ev)
+        .field_str("fp", &fp.hex())
+        .field_str("bench", spec.bench.label())
+        .field_str("scheme", spec.scheme.name())
+}
+
+/// Emits `cell_start` (no-op with the stream off).
+fn emit_cell_start(spec: &WorkloadSpec, fp: &Fingerprint) {
+    if events::enabled() {
+        cell_record("cell_start", spec, fp).emit();
+    }
+}
+
+/// Emits `cell_end`. `cache` says how the cell was served: `"miss"`
+/// (simulated), `"mem"`/`"disk"` (tier hit), or `"dedup"` (intra-grid
+/// fan-out copy).
+fn emit_cell_end(spec: &WorkloadSpec, fp: &Fingerprint, cache: &str, r: &RunResult, host_us: u64) {
+    if !events::enabled() {
+        return;
+    }
+    let outcome = match r.outcome {
+        RunOutcome::Completed => "completed",
+        RunOutcome::Crashed => "crashed",
+    };
+    cell_record("cell_end", spec, fp)
+        .field_str("outcome", outcome)
+        .field_str("cache", cache)
+        .field_u64("host_us", host_us)
+        .field_u64("sim_cycles", r.exec_cycles)
+        .emit();
 }
 
 /// Sums a counter across results (used by the wall-clock report).
@@ -202,12 +360,14 @@ fn total(results: &[&[RunResult]], f: impl Fn(&RunResult) -> u64) -> u64 {
 /// (`BENCH_WALLCLOCK.json`, override with `ASAP_WALLCLOCK`; set it empty to
 /// disable). The file is a JSON array of records:
 /// `{figure, host_seconds, jobs, cells, cache, sim_cycles, pm_writes,
-/// unix_time}` — host seconds move with harness work; simulated cycles and
-/// traffic must not, which is what makes the trajectory useful to future
-/// perf PRs. `cache` is `"warm"` when any run-cache hit served part of this
-/// process (so its host seconds measure the memoized path, not the
-/// simulator) and `"cold"` otherwise; perf comparisons like the
-/// `ASAP_PERF_GATE` check in `ci.sh` must skip warm records.
+/// phases, unix_time}` — host seconds move with harness work; simulated
+/// cycles and traffic must not, which is what makes the trajectory useful
+/// to future perf PRs. `cache` is `"warm"` when any run-cache hit served
+/// part of this process (so its host seconds measure the memoized path,
+/// not the simulator) and `"cold"` otherwise; perf comparisons like the
+/// `ASAP_PERF_GATE` check in `ci.sh` must skip warm records. `phases` is
+/// the process-cumulative host-phase profile at write time
+/// ([`phase::snapshot_json`]) — where the host seconds actually went.
 ///
 /// The note confirming the write goes to *stderr*: stdout stays
 /// byte-identical across `ASAP_JOBS` settings and host speeds.
@@ -220,6 +380,23 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_WALLCLOCK.json")
         }
     };
+    if let Err(e) = emit_wallclock_to(&path, figure, elapsed, grids) {
+        obs::warn!("wallclock: could not write {}: {e}", path.display());
+    }
+    emit_telemetry(figure, grids);
+}
+
+/// The write behind [`emit_wallclock`], with an explicit path so tests
+/// can aim it at a temp (or unwritable) location. The stderr note and
+/// the `wallclock_written` event fire only after the atomic rename has
+/// returned `Ok` — a failed write must never claim the record landed.
+pub fn emit_wallclock_to(
+    path: &std::path::Path,
+    figure: &str,
+    elapsed: Duration,
+    grids: &[&[RunResult]],
+) -> std::io::Result<()> {
+    let _t = phase::scope(phase::Phase::Export);
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -230,7 +407,8 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
     };
     let record = format!(
         "{{\"figure\":\"{}\",\"host_seconds\":{:.3},\"jobs\":{},\"cells\":{},\
-         \"cache\":\"{}\",\"sim_cycles\":{},\"pm_writes\":{},\"unix_time\":{}}}",
+         \"cache\":\"{}\",\"sim_cycles\":{},\"pm_writes\":{},\"phases\":{},\
+         \"unix_time\":{}}}",
         figure,
         elapsed.as_secs_f64(),
         jobs(),
@@ -238,37 +416,43 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
         cache_tag,
         total(grids, |r| r.exec_cycles),
         total(grids, |r| r.pm_writes),
+        phase::snapshot_json(),
         unix_time,
     );
     // The file is a JSON array; append the record so repeated figure runs
     // accumulate a trajectory, keeping only the newest
     // [`MAX_WALLCLOCK_ENTRIES`] records per figure (prior records are kept
     // verbatim — only membership changes, never formatting).
-    let mut records: Vec<String> = std::fs::read_to_string(&path)
+    let mut records: Vec<String> = std::fs::read_to_string(path)
         .map(|prev| extract_json_objects(&prev))
         .unwrap_or_default();
     records.push(record);
     let dropped = cap_trajectory(&mut records, figure);
-    if dropped > 0 {
-        eprintln!(
-            "wallclock: {figure} trajectory capped at {MAX_WALLCLOCK_ENTRIES} \
-             entries ({dropped} oldest dropped)"
-        );
-    }
     let body = format!("[\n  {}\n]\n", records.join(",\n  "));
     // Write-temp-then-rename: figures may run concurrently (or be
     // interrupted), and a half-written trajectory file would poison every
     // later append. `rename` within one directory is atomic on POSIX.
-    match write_atomic(&path, &body) {
-        Ok(()) => eprintln!(
-            "wallclock: {figure} {:.3}s ({} jobs) -> {}",
-            elapsed.as_secs_f64(),
-            jobs(),
-            path.display()
-        ),
-        Err(e) => eprintln!("wallclock: could not write {}: {e}", path.display()),
+    write_atomic(path, &body)?;
+    if dropped > 0 {
+        obs::note!(
+            "wallclock: {figure} trajectory capped at {MAX_WALLCLOCK_ENTRIES} \
+             entries ({dropped} oldest dropped)"
+        );
     }
-    emit_telemetry(figure, grids);
+    obs::note!(
+        "wallclock: {figure} {:.3}s ({} jobs) -> {}",
+        elapsed.as_secs_f64(),
+        jobs(),
+        path.display()
+    );
+    if events::enabled() {
+        events::Event::new("wallclock_written")
+            .field_str("figure", figure)
+            .field_f64("host_seconds", elapsed.as_secs_f64())
+            .field_str("path", &path.display().to_string())
+            .emit();
+    }
+    Ok(())
 }
 
 /// Newest records kept per figure in the wall-clock trajectory file; the
@@ -276,10 +460,10 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
 const MAX_WALLCLOCK_ENTRIES: usize = 64;
 
 /// Extracts the top-level `{…}` objects of a JSON array as verbatim text
-/// slices (the trajectory records contain no nested braces or brace
-/// characters inside strings). A malformed file yields an empty list, so
-/// the caller starts a fresh trajectory rather than corrupting the file
-/// further.
+/// slices. Brace-depth counting copes with nested objects (the `phases`
+/// sub-object); the records never put brace characters inside strings. A
+/// malformed file yields an empty list, so the caller starts a fresh
+/// trajectory rather than corrupting the file further.
 fn extract_json_objects(s: &str) -> Vec<String> {
     let mut v = Vec::new();
     let mut depth = 0usize;
@@ -369,10 +553,11 @@ fn emit_telemetry(figure: &str, grids: &[&[RunResult]]) {
         Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/telemetry"),
     };
     let path = dir.join(format!("{figure}.json"));
+    let _t = phase::scope(phase::Phase::Export);
     let res = std::fs::create_dir_all(&dir).and_then(|()| write_atomic(&path, &merged));
     match res {
-        Ok(()) => eprintln!("telemetry: {figure} -> {}", path.display()),
-        Err(e) => eprintln!("telemetry: could not write {}: {e}", path.display()),
+        Ok(()) => obs::note!("telemetry: {figure} -> {}", path.display()),
+        Err(e) => obs::warn!("telemetry: could not write {}: {e}", path.display()),
     }
 }
 

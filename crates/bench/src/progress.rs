@@ -1,0 +1,79 @@
+//! Opt-in live progress line for grid runs (`ASAP_PROGRESS=1`).
+//!
+//! Off by default and never touches stdout: the status line is redrawn
+//! in place on stderr with `\r`, rate-limited to ~10 Hz, and terminated
+//! with a newline when the grid finishes so the run-cache summary and
+//! wall-clock notes that follow start on a clean line. With the knob
+//! unset the struct is inert — every call is a branch on a bool.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Shared by the probe loop and every pool worker; all state is atomic
+/// so ticks need no lock.
+pub(crate) struct Progress {
+    enabled: bool,
+    total: usize,
+    done: AtomicUsize,
+    hits: AtomicUsize,
+    start: Instant,
+    /// Milliseconds-since-start of the last redraw (`u64::MAX` = none
+    /// yet); doubles as the redraw mutex via compare-exchange.
+    last_ms: AtomicU64,
+}
+
+impl Progress {
+    /// Reads `ASAP_PROGRESS` (`1`/`on`/`true`/`yes` enable).
+    pub fn from_env(total: usize) -> Self {
+        let v = std::env::var("ASAP_PROGRESS").unwrap_or_default();
+        let enabled = matches!(v.trim(), "1" | "on" | "true" | "yes") && total > 0;
+        Progress {
+            enabled,
+            total,
+            done: AtomicUsize::new(0),
+            hits: AtomicUsize::new(0),
+            start: Instant::now(),
+            last_ms: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Marks one cell finished (`served_warm`: without simulating — a
+    /// cache hit or an intra-grid dedup copy) and maybe redraws.
+    pub fn tick(&self, served_warm: bool) {
+        if !self.enabled {
+            return;
+        }
+        if served_warm {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let now_ms = self.start.elapsed().as_millis() as u64;
+        let last = self.last_ms.load(Ordering::Relaxed);
+        if done < self.total && last != u64::MAX && now_ms < last.saturating_add(100) {
+            return;
+        }
+        // One worker wins the redraw; losers just move on.
+        if self
+            .last_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let secs = (now_ms as f64 / 1000.0).max(1e-3);
+        let rate = done as f64 / secs;
+        let eta = (self.total - done) as f64 / rate.max(1e-9);
+        let hit_pct = 100.0 * self.hits.load(Ordering::Relaxed) as f64 / done as f64;
+        eprint!(
+            "\r[grid] {done}/{} cells  {rate:.1} cells/s  ETA {eta:.0}s  cache {hit_pct:.0}% hit ",
+            self.total
+        );
+    }
+
+    /// Terminates the status line so later stderr notes start clean.
+    pub fn finish(&self) {
+        if self.enabled && self.done.load(Ordering::Relaxed) > 0 {
+            eprintln!();
+        }
+    }
+}

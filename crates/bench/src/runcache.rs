@@ -38,10 +38,11 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use asap_sim::fingerprint::{build_fingerprint, Fingerprint};
+use asap_sim::obs::{self, events, metrics};
 use asap_workloads::{resultjson, RunResult};
 
 /// Which tiers a grid run consults, and the disk-store shape.
@@ -151,23 +152,38 @@ impl Counters {
     }
 }
 
-static MEM_HITS: AtomicU64 = AtomicU64::new(0);
-static DISK_HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static EVICTED: AtomicU64 = AtomicU64::new(0);
-static BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
-static BYTES_READ: AtomicU64 = AtomicU64::new(0);
+// The counters live in the process-global observability registry
+// ([`asap_sim::obs::metrics`]) so one snapshot covers the cache, the
+// worker pool, and the simulator's host-side structures alike; this
+// module's [`counters`]/[`summary_line`] view is kept as the stable
+// harness-facing API (and the stderr phrase CI greps for).
+const MEM_HITS: &str = "runcache.mem_hits";
+const DISK_HITS: &str = "runcache.disk_hits";
+const MISSES: &str = "runcache.misses";
+const EVICTED: &str = "runcache.evicted";
+const BYTES_WRITTEN: &str = "runcache.bytes_written";
+const BYTES_READ: &str = "runcache.bytes_read";
+/// Grid cells served by copying another cell of the *same grid* with an
+/// identical fingerprint (no tier consulted, no simulation).
+const DEDUP_FANOUT: &str = "runcache.dedup_fanout";
 
 /// A snapshot of the process-cumulative counters.
 pub fn counters() -> Counters {
     Counters {
-        mem_hits: MEM_HITS.load(Ordering::Relaxed),
-        disk_hits: DISK_HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        evicted: EVICTED.load(Ordering::Relaxed),
-        bytes_written: BYTES_WRITTEN.load(Ordering::Relaxed),
-        bytes_read: BYTES_READ.load(Ordering::Relaxed),
+        mem_hits: metrics::counter_value(MEM_HITS),
+        disk_hits: metrics::counter_value(DISK_HITS),
+        misses: metrics::counter_value(MISSES),
+        evicted: metrics::counter_value(EVICTED),
+        bytes_written: metrics::counter_value(BYTES_WRITTEN),
+        bytes_read: metrics::counter_value(BYTES_READ),
     }
+}
+
+/// Marks one intra-grid duplicate served by fingerprint fan-out (called
+/// by the grid runner; kept out of [`Counters`] so the legacy summary
+/// line stays stable).
+pub fn note_dedup_fanout() {
+    metrics::counter(DEDUP_FANOUT).inc();
 }
 
 /// The stderr summary line for a counter snapshot, e.g.
@@ -199,16 +215,36 @@ fn build_dir(root: &Path) -> Option<PathBuf> {
     Some(root.join(build_fingerprint()?.hex()))
 }
 
+/// Which tier served a cache hit — carried into the `cell_end` run
+/// event so a stream consumer can tell warm cells from simulated ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitTier {
+    /// Served by the in-process map.
+    Mem,
+    /// Served by (and promoted from) the disk store.
+    Disk,
+}
+
+impl HitTier {
+    /// The `cache` field value used in run events.
+    pub fn label(self) -> &'static str {
+        match self {
+            HitTier::Mem => "mem",
+            HitTier::Disk => "disk",
+        }
+    }
+}
+
 /// Looks `fp` up in the configured tiers. A disk hit is promoted into
 /// the memory tier (when enabled) and its file re-touched so cap
 /// eviction treats it as fresh. Misses are *not* counted here — only
 /// cells the grid runner actually has to simulate count as misses, so
 /// intra-grid duplicates never inflate the number.
-pub fn lookup(fp: &Fingerprint, cfg: &RunCacheConfig) -> Option<RunResult> {
+pub fn lookup(fp: &Fingerprint, cfg: &RunCacheConfig) -> Option<(RunResult, HitTier)> {
     if cfg.mem {
         if let Some(r) = mem_tier().lock().unwrap().get(fp) {
-            MEM_HITS.fetch_add(1, Ordering::Relaxed);
-            return Some(r.clone());
+            metrics::counter(MEM_HITS).inc();
+            return Some((r.clone(), HitTier::Mem));
         }
     }
     let root = cfg.disk.as_deref()?;
@@ -217,19 +253,19 @@ pub fn lookup(fp: &Fingerprint, cfg: &RunCacheConfig) -> Option<RunResult> {
     let text = std::fs::read_to_string(&path).ok()?;
     match resultjson::from_json(&text) {
         Ok(r) => {
-            DISK_HITS.fetch_add(1, Ordering::Relaxed);
-            BYTES_READ.fetch_add(text.len() as u64, Ordering::Relaxed);
+            metrics::counter(DISK_HITS).inc();
+            metrics::counter(BYTES_READ).add(text.len() as u64);
             touch(&path);
             if cfg.mem {
                 mem_tier().lock().unwrap().insert(*fp, r.clone());
             }
-            Some(r)
+            Some((r, HitTier::Disk))
         }
         Err(e) => {
             // A file this build wrote but cannot read back is corrupt
             // (torn writes are excluded by rename, so: bit rot or
             // tampering). Drop it and simulate.
-            eprintln!("runcache: dropping unreadable {}: {e}", path.display());
+            obs::warn!("runcache: dropping unreadable {}: {e}", path.display());
             let _ = std::fs::remove_file(&path);
             None
         }
@@ -239,7 +275,7 @@ pub fn lookup(fp: &Fingerprint, cfg: &RunCacheConfig) -> Option<RunResult> {
 /// Marks the miss of one simulated cell (called by the grid runner once
 /// per cell it sends to the worker pool).
 pub fn note_miss() {
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    metrics::counter(MISSES).inc();
 }
 
 /// Inserts a freshly simulated result into the configured tiers, then
@@ -259,10 +295,10 @@ pub fn insert(fp: &Fingerprint, result: &RunResult, cfg: &RunCacheConfig) {
     let res = std::fs::create_dir_all(&dir).and_then(|()| write_atomic(&path, &body));
     match res {
         Ok(()) => {
-            BYTES_WRITTEN.fetch_add(body.len() as u64, Ordering::Relaxed);
+            metrics::counter(BYTES_WRITTEN).add(body.len() as u64);
             evict_over_cap(&dir, cfg.cap);
         }
-        Err(e) => eprintln!("runcache: could not write {}: {e}", path.display()),
+        Err(e) => obs::warn!("runcache: could not write {}: {e}", path.display()),
     }
 }
 
@@ -323,8 +359,8 @@ fn prune_stale_builds(root: &Path, live: &Path) {
     let excess = dirs.len() + 1 - MAX_BUILD_DIRS;
     for (_, p) in dirs.into_iter().take(excess) {
         match std::fs::remove_dir_all(&p) {
-            Ok(()) => eprintln!("runcache: pruned stale build store {}", p.display()),
-            Err(e) => eprintln!("runcache: could not prune {}: {e}", p.display()),
+            Ok(()) => obs::note!("runcache: pruned stale build store {}", p.display()),
+            Err(e) => obs::warn!("runcache: could not prune {}: {e}", p.display()),
         }
     }
 }
@@ -353,7 +389,11 @@ fn evict_over_cap(dir: &Path, cap: usize) {
     let excess = files.len() - cap;
     for (_, p) in files.into_iter().take(excess) {
         if std::fs::remove_file(&p).is_ok() {
-            EVICTED.fetch_add(1, Ordering::Relaxed);
+            metrics::counter(EVICTED).inc();
+            if events::enabled() {
+                let fp = p.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+                events::Event::new("cache_evict").field_str("fp", fp).emit();
+            }
         }
     }
 }
@@ -397,7 +437,8 @@ mod tests {
         assert!(lookup(&specs[0].fingerprint(), &cfg).is_none());
         // Survivors round-trip exactly.
         for (s, r) in specs.iter().zip(&results).skip(1) {
-            let hit = lookup(&s.fingerprint(), &cfg).expect("hit");
+            let (hit, tier) = lookup(&s.fingerprint(), &cfg).expect("hit");
+            assert_eq!(tier, HitTier::Disk);
             assert!(resultjson::results_identical(&hit, r));
         }
         let _ = std::fs::remove_dir_all(&root);

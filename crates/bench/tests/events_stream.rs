@@ -1,0 +1,154 @@
+//! Integration tests for the NDJSON run-event stream (`asap-events-v1`).
+//!
+//! One `#[test]` on purpose: the event sink is process-global, so
+//! parallel test fns in this binary would interleave their records.
+
+use std::collections::HashMap;
+
+use asap_bench::{run_grid_with, runcache::RunCacheConfig};
+use asap_core::scheme::SchemeKind;
+use asap_sim::json::{self, Value};
+use asap_sim::obs::events;
+use asap_workloads::{BenchId, WorkloadSpec};
+
+/// Removes the volatile `,"key":<digits>` field from a record line.
+fn strip_u64_field(line: &str, key: &str) -> String {
+    let pat = format!(",\"{key}\":");
+    match line.find(&pat) {
+        None => line.to_string(),
+        Some(start) => {
+            let rest = &line[start + pat.len()..];
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            format!("{}{}", &line[..start], &rest[end..])
+        }
+    }
+}
+
+/// The stream normalized for comparison across `ASAP_JOBS` values:
+/// volatile keys (`seq`, `t_us`, `host_us`) stripped, plus `jobs` —
+/// `grid_start` declares the worker count, which is exactly the knob
+/// being varied — and lines sorted (records are ordered by completion,
+/// which is scheduling-dependent).
+fn normalize(text: &str) -> Vec<String> {
+    let mut lines: Vec<String> = text
+        .lines()
+        .map(|l| {
+            let l = strip_u64_field(l, "seq");
+            let l = strip_u64_field(&l, "t_us");
+            let l = strip_u64_field(&l, "host_us");
+            strip_u64_field(&l, "jobs")
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.get(key)
+}
+
+#[test]
+fn stream_is_parseable_paired_and_jobs_invariant() {
+    // Six distinct cells plus one duplicate spec; the cache is pinned off
+    // so every cell really simulates (and the duplicate appears twice).
+    let mut specs: Vec<WorkloadSpec> = [BenchId::Q, BenchId::Hm, BenchId::Ss]
+        .into_iter()
+        .flat_map(|b| {
+            [SchemeKind::Asap, SchemeKind::SwUndo]
+                .into_iter()
+                .map(move |s| WorkloadSpec::new(b, s).with_threads(2).with_ops(20))
+        })
+        .collect();
+    specs.push(specs[0]);
+
+    let run_stream = |jobs: usize| -> String {
+        let path = std::env::temp_dir().join(format!(
+            "asap-events-stream-{}-j{jobs}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        events::set_sink(Some(&path));
+        let res = run_grid_with(&specs, jobs, &RunCacheConfig::off());
+        events::set_sink(None);
+        assert_eq!(res.len(), specs.len());
+        let text = std::fs::read_to_string(&path).expect("stream file written");
+        let _ = std::fs::remove_file(&path);
+        text
+    };
+
+    let serial = run_stream(1);
+    let parallel = run_stream(4);
+
+    for text in [&serial, &parallel] {
+        let mut kinds: HashMap<String, usize> = HashMap::new();
+        // cell_start / cell_end counts per fingerprint must balance.
+        let mut starts: HashMap<String, usize> = HashMap::new();
+        let mut ends: HashMap<String, usize> = HashMap::new();
+        for line in text.lines() {
+            let v = json::parse(line).expect("every record parses");
+            let ev = field(&v, "ev")
+                .and_then(Value::as_str)
+                .expect("record has ev")
+                .to_string();
+            assert!(
+                field(&v, "seq").and_then(Value::as_u64).is_some(),
+                "record has seq"
+            );
+            assert!(
+                field(&v, "t_us").and_then(Value::as_u64).is_some(),
+                "record has t_us"
+            );
+            match ev.as_str() {
+                "cell_start" | "cell_end" => {
+                    let fp = field(&v, "fp")
+                        .and_then(Value::as_str)
+                        .expect("cell record has fp")
+                        .to_string();
+                    assert!(field(&v, "bench").and_then(Value::as_str).is_some());
+                    assert!(field(&v, "scheme").and_then(Value::as_str).is_some());
+                    if ev == "cell_start" {
+                        *starts.entry(fp).or_default() += 1;
+                    } else {
+                        assert_eq!(
+                            field(&v, "outcome").and_then(Value::as_str),
+                            Some("completed")
+                        );
+                        assert_eq!(field(&v, "cache").and_then(Value::as_str), Some("miss"));
+                        assert!(field(&v, "host_us").and_then(Value::as_u64).is_some());
+                        assert!(field(&v, "sim_cycles").and_then(Value::as_u64).unwrap() > 0);
+                        *ends.entry(fp).or_default() += 1;
+                    }
+                }
+                "grid_start" => {
+                    assert_eq!(
+                        field(&v, "schema").and_then(Value::as_str),
+                        Some(events::SCHEMA)
+                    );
+                    assert_eq!(
+                        field(&v, "cells").and_then(Value::as_u64),
+                        Some(specs.len() as u64)
+                    );
+                }
+                "grid_end" => {
+                    assert_eq!(
+                        field(&v, "cells").and_then(Value::as_u64),
+                        Some(specs.len() as u64)
+                    );
+                }
+                other => panic!("unexpected record kind {other}"),
+            }
+            *kinds.entry(ev).or_default() += 1;
+        }
+        assert_eq!(kinds.get("grid_start"), Some(&1));
+        assert_eq!(kinds.get("grid_end"), Some(&1));
+        assert_eq!(kinds.get("cell_start"), Some(&specs.len()));
+        assert_eq!(kinds.get("cell_end"), Some(&specs.len()));
+        assert_eq!(starts, ends, "every cell_start has a matching cell_end");
+    }
+
+    // Modulo volatile keys and completion order, the stream must not
+    // depend on the worker count.
+    assert_eq!(normalize(&serial), normalize(&parallel));
+}

@@ -1,0 +1,79 @@
+//! The run-cache counters in the metrics registry must agree with the
+//! legacy `Counters`/`summary_line` view — one source of truth, two
+//! presentations.
+//!
+//! One `#[test]`: the registry and the run-cache tiers are
+//! process-global, so a second test fn here would race the counts.
+
+use asap_bench::{run_grid_with, runcache};
+use asap_core::scheme::SchemeKind;
+use asap_sim::json::{self, Value};
+use asap_sim::obs::metrics;
+use asap_workloads::{BenchId, WorkloadSpec};
+
+fn counter_in(snapshot: &Value, name: &str) -> u64 {
+    snapshot
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn registry_snapshot_matches_legacy_summary() {
+    let dir = std::env::temp_dir().join(format!("asap-metrics-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = runcache::RunCacheConfig::disk_only(&dir, 8);
+
+    // Two distinct cells plus one duplicate (served by fan-out, not a
+    // tier), twice: a cold pass that simulates and a warm pass served
+    // from disk.
+    let spec_q = WorkloadSpec::new(BenchId::Q, SchemeKind::Asap)
+        .with_threads(2)
+        .with_ops(20);
+    let spec_hm = WorkloadSpec::new(BenchId::Hm, SchemeKind::SwUndo)
+        .with_threads(2)
+        .with_ops(20);
+    let specs = vec![spec_q, spec_hm, spec_q];
+    let base = runcache::counters();
+    run_grid_with(&specs, 1, &cfg);
+    run_grid_with(&specs, 2, &cfg);
+    let c = runcache::counters();
+
+    assert_eq!(c.misses - base.misses, 2, "cold pass simulates 2 cells");
+    assert_eq!(c.disk_hits - base.disk_hits, 2, "warm pass hits disk");
+    assert!(c.bytes_written > base.bytes_written);
+    assert!(c.bytes_read > base.bytes_read);
+
+    // The JSON snapshot carries the very same values under the
+    // `runcache.*` names.
+    let snap = json::parse(&metrics::snapshot_json()).expect("snapshot parses");
+    assert_eq!(counter_in(&snap, "runcache.mem_hits"), c.mem_hits);
+    assert_eq!(counter_in(&snap, "runcache.disk_hits"), c.disk_hits);
+    assert_eq!(counter_in(&snap, "runcache.misses"), c.misses);
+    assert_eq!(counter_in(&snap, "runcache.evicted"), c.evicted);
+    assert_eq!(counter_in(&snap, "runcache.bytes_written"), c.bytes_written);
+    assert_eq!(counter_in(&snap, "runcache.bytes_read"), c.bytes_read);
+    // The duplicate cell was fanned out once per pass, counted only in
+    // the registry (the legacy summary line ignores intra-grid dedup).
+    assert_eq!(metrics::counter_value("runcache.dedup_fanout"), 2);
+    // The worker pool accounted the simulated cells somewhere.
+    assert_eq!(counter_in(&snap, "pool.worker0.cells"), 2);
+
+    // And the summary line renders exactly that snapshot.
+    let line = runcache::summary_line(&c);
+    assert_eq!(
+        line,
+        format!(
+            "runcache: {} hits ({} mem, {} disk), {} misses, {} evicted, {}B written, {}B read",
+            c.hits(),
+            c.mem_hits,
+            c.disk_hits,
+            c.misses,
+            c.evicted,
+            c.bytes_written,
+            c.bytes_read
+        )
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -608,6 +608,23 @@ impl MemSystem {
         &self.stats
     }
 
+    /// High-water mark of the store-forward node slab across channels.
+    /// The slab only grows (freed nodes go to a freelist), so its length
+    /// *is* the high-water mark of concurrently live ops per channel.
+    pub fn fwd_slab_hwm(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.fwd_nodes.len() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sparse-tail full scans performed by the channel event calendar
+    /// (see [`EventQueue::full_scans`]).
+    pub fn calendar_full_scans(&self) -> u64 {
+        self.events.full_scans()
+    }
+
     /// Counts DRAM traffic for a dirty non-PM writeback (fire-and-forget:
     /// DRAM writes are not persist operations and skip the WPQ).
     pub fn dram_writeback(&mut self, image: &mut MemoryImage, line: LineAddr, data: &[u8; 64]) {

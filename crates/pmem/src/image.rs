@@ -56,17 +56,22 @@ impl PageIndex {
         (h >> 32) as usize & self.mask
     }
 
+    /// Lookup plus the number of probe steps it took (1 = direct hit in
+    /// the home bucket) — the probe count feeds the image's access
+    /// statistics without a second pass.
     #[inline]
-    fn get(&self, page_no: u64) -> Option<u32> {
+    fn get_probed(&self, page_no: u64) -> (Option<u32>, u64) {
         let mut i = self.bucket(page_no);
+        let mut probes = 1u64;
         loop {
             let k = self.keys[i];
             if k == page_no {
-                return Some(self.slots[i]);
+                return (Some(self.slots[i]), probes);
             }
             if k == EMPTY {
-                return None;
+                return (None, probes);
             }
+            probes += 1;
             i = (i + 1) & self.mask;
         }
     }
@@ -141,6 +146,26 @@ pub struct MemoryImage {
     /// Last page looked up, as `(page_no, slot)` — hit on nearly every
     /// sequential access. Invalidated by [`reset`](Self::reset).
     last: Cell<(u64, u32)>,
+    /// Hot-path access statistics (plain `Cell`s, not atomics — each
+    /// image belongs to one simulation). Never printed by figures;
+    /// flushed to the host metrics registry after a run.
+    stats: Cell<ImageStats>,
+}
+
+/// Access statistics of a [`MemoryImage`]: how hard the page lookup
+/// machinery worked. `last_page_hits / lookups` is the one-entry-cache
+/// hit rate; `index_probes` counts open-addressing steps (1 per
+/// fall-through lookup when the table is collision-free).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImageStats {
+    /// Page lookups (one per page touched by each read/write/persist-bit
+    /// query).
+    pub lookups: u64,
+    /// Lookups answered by the one-entry last-page cache.
+    pub last_page_hits: u64,
+    /// Linear-probe steps taken by lookups that reached the open-addressed
+    /// page index.
+    pub index_probes: u64,
 }
 
 impl MemoryImage {
@@ -150,6 +175,7 @@ impl MemoryImage {
             pages: Vec::new(),
             index: PageIndex::new(),
             last: Cell::new((EMPTY, 0)),
+            stats: Cell::new(ImageStats::default()),
         }
     }
 
@@ -157,11 +183,18 @@ impl MemoryImage {
     /// cache first.
     #[inline]
     fn lookup(&self, page_no: u64) -> Option<u32> {
+        let mut st = self.stats.get();
+        st.lookups += 1;
         let (cached_no, cached_slot) = self.last.get();
         if cached_no == page_no {
+            st.last_page_hits += 1;
+            self.stats.set(st);
             return Some(cached_slot);
         }
-        let slot = self.index.get(page_no)?;
+        let (slot, probes) = self.index.get_probed(page_no);
+        st.index_probes += probes;
+        self.stats.set(st);
+        let slot = slot?;
         self.last.set((page_no, slot));
         Some(slot)
     }
@@ -267,6 +300,12 @@ impl MemoryImage {
         self.pages.len()
     }
 
+    /// Cumulative access statistics for this image (survive
+    /// [`reset`](Self::reset), like the image's identity does).
+    pub fn access_stats(&self) -> ImageStats {
+        self.stats.get()
+    }
+
     /// Forgets every page — contents and persistent bits — returning the
     /// image to the all-zero state, and invalidates the last-page cache.
     pub fn reset(&mut self) {
@@ -311,6 +350,23 @@ mod tests {
         let mut buf = [0u8; 11];
         m.read(PmAddr(100), &mut buf);
         assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn access_stats_track_last_page_cache() {
+        let mut m = MemoryImage::new();
+        m.write(PmAddr(0), &[1]);
+        m.write(PmAddr(1), &[2]); // same page: last-page hit
+        m.write(PmAddr(PAGE_BYTES), &[3]); // new page: index miss + insert
+        let st = m.access_stats();
+        assert!(st.lookups >= 3);
+        assert!(st.last_page_hits >= 1);
+        assert!(st.index_probes >= 1);
+        assert!(st.last_page_hits < st.lookups);
+        // Stats are cumulative across reset (the image identity survives).
+        m.reset();
+        m.write(PmAddr(0), &[1]);
+        assert!(m.access_stats().lookups > st.lookups);
     }
 
     #[test]

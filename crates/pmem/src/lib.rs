@@ -37,4 +37,4 @@ pub mod image;
 pub use addr::{LineAddr, PmAddr, DRAM_BASE, LINE_BYTES, PAGE_BYTES, PM_BASE};
 pub use hash::{AddrBuildHasher, AddrHasher, AddrMap};
 pub use heap::{AllocError, RangeAllocator};
-pub use image::MemoryImage;
+pub use image::{ImageStats, MemoryImage};

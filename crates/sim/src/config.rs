@@ -285,10 +285,13 @@ impl Default for SystemConfig {
 pub const KNOWN_ASAP_ENV: &[&str] = &[
     "ASAP_BENCHES",
     "ASAP_DEBUG_RECOVERY",
+    "ASAP_EVENTS",
     "ASAP_JOBS",
+    "ASAP_LOG",
     "ASAP_MICRO_ITERS",
     "ASAP_OPS",
     "ASAP_PERF_GATE",
+    "ASAP_PROGRESS",
     "ASAP_REPORT_OUT",
     "ASAP_RUNCACHE",
     "ASAP_RUNCACHE_CAP",
@@ -328,7 +331,7 @@ pub fn warn_unknown_asap_env() {
     ONCE.call_once(|| {
         let names = std::env::vars_os().filter_map(|(k, _)| k.into_string().ok());
         for name in unknown_asap_vars(names) {
-            eprintln!(
+            crate::obs_warn!(
                 "warning: unrecognized environment variable {name} \
                  (known ASAP_* knobs: {})",
                 KNOWN_ASAP_ENV.join(", ")

@@ -65,6 +65,11 @@ pub struct EventQueue<E> {
     /// last [`Self::find_min`]; invalidated by every mutation so a
     /// `peek_time` immediately followed by `pop` scans only once.
     cached_min: Cell<Option<(u32, u32, Cycle)>>,
+    /// How many times [`Self::find_min`] fell back to the sparse-tail
+    /// full scan (every pending event more than one wheel revolution
+    /// away). A plain `Cell` — never on stdout, flushed to the host
+    /// metrics registry (`sim.calendar.full_scans`) after a run.
+    full_scans: Cell<u64>,
 }
 
 impl<E> EventQueue<E> {
@@ -78,6 +83,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             cursor: Cell::new(0),
             cached_min: Cell::new(None),
+            full_scans: Cell::new(0),
         }
     }
 
@@ -125,6 +131,7 @@ impl<E> EventQueue<E> {
         }
         // Sparse tail: nothing within one revolution of the cursor. Scan
         // everything once for the global `(at, seq)` minimum.
+        self.full_scans.set(self.full_scans.get() + 1);
         let mut best: Option<(u32, u32, u64, Cycle)> = None;
         for (slot, bucket) in self.buckets.iter().enumerate() {
             for (i, e) in bucket.iter().enumerate() {
@@ -179,6 +186,14 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// How many [`pop`](Self::pop)/[`peek_time`](Self::peek_time) calls
+    /// fell back to the full linear scan because every pending event was
+    /// beyond one wheel revolution. A persistently high rate means the
+    /// wheel geometry no longer matches the workload's event horizon.
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.get()
     }
 }
 
@@ -289,6 +304,24 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycle(5 * span + 1), 'c')));
         assert_eq!(q.pop(), Some((Cycle(7 * span + 3), 'd')));
         assert_eq!(q.pop(), None);
+    }
+
+    /// The sparse-tail fallback is counted (and only the fallback — dense
+    /// near-term traffic never touches it).
+    #[test]
+    fn full_scans_counts_sparse_tail_only() {
+        let span = (SLOTS as u64) << BUCKET_SHIFT;
+        let mut q = EventQueue::new();
+        q.push(Cycle(1), 'a');
+        q.push(Cycle(9 * span), 'b');
+        // Dense near-term traffic: no fallback.
+        assert_eq!(q.pop(), Some((Cycle(1), 'a')));
+        assert_eq!(q.full_scans(), 0);
+        // The survivor is nine revolutions past the cursor (a push into
+        // an *empty* queue would re-aim the cursor directly, so the far
+        // event must coexist with the near one): one full scan finds it.
+        assert_eq!(q.pop(), Some((Cycle(9 * span), 'b')));
+        assert!(q.full_scans() >= 1);
     }
 
     /// Pushing an earlier event after the cursor has advanced past its

@@ -38,6 +38,7 @@ pub mod events;
 pub mod fingerprint;
 pub mod json;
 pub mod lock;
+pub mod obs;
 pub mod sched;
 pub mod stats;
 pub mod timeseries;

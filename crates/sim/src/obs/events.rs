@@ -1,0 +1,243 @@
+//! Append-only NDJSON run-event stream (`ASAP_EVENTS=<path|stderr>`).
+//!
+//! Schema `asap-events-v1`: one JSON object per line, each carrying the
+//! record kind (`ev`), a process-wide ordering key (`seq`), and wall
+//! time in microseconds since process start (`t_us`). The bench harness
+//! emits `grid_start`, `cell_start`, `cell_end`, `cache_evict`,
+//! `wallclock_written` and `grid_end` records; every record is
+//! guaranteed to parse with [`crate::json::parse`] (tests hold this line
+//! by line).
+//!
+//! Durability posture, in the spirit of user-space WAL reliability work:
+//! the stream is *append-only* and each record is written with a single
+//! `write` of one `\n`-terminated line to a file opened `O_APPEND`, so
+//! concurrent emitters (the worker-pool threads, or several processes
+//! pointed at one file) interleave whole lines, never bytes. A consumer
+//! that tails the file sees only complete records plus at most one
+//! growing tail line.
+//!
+//! Determinism: records are ordered by completion, not by spec order, so
+//! two runs at different `ASAP_JOBS` produce the same multiset of
+//! records up to the volatile keys `seq`, `t_us` and `host_us` — the
+//! comparison tests strip exactly those and sort. Nothing here ever
+//! writes to stdout.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json;
+
+/// The stream schema identifier, carried by every `grid_start` record.
+pub const SCHEMA: &str = "asap-events-v1";
+
+enum Target {
+    Stderr,
+    File(std::fs::File),
+}
+
+/// `None` until first use or an explicit [`set_sink`]; the inner
+/// `Option` is the resolved sink (`None` = events off).
+struct SinkState {
+    resolved: bool,
+    target: Option<Target>,
+}
+
+fn state() -> &'static Mutex<SinkState> {
+    static S: OnceLock<Mutex<SinkState>> = OnceLock::new();
+    S.get_or_init(|| {
+        Mutex::new(SinkState {
+            resolved: false,
+            target: None,
+        })
+    })
+}
+
+fn epoch() -> Instant {
+    static T0: OnceLock<Instant> = OnceLock::new();
+    *T0.get_or_init(Instant::now)
+}
+
+fn resolve_env(s: &mut SinkState) {
+    if s.resolved {
+        return;
+    }
+    s.resolved = true;
+    s.target = match std::env::var("ASAP_EVENTS") {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) if v == "stderr" => Some(Target::Stderr),
+        Ok(v) => open_target(Path::new(&v)),
+        Err(_) => None,
+    };
+}
+
+fn open_target(path: &Path) -> Option<Target> {
+    match std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(path)
+    {
+        Ok(f) => Some(Target::File(f)),
+        Err(e) => {
+            // Logged regardless of ASAP_LOG level juggling — a requested
+            // event stream that cannot open is an error worth one line.
+            eprintln!("events: could not open {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Points the stream at `path` (`None` turns it off), overriding the
+/// environment. Primarily for tests and embedders (the daemon); figure
+/// binaries just set `ASAP_EVENTS`.
+pub fn set_sink(path: Option<&Path>) {
+    let mut s = state().lock().unwrap();
+    s.resolved = true;
+    s.target = path.and_then(|p| {
+        if p == Path::new("stderr") {
+            Some(Target::Stderr)
+        } else {
+            open_target(p)
+        }
+    });
+}
+
+/// Whether a sink is configured — cheap enough to gate per-cell record
+/// construction, and `false` means [`Event::emit`] is a no-op.
+pub fn enabled() -> bool {
+    let mut s = state().lock().unwrap();
+    resolve_env(&mut s);
+    s.target.is_some()
+}
+
+/// One NDJSON record under construction. Build with [`Event::new`], add
+/// fields, then [`emit`](Event::emit) — the record is written as a
+/// single line, or dropped silently when the stream is off.
+pub struct Event {
+    buf: String,
+}
+
+impl Event {
+    /// Starts a record of kind `ev`, stamped with the next `seq` and the
+    /// current `t_us`.
+    pub fn new(ev: &str) -> Event {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let t_us = epoch().elapsed().as_micros() as u64;
+        Event {
+            buf: format!(
+                "{{\"ev\":\"{}\",\"seq\":{seq},\"t_us\":{t_us}",
+                json::escape(ev)
+            ),
+        }
+    }
+
+    /// Adds a string field.
+    pub fn field_str(mut self, key: &str, v: &str) -> Self {
+        self.buf.push_str(&format!(
+            ",\"{}\":\"{}\"",
+            json::escape(key),
+            json::escape(v)
+        ));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn field_u64(mut self, key: &str, v: u64) -> Self {
+        self.buf
+            .push_str(&format!(",\"{}\":{v}", json::escape(key)));
+        self
+    }
+
+    /// Adds a float field (non-finite values emit as `null`).
+    pub fn field_f64(mut self, key: &str, v: f64) -> Self {
+        self.buf
+            .push_str(&format!(",\"{}\":{}", json::escape(key), json::num(v)));
+        self
+    }
+
+    /// Closes the record and appends it to the sink as one line. A write
+    /// failure warns once per process and drops the line — the event
+    /// stream is an observer, never a reason to fail a run.
+    pub fn emit(mut self) {
+        self.buf.push_str("}\n");
+        let mut s = state().lock().unwrap();
+        resolve_env(&mut s);
+        let Some(target) = s.target.as_mut() else {
+            return;
+        };
+        let res = match target {
+            Target::Stderr => std::io::stderr().lock().write_all(self.buf.as_bytes()),
+            Target::File(f) => f.write_all(self.buf.as_bytes()),
+        };
+        if let Err(e) = res {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("events: write failed, stream dropped: {e}"));
+            s.target = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One test exercising the whole lifecycle: the sink is process-global
+    /// state, so splitting these into parallel #[test] fns would race.
+    #[test]
+    fn records_are_parseable_ndjson_lines() {
+        let path =
+            std::env::temp_dir().join(format!("asap-obs-events-{}.ndjson", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        set_sink(Some(&path));
+        assert!(enabled());
+        Event::new("grid_start")
+            .field_str("schema", SCHEMA)
+            .field_u64("cells", 3)
+            .emit();
+        Event::new("cell_end")
+            .field_str("fp", "deadbeef")
+            .field_str("outcome", "completed")
+            .field_u64("host_us", 12)
+            .field_f64("ratio", 0.5)
+            .field_f64("bad", f64::NAN)
+            .emit();
+        set_sink(None);
+        // Emitting while off is a silent no-op.
+        Event::new("cell_end").field_u64("x", 1).emit();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            json::parse(line).expect("every record parses");
+        }
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("ev").and_then(json::Value::as_str),
+            Some("grid_start")
+        );
+        assert_eq!(
+            first.get("schema").and_then(json::Value::as_str),
+            Some(SCHEMA)
+        );
+        assert!(first.get("seq").and_then(json::Value::as_u64).is_some());
+        assert!(first.get("t_us").and_then(json::Value::as_u64).is_some());
+        let second = json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("bad"), Some(&json::Value::Null));
+        // seq is strictly increasing across records.
+        assert!(
+            second.get("seq").and_then(json::Value::as_u64)
+                > first.get("seq").and_then(json::Value::as_u64)
+        );
+
+        // Re-pointing appends rather than truncating (append-only log).
+        set_sink(Some(&path));
+        Event::new("grid_end").emit();
+        set_sink(None);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+}

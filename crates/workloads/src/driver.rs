@@ -271,6 +271,7 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         (None, None, None)
     };
     let hot_lines = m.hw().mem.hottest_lines(HOT_LINES);
+    flush_host_metrics(&m);
     RunResult {
         spec: *spec,
         tx,
@@ -290,6 +291,25 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         lifecycle_dot,
         hot_lines,
     }
+}
+
+/// Publishes the run's host-side data-structure statistics — page-index
+/// and last-page-cache traffic, calendar-wheel scan fallbacks, the
+/// store-forward slab high-water mark — to the process-global
+/// observability registry ([`asap_sim::obs::metrics`]). These observe
+/// the *host implementation*, never the simulated machine: figures and
+/// cached results don't depend on them, which is why a cache-served cell
+/// legitimately contributes nothing here. The counters are plain `Cell`
+/// reads flushed once per run, so the simulated hot path pays nothing
+/// atomic.
+fn flush_host_metrics(m: &Machine) {
+    use asap_sim::obs::metrics;
+    let img = m.hw().image.access_stats();
+    metrics::counter("pmem.image.lookups").add(img.lookups);
+    metrics::counter("pmem.image.last_page_hits").add(img.last_page_hits);
+    metrics::counter("pmem.image.index_probes").add(img.index_probes);
+    metrics::counter("sim.calendar.full_scans").add(m.hw().mem.calendar_full_scans());
+    metrics::gauge("mem.fwd_slab.hwm").set_max(m.hw().mem.fwd_slab_hwm());
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! Validates an NDJSON run-event stream (`asap-events-v1`).
+//!
+//! ```text
+//! ASAP_EVENTS=/tmp/ev.ndjson cargo bench --bench fig7_speedup
+//! cargo run --release --example events_check -- /tmp/ev.ndjson
+//! ```
+//!
+//! Checks, exiting nonzero on the first failure:
+//!
+//! - the file is non-empty and every line parses with [`asap_sim::json`];
+//! - every record carries `ev`, `seq` and `t_us`;
+//! - `cell_start`/`cell_end` counts balance per fingerprint;
+//! - at least one `grid_start`, and as many `grid_end` as `grid_start`.
+//!
+//! `ci.sh` runs this against the stream of a figure smoke run.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use asap_sim::json::{self, Value};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("events_check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        return fail("usage: events_check <events.ndjson>");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    if text.lines().next().is_none() {
+        return fail(&format!("{path} is empty"));
+    }
+
+    let mut kinds: HashMap<String, usize> = HashMap::new();
+    let mut starts: HashMap<String, i64> = HashMap::new();
+    for (n, line) in text.lines().enumerate() {
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("{path}:{}: unparseable record: {e}", n + 1)),
+        };
+        let Some(ev) = v.get("ev").and_then(Value::as_str) else {
+            return fail(&format!("{path}:{}: record without ev", n + 1));
+        };
+        for key in ["seq", "t_us"] {
+            if v.get(key).and_then(Value::as_u64).is_none() {
+                return fail(&format!("{path}:{}: {ev} record without {key}", n + 1));
+            }
+        }
+        if ev == "cell_start" || ev == "cell_end" {
+            let Some(fp) = v.get("fp").and_then(Value::as_str) else {
+                return fail(&format!("{path}:{}: {ev} record without fp", n + 1));
+            };
+            *starts.entry(fp.to_string()).or_default() += if ev == "cell_start" { 1 } else { -1 };
+        }
+        *kinds.entry(ev.to_string()).or_default() += 1;
+    }
+
+    if kinds.get("grid_start").copied().unwrap_or(0) == 0 {
+        return fail(&format!("{path}: no grid_start record"));
+    }
+    if kinds.get("grid_start") != kinds.get("grid_end") {
+        return fail(&format!(
+            "{path}: {} grid_start vs {} grid_end",
+            kinds.get("grid_start").copied().unwrap_or(0),
+            kinds.get("grid_end").copied().unwrap_or(0)
+        ));
+    }
+    if let Some((fp, n)) = starts.iter().find(|(_, &n)| n != 0) {
+        return fail(&format!("{path}: cell {fp} unbalanced by {n}"));
+    }
+
+    let cells = kinds.get("cell_end").copied().unwrap_or(0);
+    let mut by_kind: Vec<(&String, &usize)> = kinds.iter().collect();
+    by_kind.sort();
+    let summary: Vec<String> = by_kind.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!(
+        "events_check: {} ok — {} records, {cells} cells ({})",
+        path,
+        text.lines().count(),
+        summary.join(", ")
+    );
+    ExitCode::SUCCESS
+}

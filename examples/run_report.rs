@@ -25,6 +25,7 @@ use std::process::ExitCode;
 
 use asap_core::scheme::SchemeKind;
 use asap_sim::json::{self, Value};
+use asap_sim::obs::{metrics, phase};
 use asap_sim::TelemetrySettings;
 use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
 
@@ -86,7 +87,13 @@ fn sparkline(times: &[f64], values: &[f64]) -> String {
     )
 }
 
-fn build_report(r: &RunResult, ts: &Value, lc: &Value) -> Result<String, String> {
+fn build_report(
+    r: &RunResult,
+    ts: &Value,
+    lc: &Value,
+    phases: &Value,
+    metrics_snap: &Value,
+) -> Result<String, String> {
     let mut h = String::new();
     h.push_str(
         "<!doctype html>\n<html><head><meta charset=\"utf-8\">\
@@ -210,7 +217,55 @@ fn build_report(r: &RunResult, ts: &Value, lc: &Value) -> Result<String, String>
             html_escape(rid)
         );
     }
-    h.push_str("</table>\n</body></html>\n");
+    h.push_str("</table>\n");
+
+    // --- Host profile -----------------------------------------------------
+    h.push_str(
+        "<h2>Host profile</h2>\n\
+         <p>Where the <em>host</em> time of this process went (virtual-time \
+         results are unaffected), plus the process-global metrics registry.</p>\n\
+         <table><tr><th>phase</th><th>host &micro;s</th></tr>",
+    );
+    for key in [
+        "fingerprint_us",
+        "cache_probe_us",
+        "simulate_us",
+        "export_us",
+    ] {
+        let v = phases.get(key).and_then(Value::as_u64).unwrap_or(0);
+        let _ = write!(h, "<tr><td>{}</td><td>{v}</td></tr>", &key[..key.len() - 3]);
+    }
+    let _ = writeln!(
+        h,
+        "<tr><td>cells timed</td><td>{}</td></tr></table>",
+        phases
+            .get("cells_timed")
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    );
+    for (kind, unit) in [("counters", ""), ("gauges", " (max)")] {
+        let Some(map) = metrics_snap.get(kind).and_then(Value::as_object) else {
+            continue;
+        };
+        if map.is_empty() {
+            continue;
+        }
+        let _ = write!(
+            h,
+            "<h3>{kind}{unit}</h3>\n<table><tr><th>name</th><th>value</th></tr>"
+        );
+        for (name, v) in map {
+            let _ = write!(
+                h,
+                "<tr><td>{}</td><td>{}</td></tr>",
+                html_escape(name),
+                v.as_u64().unwrap_or(0)
+            );
+        }
+        h.push_str("</table>\n");
+    }
+
+    h.push_str("</body></html>\n");
     Ok(h)
 }
 
@@ -227,10 +282,15 @@ fn main() -> ExitCode {
         .with_threads(env_u64("ASAP_THREADS", 2) as u32)
         .with_ops(env_u64("ASAP_OPS", 40))
         .with_telemetry(telemetry);
-    let r = run(&spec);
+    // Scoped like a grid cell so the host-profile section has a real
+    // Simulate entry even for this single-run report.
+    let r = {
+        let _t = phase::scope(phase::Phase::Simulate);
+        run(&spec)
+    };
 
     // Validate every export through the in-tree parser before rendering.
-    let validated = (|| -> Result<(Value, Value), String> {
+    let validated = (|| -> Result<(Value, Value, Value, Value), String> {
         validate_roundtrip("stats", &r.stats.to_json())?;
         let ts = validate_roundtrip("timeseries", r.timeseries.as_deref().unwrap_or("null"))?;
         let lc = validate_roundtrip("lifecycle", r.lifecycle.as_deref().unwrap_or("null"))?;
@@ -238,9 +298,11 @@ fn main() -> ExitCode {
             "telemetry object",
             &r.telemetry_json().ok_or("telemetry object missing")?,
         )?;
-        Ok((ts, lc))
+        let phases = validate_roundtrip("phases", &phase::snapshot_json())?;
+        let snap = validate_roundtrip("metrics", &metrics::snapshot_json())?;
+        Ok((ts, lc, phases, snap))
     })();
-    let (ts, lc) = match validated {
+    let (ts, lc, phases, snap) = match validated {
         Ok(v) => v,
         Err(e) => {
             eprintln!("run_report: export validation FAILED: {e}");
@@ -248,7 +310,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let html = match build_report(&r, &ts, &lc) {
+    let html = match build_report(&r, &ts, &lc, &phases, &snap) {
         Ok(html) => html,
         Err(e) => {
             eprintln!("run_report: {e}");
@@ -264,7 +326,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "run_report: validated stats/timeseries/lifecycle exports; wrote {out} ({} bytes)",
+        "run_report: validated stats/timeseries/lifecycle/phases/metrics exports; \
+         wrote {out} ({} bytes)",
         html.len()
     );
     ExitCode::SUCCESS
