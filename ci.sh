@@ -62,6 +62,14 @@ cmp target/obs_on_j4.out target/runcache_pass1.out \
 rm -f "$EV_FILE"
 echo "    event stream parseable and balanced; bench stdout byte-identical"
 
+echo "==> intra-cell parallelism smoke (ASAP_CELL_JOBS=2 vs serial engine)"
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= ASAP_RUNCACHE=off \
+  ASAP_CELL_JOBS=2 \
+  cargo bench -p asap-bench --bench fig7_speedup >target/cell_jobs.out 2>/dev/null
+cmp target/cell_jobs.out target/runcache_pass1.out \
+  || { echo "CELL-JOBS FAILURE: domain-parallel stdout differs from serial engine" >&2; exit 1; }
+echo "    ASAP_CELL_JOBS=2 stdout byte-identical to serial"
+
 # Opt-in perf gate: warn (exit 0) when the smoke run exceeds the threshold.
 if [ -n "${ASAP_PERF_GATE:-}" ]; then
   LAST=$(python3 - <<'EOF'

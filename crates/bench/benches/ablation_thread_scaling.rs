@@ -10,6 +10,7 @@
 
 use asap_bench::{emit_wallclock, geomean, header, ops, row, run_grid};
 use asap_core::scheme::SchemeKind;
+use asap_sim::SystemConfig;
 use asap_workloads::{BenchId, WorkloadSpec};
 
 const THREADS: [u32; 5] = [1, 2, 4, 8, 16];
@@ -75,5 +76,41 @@ fn main() {
         "(§2.1: the async-commit advantage should hold or grow with contention; geomean {:.2})",
         geomean(&asap_over_undo)
     );
-    emit_wallclock("ablation_thread_scaling", t0.elapsed(), &[&results]);
+    // --- Wide-machine cells: presence masks beyond one 64-bit word. ---
+    // cores = threads at 128 and 256 exercises the multi-word sharer
+    // masks in the cache hierarchy end-to-end (every run asserts
+    // `check_inclusive` after the drain). Reduced op counts keep the
+    // wall-clock bounded: the point is correctness at scale plus the
+    // contention trend, not absolute throughput.
+    println!("\n=== Wide-machine cells: cores = threads, normalized to 128-core SW ===");
+    header("scheme", &["c=128", "c=256"]);
+    const WIDE: [u32; 2] = [128, 256];
+    let wide_ops = (ops() / 8).max(4);
+    let wide_specs: Vec<_> = SCHEMES
+        .iter()
+        .flat_map(|(_, scheme)| {
+            WIDE.iter().map(move |c| {
+                let mut sys = SystemConfig::table2();
+                sys.cores = *c;
+                WorkloadSpec::new(BenchId::Q, *scheme)
+                    .with_system(sys)
+                    .with_threads(*c)
+                    .with_ops(wide_ops)
+            })
+        })
+        .collect();
+    let wide_results = run_grid(&wide_specs);
+    let wide_base = &wide_results[0];
+    for (si, (name, _)) in SCHEMES.iter().enumerate() {
+        let vals: Vec<String> = wide_results[si * WIDE.len()..(si + 1) * WIDE.len()]
+            .iter()
+            .map(|r| format!("{:.2}", r.speedup_over(wide_base)))
+            .collect();
+        row(name, &vals);
+    }
+    emit_wallclock(
+        "ablation_thread_scaling",
+        t0.elapsed(),
+        &[&results, &wide_results],
+    );
 }

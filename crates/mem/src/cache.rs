@@ -235,16 +235,22 @@ impl LineIndex {
 /// Slots are recycled through a freelist, so steady-state traffic (insert
 /// on fill, remove on eviction) performs no heap allocation once the
 /// resident set has peaked. Alongside each line the slab keeps per-core
-/// presence masks for the private levels — bit `c` of `l1_mask[slot]` is
-/// set iff core `c`'s L1 tag array holds the line.
+/// presence masks for the private levels as fixed-stride multi-word
+/// bitmasks — bit `c % 64` of word `c / 64` in a slot's `l1_mask` stripe
+/// is set iff core `c`'s L1 tag array holds the line. One word covers up
+/// to 64 cores (`mask_words == 1`, the common case, keeps the single-word
+/// fast paths); wider machines get `ceil(cores / 64)` words per slot.
 struct LineSlab {
     /// Line address per slot; [`NO_LINE`] marks a free slot.
     keys: Vec<LineAddr>,
     states: Vec<LineState>,
-    /// Per-slot bitmask of cores whose L1 holds the line.
+    /// Per-slot presence stripes (`mask_words` words each) of cores whose
+    /// L1 holds the line.
     l1_mask: Vec<u64>,
-    /// Per-slot bitmask of cores whose L2 holds the line.
+    /// Per-slot presence stripes of cores whose L2 holds the line.
     l2_mask: Vec<u64>,
+    /// Stripe width in words: `ceil(cores / 64)`, at least 1.
+    mask_words: usize,
     free: Vec<u32>,
     index: LineIndex,
     len: usize,
@@ -255,16 +261,158 @@ struct LineSlab {
 }
 
 impl LineSlab {
-    fn new() -> Self {
+    fn new(mask_words: usize) -> Self {
         LineSlab {
             keys: Vec::new(),
             states: Vec::new(),
             l1_mask: Vec::new(),
             l2_mask: Vec::new(),
+            mask_words: mask_words.max(1),
             free: Vec::new(),
             index: LineIndex::new(),
             len: 0,
             last: Cell::new((EMPTY_KEY, 0)),
+        }
+    }
+
+    /// First word of `slot`'s presence stripe.
+    #[inline]
+    fn mask_base(&self, slot: u32) -> usize {
+        slot as usize * self.mask_words
+    }
+
+    /// Index of the word holding `core`'s bit in `slot`'s stripe. The
+    /// one-word case skips the stride multiply — `core >> 6` is 0 there.
+    #[inline]
+    fn word_of(&self, slot: u32, core: usize) -> usize {
+        if self.mask_words == 1 {
+            slot as usize
+        } else {
+            self.mask_base(slot) + (core >> 6)
+        }
+    }
+
+    #[inline]
+    fn set_l1(&mut self, slot: u32, core: usize) {
+        let i = self.word_of(slot, core);
+        self.l1_mask[i] |= 1u64 << (core & 63);
+    }
+
+    #[inline]
+    fn clear_l1(&mut self, slot: u32, core: usize) {
+        let i = self.word_of(slot, core);
+        self.l1_mask[i] &= !(1u64 << (core & 63));
+    }
+
+    #[inline]
+    fn set_l2(&mut self, slot: u32, core: usize) {
+        let i = self.word_of(slot, core);
+        self.l2_mask[i] |= 1u64 << (core & 63);
+    }
+
+    #[inline]
+    fn clear_l2(&mut self, slot: u32, core: usize) {
+        let i = self.word_of(slot, core);
+        self.l2_mask[i] &= !(1u64 << (core & 63));
+    }
+
+    #[inline]
+    fn test_l1(&self, slot: u32, core: usize) -> bool {
+        let i = self.word_of(slot, core);
+        self.l1_mask[i] & (1u64 << (core & 63)) != 0
+    }
+
+    #[inline]
+    fn test_l2(&self, slot: u32, core: usize) -> bool {
+        let i = self.word_of(slot, core);
+        self.l2_mask[i] & (1u64 << (core & 63)) != 0
+    }
+
+    /// Whether any core other than `core` holds the line privately.
+    ///
+    /// The one-word body stays inline at the call sites (the hot cache
+    /// probe path); the wide loop is kept out-of-line so it does not eat
+    /// the callers' inline budget — same for the other wide variants
+    /// below.
+    #[inline]
+    fn private_elsewhere(&self, slot: u32, core: usize) -> bool {
+        if self.mask_words == 1 {
+            let m = self.l1_mask[slot as usize] | self.l2_mask[slot as usize];
+            return m & !(1u64 << core) != 0;
+        }
+        self.private_elsewhere_wide(slot, core)
+    }
+
+    #[inline(never)]
+    fn private_elsewhere_wide(&self, slot: u32, core: usize) -> bool {
+        let b = self.mask_base(slot);
+        for w in 0..self.mask_words {
+            let mut m = self.l1_mask[b + w] | self.l2_mask[b + w];
+            if w == core >> 6 {
+                m &= !(1u64 << (core & 63));
+            }
+            if m != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Calls `f` for every core holding the line privately, excluding
+    /// `except` if given — ascending core order (word-major, then bit
+    /// order), like the full core scan the masks replace.
+    #[inline]
+    fn for_each_private(&self, slot: u32, except: Option<usize>, mut f: impl FnMut(usize)) {
+        if self.mask_words == 1 {
+            let mut m = self.l1_mask[slot as usize] | self.l2_mask[slot as usize];
+            if let Some(c) = except {
+                m &= !(1u64 << c);
+            }
+            while m != 0 {
+                let c = m.trailing_zeros() as usize;
+                m &= m - 1;
+                f(c);
+            }
+            return;
+        }
+        let b = self.mask_base(slot);
+        for w in 0..self.mask_words {
+            let mut m = self.l1_mask[b + w] | self.l2_mask[b + w];
+            if let Some(c) = except {
+                if w == c >> 6 {
+                    m &= !(1u64 << (c & 63));
+                }
+            }
+            while m != 0 {
+                let c = (w << 6) + m.trailing_zeros() as usize;
+                m &= m - 1;
+                f(c);
+            }
+        }
+    }
+
+    /// Clears both presence stripes except (at most) `core`'s own bits.
+    #[inline]
+    fn retain_only(&mut self, slot: u32, core: usize) {
+        if self.mask_words == 1 {
+            self.l1_mask[slot as usize] &= 1u64 << core;
+            self.l2_mask[slot as usize] &= 1u64 << core;
+            return;
+        }
+        self.retain_only_wide(slot, core)
+    }
+
+    #[inline(never)]
+    fn retain_only_wide(&mut self, slot: u32, core: usize) {
+        let b = self.mask_base(slot);
+        for w in 0..self.mask_words {
+            let keep = if w == core >> 6 {
+                1u64 << (core & 63)
+            } else {
+                0
+            };
+            self.l1_mask[b + w] &= keep;
+            self.l2_mask[b + w] &= keep;
         }
     }
 
@@ -298,16 +446,27 @@ impl LineSlab {
             Some(s) => {
                 self.keys[s as usize] = line;
                 self.states[s as usize] = st;
-                self.l1_mask[s as usize] = 0;
-                self.l2_mask[s as usize] = 0;
+                if self.mask_words == 1 {
+                    self.l1_mask[s as usize] = 0;
+                    self.l2_mask[s as usize] = 0;
+                } else {
+                    let b = s as usize * self.mask_words;
+                    self.l1_mask[b..b + self.mask_words].fill(0);
+                    self.l2_mask[b..b + self.mask_words].fill(0);
+                }
                 s
             }
             None => {
                 let s = self.keys.len() as u32;
                 self.keys.push(line);
                 self.states.push(st);
-                self.l1_mask.push(0);
-                self.l2_mask.push(0);
+                if self.mask_words == 1 {
+                    self.l1_mask.push(0);
+                    self.l2_mask.push(0);
+                } else {
+                    self.l1_mask.resize(self.l1_mask.len() + self.mask_words, 0);
+                    self.l2_mask.resize(self.l2_mask.len() + self.mask_words, 0);
+                }
                 s
             }
         };
@@ -576,9 +735,8 @@ impl CacheHierarchy {
     /// Builds the hierarchy for `cores` cores per `cfg`.
     pub fn new(cfg: &SystemConfig) -> Self {
         let cores = cfg.cores as usize;
-        debug_assert!(cores <= 64, "presence masks hold up to 64 cores");
         CacheHierarchy {
-            slab: LineSlab::new(),
+            slab: LineSlab::new(cores.div_ceil(64)),
             l1: (0..cores).map(|_| TagArray::new(&cfg.l1)).collect(),
             l2: (0..cores).map(|_| TagArray::new(&cfg.l2)).collect(),
             llc: TagArray::new(&cfg.llc),
@@ -618,8 +776,7 @@ impl CacheHierarchy {
             };
         }
         if let Some(slot) = self.llc.lookup(line) {
-            let private = self.slab.l1_mask[slot as usize] | self.slab.l2_mask[slot as usize];
-            let level = if private & !(1u64 << core) != 0 {
+            let level = if self.slab.private_elsewhere(slot, core) {
                 HitLevel::Remote
             } else {
                 HitLevel::Llc
@@ -692,13 +849,11 @@ impl CacheHierarchy {
                 // Back-invalidate only the cores whose private levels hold
                 // the victim (ascending core order, like the full scan the
                 // masks replace).
-                let mut m = self.slab.l1_mask[vslot as usize] | self.slab.l2_mask[vslot as usize];
-                while m != 0 {
-                    let c = m.trailing_zeros() as usize;
-                    m &= m - 1;
-                    self.l1[c].remove(victim);
-                    self.l2[c].remove(victim);
-                }
+                let (slab, l1s, l2s) = (&self.slab, &mut self.l1, &mut self.l2);
+                slab.for_each_private(vslot, None, |c| {
+                    l1s[c].remove(victim);
+                    l2s[c].remove(victim);
+                });
                 let state = self.slab.remove_slot(victim, vslot);
                 self.evictions.total += 1;
                 if forced {
@@ -719,15 +874,15 @@ impl CacheHierarchy {
         // victim keeps its slab entry — only its presence bit dies.
         if !self.l1[core].contains(line) {
             if let Some((_, vslot, _)) = self.l1[core].insert(line, slot, |_| true) {
-                self.slab.l1_mask[vslot as usize] &= !(1u64 << core);
+                self.slab.clear_l1(vslot, core);
             }
-            self.slab.l1_mask[slot as usize] |= 1u64 << core;
+            self.slab.set_l1(slot, core);
         }
         if !self.l2[core].contains(line) {
             if let Some((_, vslot, _)) = self.l2[core].insert(line, slot, |_| true) {
-                self.slab.l2_mask[vslot as usize] &= !(1u64 << core);
+                self.slab.clear_l2(vslot, core);
             }
-            self.slab.l2_mask[slot as usize] |= 1u64 << core;
+            self.slab.set_l2(slot, core);
         }
         self.l1[core].touch(line);
         self.l2[core].touch(line);
@@ -735,16 +890,12 @@ impl CacheHierarchy {
         if kind == AccessKind::Store {
             // Write-invalidate other cores' private copies (ascending core
             // order over the presence masks).
-            let mut m = (self.slab.l1_mask[slot as usize] | self.slab.l2_mask[slot as usize])
-                & !(1u64 << core);
-            while m != 0 {
-                let c = m.trailing_zeros() as usize;
-                m &= m - 1;
-                self.l1[c].remove(line);
-                self.l2[c].remove(line);
-            }
-            self.slab.l1_mask[slot as usize] &= 1u64 << core;
-            self.slab.l2_mask[slot as usize] &= 1u64 << core;
+            let (slab, l1s, l2s) = (&self.slab, &mut self.l1, &mut self.l2);
+            slab.for_each_private(slot, Some(core), |c| {
+                l1s[c].remove(line);
+                l2s[c].remove(line);
+            });
+            self.slab.retain_only(slot, core);
         }
         let latency = match kind {
             // Stores retire through the store buffer: they do not wait for
@@ -851,11 +1002,11 @@ impl CacheHierarchy {
             self.l1[c].lines().all(|l| {
                 self.slab
                     .slot_of(l)
-                    .is_some_and(|s| self.slab.l1_mask[s as usize] & (1 << c) != 0)
+                    .is_some_and(|s| self.slab.test_l1(s, c))
             }) && self.l2[c].lines().all(|l| {
                 self.slab
                     .slot_of(l)
-                    .is_some_and(|s| self.slab.l2_mask[s as usize] & (1 << c) != 0)
+                    .is_some_and(|s| self.slab.test_l2(s, c))
             })
         });
         llc_ok && priv_ok && store_ok && masks_ok
@@ -910,6 +1061,51 @@ mod tests {
         h.access(0, LineAddr(1), AccessKind::Load, fill(), 0);
         let a = h.access(1, LineAddr(1), AccessKind::Load, None, 0);
         assert_eq!(a.level, HitLevel::Remote);
+    }
+
+    #[test]
+    fn many_core_hierarchy_crosses_mask_words() {
+        // 128 cores: the presence stripes are two words per slot. Cores
+        // from different words share, detect remote hits, and get
+        // write-invalidated exactly like the single-word fast path.
+        let mut cfg = SystemConfig::small();
+        cfg.cores = 128;
+        let mut h = CacheHierarchy::new(&cfg);
+        let line = LineAddr(1);
+        for core in [0usize, 3, 63, 64, 70, 127] {
+            h.access(
+                core,
+                line,
+                AccessKind::Load,
+                (core == 0).then_some(([7u8; LINE_SIZE], true)),
+                0,
+            );
+        }
+        // Every sharer now hits locally; an outsider sees a remote hit.
+        for core in [3usize, 64, 127] {
+            assert_eq!(h.peek_level(core, line), HitLevel::L1, "core {core}");
+        }
+        assert_eq!(h.peek_level(9, line), HitLevel::Remote);
+        assert!(h.check_inclusive());
+        // A store from a high-word core invalidates all other sharers.
+        h.access(70, line, AccessKind::Store, None, 0);
+        for core in [0usize, 3, 63, 64, 127] {
+            assert_eq!(h.peek_level(core, line), HitLevel::Remote, "core {core}");
+        }
+        assert_eq!(h.peek_level(70, line), HitLevel::L1);
+        assert!(h.check_inclusive());
+        // Evicting the line back-invalidates sharers across both words.
+        h.access(127, line, AccessKind::Load, None, 0);
+        let span = 4 * (cfg.llc.size_bytes / 64);
+        for i in 2..span + 2 {
+            if !h.contains(LineAddr(i)) {
+                h.access(1, LineAddr(i), AccessKind::Load, Some(([0; 64], false)), 0);
+            }
+        }
+        assert!(!h.contains(line), "line evicted by LLC pressure");
+        assert_eq!(h.peek_level(70, line), HitLevel::Memory);
+        assert_eq!(h.peek_level(127, line), HitLevel::Memory);
+        assert!(h.check_inclusive());
     }
 
     #[test]

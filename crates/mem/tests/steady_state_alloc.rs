@@ -104,7 +104,12 @@ fn steady_state_hot_paths_do_not_allocate() {
     assert_eq!(n, 0, "cache slab/tag steady state must not allocate");
 
     // --- MemSystem: WPQ submit/drain churn over a warmed channel (the
-    // forward-index nodes recycle through the channel freelist).
+    // forward-index nodes recycle through the channel freelist). The
+    // round stride is a multiple of the calendar's bucket ring
+    // (64-cycle buckets × 256 slots = 16384 cycles) so every round lands
+    // on the same bucket slots with the same occupancy — the warm-up
+    // pass then sizes exactly the per-slot capacity the measured pass
+    // reuses.
     let mut mem = MemSystem::new(&cfg);
     let mut image = MemoryImage::new();
     let mut t = 0u64;
@@ -114,7 +119,7 @@ fn steady_state_hot_paths_do_not_allocate() {
                 mem.submit(dpo(pm_line(i % 16), round as u8), Cycle(t));
                 t += 50;
             }
-            t += 10_000;
+            t += 14_784; // 32 × 50 + 14_784 = 16_384, one full bucket ring
             mem.advance_to(Cycle(t), image);
             while mem.pop_event().is_some() {}
         }

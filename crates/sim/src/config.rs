@@ -284,6 +284,7 @@ impl Default for SystemConfig {
 /// reported instead of silently ignored.
 pub const KNOWN_ASAP_ENV: &[&str] = &[
     "ASAP_BENCHES",
+    "ASAP_CELL_JOBS",
     "ASAP_DEBUG_RECOVERY",
     "ASAP_EVENTS",
     "ASAP_JOBS",

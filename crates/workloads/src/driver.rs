@@ -239,6 +239,18 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
             bench
                 .verify(&mut m)
                 .expect("structural invariants after run");
+            // Cross-validate the sharer presence masks against the tag
+            // arrays. The walk is O(cache) with a hash probe per line,
+            // so release builds only pay it for >64-core machines —
+            // the multi-word-mask stripes the unit tests can't cover at
+            // full figure scale; debug builds (the test suites) check
+            // every run.
+            if cfg!(debug_assertions) || spec.system.cores > 64 {
+                assert!(
+                    m.hw().caches.check_inclusive(),
+                    "cache inclusion/presence-mask invariant violated after drain"
+                );
+            }
             (exec, drained, None)
         }
         RunOutcome::Crashed => {
@@ -310,6 +322,18 @@ fn flush_host_metrics(m: &Machine) {
     metrics::counter("pmem.image.index_probes").add(img.index_probes);
     metrics::counter("sim.calendar.full_scans").add(m.hw().mem.calendar_full_scans());
     metrics::gauge("mem.fwd_slab.hwm").set_max(m.hw().mem.fwd_slab_hwm());
+    // Domain-partitioned backend (DESIGN.md §12): per-channel event
+    // volume, how often the parallel window engaged, cross-domain
+    // out-event exchange, and host nanoseconds spent in the serial
+    // replay merge (the "frontier stall" the partition pays for
+    // exactness).
+    let (per_domain, windows, exchange, stall_ns) = m.hw().mem.domain_metrics();
+    for (ch, n) in per_domain.iter().enumerate() {
+        metrics::counter(&format!("sim.domain.ch{ch}.events")).add(*n);
+    }
+    metrics::counter("sim.domain.par_windows").add(windows);
+    metrics::counter("sim.domain.exchange.events").add(exchange);
+    metrics::counter("sim.domain.merge_stall_ns").add(stall_ns);
 }
 
 #[cfg(test)]

@@ -171,6 +171,77 @@ fn env_driven_grid_matches_serial_reference() {
     }
 }
 
+/// Resets the intra-cell parallelism overrides even if a comparison
+/// panics, so a failure here cannot leak window-mode state into other
+/// tests in this binary.
+struct CellJobsGuard;
+
+impl Drop for CellJobsGuard {
+    fn drop(&mut self) {
+        asap_mem::set_cell_jobs(None);
+        asap_mem::set_parallel_window_min(None);
+    }
+}
+
+/// Intra-cell parallelism (`ASAP_CELL_JOBS`) must be a pure wall-clock
+/// optimization exactly like the harness pool: domain-partitioned
+/// windows drained on worker threads and replayed through the serial
+/// merge have to leave every observable — counters, float telemetry,
+/// hot-line rankings, crash-recovery reports — byte-identical to the
+/// single-wheel serial engine. Unlike the pool tests this varies the
+/// engine *inside* one simulation, so it runs multi-threaded,
+/// multi-channel cells plus a crash cell whose recovery replays from an
+/// image flushed right after parallel windows.
+#[test]
+fn intra_cell_parallel_cells_are_identical_to_serial() {
+    let mut specs = vec![
+        WorkloadSpec::new(BenchId::Q, SchemeKind::Asap)
+            .with_threads(4)
+            .with_ops(40),
+        WorkloadSpec::new(BenchId::Hm, SchemeKind::SwUndo)
+            .with_threads(2)
+            .with_ops(30),
+        WorkloadSpec::new(BenchId::Bt, SchemeKind::HwRedo)
+            .with_threads(2)
+            .with_ops(30),
+        // Telemetry cell: the sampler runs on virtual time, so its JSON
+        // exports must not notice the engine swap either.
+        WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap)
+            .with_threads(2)
+            .with_ops(25)
+            .with_telemetry(TelemetrySettings::enabled()),
+        // Crash-recovery cell: the power failure lands after parallel
+        // windows have run, so the ADR flush and recovery replay start
+        // from merged state.
+        WorkloadSpec::new(BenchId::Hm, SchemeKind::HwUndo)
+            .with_threads(2)
+            .with_ops(30)
+            .with_tracking()
+            .with_crash_after(40),
+    ];
+    // A long-residency WPQ keeps channels busy across window boundaries.
+    let mut delayed = asap_sim::SystemConfig::table2();
+    delayed.mem.wpq_residency = 4096;
+    specs.push(
+        WorkloadSpec::new(BenchId::Tpcc, SchemeKind::Asap)
+            .with_threads(2)
+            .with_ops(15)
+            .with_system(delayed),
+    );
+
+    let serial = run_grid_with(&specs, 1, &RunCacheConfig::off());
+    let _guard = CellJobsGuard;
+    asap_mem::set_cell_jobs(Some(4));
+    // Window-size floor of zero forces the parallel path to engage on
+    // every eligible advance, not just event bursts.
+    asap_mem::set_parallel_window_min(Some(0));
+    let parallel = run_grid_with(&specs, 1, &RunCacheConfig::off());
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_identical(a, b);
+    }
+}
+
 /// Results come back in spec order, not completion order.
 #[test]
 fn results_preserve_spec_order() {
