@@ -62,6 +62,55 @@ cmp target/obs_on_j4.out target/runcache_pass1.out \
 rm -f "$EV_FILE"
 echo "    event stream parseable and balanced; bench stdout byte-identical"
 
+echo "==> obs-endpoint smoke (ASAP_HTTP live endpoints, stdout byte-identical)"
+# Byte-identity first: quick fig7 passes with the server on must print
+# exactly what the server-off pass (runcache_pass1.out) printed, at
+# jobs 1 and 4. ASAP_RUNCACHE=off so the grid really runs.
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= ASAP_RUNCACHE=off \
+  ASAP_HTTP=127.0.0.1:0 \
+  cargo bench -p asap-bench --bench fig7_speedup >target/obs_http_j1.out 2>/dev/null
+cmp target/obs_http_j1.out target/runcache_pass1.out \
+  || { echo "HTTP FAILURE: stdout changed with ASAP_HTTP on (jobs=1)" >&2; exit 1; }
+ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=4 ASAP_WALLCLOCK= ASAP_RUNCACHE=off \
+  ASAP_HTTP=127.0.0.1:0 \
+  cargo bench -p asap-bench --bench fig7_speedup >target/obs_http_j4.out 2>/dev/null
+cmp target/obs_http_j4.out target/runcache_pass1.out \
+  || { echo "HTTP FAILURE: stdout changed with ASAP_HTTP on (jobs=4)" >&2; exit 1; }
+# Live-endpoint fetches: a longer background run (bigger ops so the
+# server is still up), port discovered from the stderr note, fetched
+# with the std-only obs_client (no curl dependency in CI).
+cargo build --release -q --example obs_client
+HTTP_ERR=target/obs_http_live.err
+: >"$HTTP_ERR"
+ASAP_BENCHES=HM ASAP_OPS=2000 ASAP_JOBS=1 ASAP_WALLCLOCK= ASAP_RUNCACHE=off \
+  ASAP_HTTP=127.0.0.1:0 \
+  cargo bench -p asap-bench --bench fig7_speedup >target/obs_http_live.out 2>"$HTTP_ERR" &
+HTTP_PID=$!
+ADDR=
+for _ in $(seq 1 300); do
+  ADDR=$(sed -n 's|.*http server listening on http://||p' "$HTTP_ERR" | head -1)
+  [ -n "$ADDR" ] && break
+  kill -0 "$HTTP_PID" 2>/dev/null || break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "HTTP FAILURE: server address never appeared on stderr" >&2; \
+                    cat "$HTTP_ERR" >&2; kill "$HTTP_PID" 2>/dev/null || true; exit 1; }
+./target/release/examples/obs_client "$ADDR" /metrics >target/obs_http_metrics.txt \
+  || { echo "HTTP FAILURE: /metrics not 200" >&2; kill "$HTTP_PID" 2>/dev/null || true; exit 1; }
+grep -q "^# TYPE asap_" target/obs_http_metrics.txt \
+  || { echo "HTTP FAILURE: /metrics is not Prometheus exposition" >&2; exit 1; }
+./target/release/examples/obs_client "$ADDR" /progress >target/obs_http_progress.json \
+  || { echo "HTTP FAILURE: /progress not 200" >&2; kill "$HTTP_PID" 2>/dev/null || true; exit 1; }
+grep -q '"active":true' target/obs_http_progress.json \
+  || { echo "HTTP FAILURE: /progress JSON malformed" >&2; exit 1; }
+./target/release/examples/obs_client "$ADDR" /events 4096 >target/obs_http_events.txt \
+  || { echo "HTTP FAILURE: /events not 200" >&2; kill "$HTTP_PID" 2>/dev/null || true; exit 1; }
+grep -q '"ev":"run_meta"' target/obs_http_events.txt \
+  || { echo "HTTP FAILURE: /events tail missing run_meta header" >&2; exit 1; }
+wait "$HTTP_PID" \
+  || { echo "HTTP FAILURE: observed fig7 run failed" >&2; exit 1; }
+echo "    endpoints live (200s), stdout byte-identical at jobs 1 and 4"
+
 echo "==> intra-cell parallelism smoke (ASAP_CELL_JOBS=2 vs serial engine)"
 ASAP_BENCHES=HM ASAP_OPS=10 ASAP_JOBS=1 ASAP_WALLCLOCK= ASAP_RUNCACHE=off \
   ASAP_CELL_JOBS=2 \

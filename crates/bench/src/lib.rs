@@ -24,7 +24,13 @@
 //!   telemetry JSON (default `target/telemetry/`; empty disables);
 //! - `ASAP_RUNCACHE` / `ASAP_RUNCACHE_DIR` / `ASAP_RUNCACHE_CAP` —
 //!   content-addressed result memoization (`off`/`mem`/`disk`, default
-//!   `mem`; see [`runcache`]).
+//!   `mem`; see [`runcache`]);
+//! - `ASAP_PROGRESS` — live status line on stderr (`1`/`on` enable);
+//! - `ASAP_HTTP` — address for the live observability HTTP server
+//!   (e.g. `127.0.0.1:0`), started per grid run and stopped at grid
+//!   end: `/metrics`, `/metrics.json`, `/events`, `/progress`,
+//!   `/report` (see DESIGN.md §13). Purely an observer — figure stdout
+//!   is byte-identical with the server on or off.
 //!
 //! Unrecognized `ASAP_`-prefixed variables draw a warning on stderr at
 //! grid startup (see [`asap_sim::warn_unknown_asap_env`]) — a typo'd
@@ -38,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod progress;
+mod report;
 pub mod runcache;
 
 use std::collections::HashMap;
@@ -128,6 +135,9 @@ pub fn run_grid_with(
     cache: &RunCacheConfig,
 ) -> Vec<RunResult> {
     asap_sim::warn_unknown_asap_env();
+    // Start before the first emit so grid_start lands in the hub backlog
+    // and reaches /events subscribers that connect mid-run.
+    let server = start_obs_server();
     let events_on = events::enabled();
     let progress = Progress::from_env(specs.len());
     let t0 = Instant::now();
@@ -171,7 +181,57 @@ pub fn run_grid_with(
         // the figure's stdout must not depend on cache state).
         obs::note!("{}", runcache::summary_line(&runcache::counters()));
     }
+    if let Some(server) = server {
+        // Graceful: streams drain their pending batches, see the hub
+        // close, and every connection thread is joined before we return.
+        report::set_live(false);
+        server.shutdown();
+    }
     results
+}
+
+/// The bench-side routes `run_grid` registers on the `ASAP_HTTP` server
+/// on top of the built-ins (`/metrics`, `/metrics.json`, `/events`):
+/// `/progress` (live grid progress JSON) and `/report` (the HTML run
+/// report regenerated from current state). Public so embedders — tests
+/// today, the simulation-as-a-service daemon the ROADMAP aims at — can
+/// mount the same endpoints on a server they manage themselves.
+pub fn obs_routes() -> Vec<(String, obs::http::Handler)> {
+    vec![
+        (
+            "/progress".to_string(),
+            Box::new(|| obs::http::Response::json(progress::progress_json())),
+        ),
+        (
+            "/report".to_string(),
+            Box::new(|| obs::http::Response::html(report::render_html())),
+        ),
+    ]
+}
+
+/// Starts the `ASAP_HTTP` observability server for one grid run, with
+/// the [`obs_routes`] registered on top of the built-ins. A bind
+/// failure warns and returns `None` — the observer must never fail the
+/// run it observes.
+fn start_obs_server() -> Option<obs::http::Server> {
+    let addr = std::env::var("ASAP_HTTP").ok()?;
+    let addr = addr.trim().to_string();
+    if addr.is_empty() {
+        return None;
+    }
+    match obs::http::Server::start(&addr, obs_routes()) {
+        Ok(server) => {
+            // Load-bearing note: ci.sh discovers the ephemeral port of
+            // `ASAP_HTTP=127.0.0.1:0` runs by grepping this line.
+            obs::note!("obs: http server listening on http://{}", server.addr());
+            report::set_live(true);
+            Some(server)
+        }
+        Err(e) => {
+            obs::warn!("obs: could not bind ASAP_HTTP={addr}: {e}; running without server");
+            None
+        }
+    }
 }
 
 /// The cached path of [`run_grid_with`]: probe the tiers, simulate the
@@ -336,6 +396,15 @@ fn emit_cell_start(spec: &WorkloadSpec, fp: &Fingerprint) {
 /// (simulated), `"mem"`/`"disk"` (tier hit), or `"dedup"` (intra-grid
 /// fan-out copy).
 fn emit_cell_end(spec: &WorkloadSpec, fp: &Fingerprint, cache: &str, r: &RunResult, host_us: u64) {
+    if report::is_live() {
+        report::note_cell(report::CellNote {
+            bench: spec.bench.label().to_string(),
+            scheme: spec.scheme.name().to_string(),
+            cache: cache.to_string(),
+            host_us,
+            sim_cycles: r.exec_cycles,
+        });
+    }
     if !events::enabled() {
         return;
     }

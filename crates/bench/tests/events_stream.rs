@@ -137,10 +137,28 @@ fn stream_is_parseable_paired_and_jobs_invariant() {
                         Some(specs.len() as u64)
                     );
                 }
+                "run_meta" => {
+                    // The stream header: first record of every stream.
+                    assert_eq!(
+                        field(&v, "schema").and_then(Value::as_str),
+                        Some(events::SCHEMA)
+                    );
+                    assert!(field(&v, "build").and_then(Value::as_str).is_some());
+                    assert!(field(&v, "jobs").and_then(Value::as_u64).is_some());
+                    assert!(matches!(field(&v, "knobs"), Some(Value::Obj(_))));
+                }
                 other => panic!("unexpected record kind {other}"),
             }
             *kinds.entry(ev).or_default() += 1;
         }
+        assert_eq!(kinds.get("run_meta"), Some(&1));
+        assert_eq!(
+            text.lines()
+                .next()
+                .map(|l| l.contains("\"ev\":\"run_meta\"")),
+            Some(true),
+            "run_meta heads the stream"
+        );
         assert_eq!(kinds.get("grid_start"), Some(&1));
         assert_eq!(kinds.get("grid_end"), Some(&1));
         assert_eq!(kinds.get("cell_start"), Some(&specs.len()));

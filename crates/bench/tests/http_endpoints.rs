@@ -1,0 +1,205 @@
+//! Integration tests for the live observability endpoint
+//! (`asap_sim::obs::http` + the bench routes): every endpoint answers
+//! over a real loopback socket, malformed input gets clean error codes,
+//! and — the load-bearing claim — a subscriber that stops reading is
+//! dropped with accounting while the worker pool finishes unimpeded.
+//!
+//! One `#[test]` on purpose: the metrics registry, events hub, and
+//! progress slot are process-global, so parallel test fns would race.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use asap_bench::{obs_routes, run_grid_with, runcache::RunCacheConfig};
+use asap_core::scheme::SchemeKind;
+use asap_sim::json::{self, Value};
+use asap_sim::obs::events::{self, HubWait};
+use asap_sim::obs::http::{Server, MAX_REQUEST_LINE};
+use asap_sim::obs::metrics;
+use asap_workloads::{BenchId, WorkloadSpec};
+
+/// Sends raw request bytes and returns the full response as text.
+fn send_raw(addr: &str, req: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(req).expect("request written");
+    let _ = s.shutdown(std::net::Shutdown::Write);
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// A well-formed GET; returns `(status, body)`.
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let resp = send_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+    );
+    let status: u16 = resp
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {resp:?}"));
+    let body = resp
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn endpoints_serve_and_slow_clients_never_stall_the_pool() {
+    let server = Server::start("127.0.0.1:0", obs_routes()).expect("bind loopback");
+    let addr = server.addr().to_string();
+
+    // The hub alone turns the event stream on — cell records will flow
+    // to /events subscribers with no ASAP_EVENTS file sink configured.
+    assert!(events::enabled());
+
+    // --- Request handling edge cases (quiesced server) --------------------
+    let (status, _) = get(&addr, "/no/such/endpoint");
+    assert_eq!(status, 404);
+    assert!(send_raw(&addr, b"POST /metrics HTTP/1.1\r\n\r\n").starts_with("HTTP/1.1 405"));
+    assert!(send_raw(&addr, b"total garbage\r\n\r\n").starts_with("HTTP/1.1 400"));
+    // Partial request: line cut mid-path, then EOF.
+    assert!(send_raw(&addr, b"GET /metr").starts_with("HTTP/1.1 400"));
+    // Oversized request line, no terminator — bounded memory, clean 431.
+    let mut big = b"GET /".to_vec();
+    big.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + 64));
+    assert!(send_raw(&addr, &big).starts_with("HTTP/1.1 431"));
+
+    // --- Slow-client drop while a grid runs --------------------------------
+    // A wedged socket client: asks for /events, then never reads.
+    let mut wedged = TcpStream::connect(&addr).expect("connect");
+    wedged
+        .write_all(b"GET /events HTTP/1.1\r\n\r\n")
+        .expect("request written");
+
+    // And a deterministic laggard at the hub level: a 2-record queue
+    // that is never drained (socket buffers would otherwise absorb a
+    // small grid's records nondeterministically).
+    let laggard = events::subscribe_with_cap(2).expect("hub active");
+    let dropped_before = metrics::counter_value(events::DROPPED_COUNTER);
+
+    let specs: Vec<WorkloadSpec> = [BenchId::Q, BenchId::Hm, BenchId::Ss]
+        .into_iter()
+        .flat_map(|b| {
+            [SchemeKind::Asap, SchemeKind::SwUndo]
+                .into_iter()
+                .map(move |s| WorkloadSpec::new(b, s).with_threads(2).with_ops(20))
+        })
+        .collect();
+    let t0 = Instant::now();
+    let results = run_grid_with(&specs, 4, &RunCacheConfig::off());
+    let grid_elapsed = t0.elapsed();
+    assert_eq!(results.len(), specs.len());
+    // The pool finished despite two non-consuming subscribers. The bound
+    // is generous (CI machines stall), but a *blocked* pool would hang
+    // this test outright — finishing at all is the real assertion.
+    assert!(
+        grid_elapsed < Duration::from_secs(120),
+        "pool stalled: {grid_elapsed:?}"
+    );
+
+    // The laggard was dropped with accounting, not waited on.
+    assert!(
+        metrics::counter_value(events::DROPPED_COUNTER) > dropped_before,
+        "laggard drop must increment {}",
+        events::DROPPED_COUNTER
+    );
+    match laggard.wait(Duration::from_millis(50)) {
+        HubWait::Ended { dropped } => assert!(dropped, "laggard must end as dropped"),
+        _ => panic!("laggard must observe its drop"),
+    }
+
+    // --- Live endpoints after the grid -------------------------------------
+    // /metrics.json first, then /metrics: the run counters are quiesced
+    // between the two fetches (only obs.http.* move), so values must
+    // agree across formats.
+    let (status, body) = get(&addr, "/metrics.json");
+    assert_eq!(status, 200);
+    let snap = json::parse(&body).expect("/metrics.json parses");
+    let lookups = snap
+        .get("counters")
+        .and_then(|c| c.get("pmem.image.lookups"))
+        .and_then(Value::as_u64)
+        .expect("pmem.image.lookups after a grid");
+    assert!(lookups > 0);
+
+    let (status, prom) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        prom.contains(&format!("asap_pmem_image_lookups_total {lookups}")),
+        "Prometheus value must match the JSON snapshot"
+    );
+    assert!(prom.contains("# TYPE asap_obs_http_requests_total counter"));
+
+    let (status, prog) = get(&addr, "/progress");
+    assert_eq!(status, 200);
+    let prog = json::parse(&prog).expect("/progress parses");
+    assert!(matches!(prog.get("active"), Some(Value::Bool(true))));
+    assert_eq!(
+        prog.get("done").and_then(Value::as_u64),
+        Some(specs.len() as u64)
+    );
+    assert_eq!(
+        prog.get("total").and_then(Value::as_u64),
+        Some(specs.len() as u64)
+    );
+
+    let (status, report) = get(&addr, "/report");
+    assert_eq!(status, 200);
+    assert!(report.starts_with("<!doctype html>"));
+    assert!(report.contains("ASAP live run report"));
+
+    // --- /events replays the grid from the hub backlog ---------------------
+    let mut ev = TcpStream::connect(&addr).expect("connect");
+    ev.set_read_timeout(Some(Duration::from_millis(500)))
+        .unwrap();
+    ev.write_all(b"GET /events HTTP/1.1\r\n\r\n").unwrap();
+    let mut tail = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        match ev.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                tail.extend_from_slice(&chunk[..n]);
+                if String::from_utf8_lossy(&tail).contains("\"ev\":\"grid_end\"") {
+                    break;
+                }
+            }
+            Err(_) => break, // idle stream: backlog fully replayed
+        }
+    }
+    let tail = String::from_utf8_lossy(&tail);
+    assert!(tail.starts_with("HTTP/1.1 200"));
+    assert!(tail.contains("Transfer-Encoding: chunked"));
+    for ev_kind in [
+        "run_meta",
+        "grid_start",
+        "cell_start",
+        "cell_end",
+        "grid_end",
+    ] {
+        assert!(
+            tail.contains(&format!("\"ev\":\"{ev_kind}\"")),
+            "/events replay missing {ev_kind}"
+        );
+    }
+    drop(ev);
+
+    // --- Graceful shutdown with the wedged client still attached -----------
+    let t0 = Instant::now();
+    server.shutdown();
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "shutdown must not wait on the wedged client"
+    );
+    assert!(!events::enabled(), "hub deactivated with the server");
+    drop(wedged);
+
+    // Post-shutdown: connections are refused or reset, never hang.
+    assert!(events::subscribe().is_none());
+}

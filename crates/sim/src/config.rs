@@ -287,6 +287,7 @@ pub const KNOWN_ASAP_ENV: &[&str] = &[
     "ASAP_CELL_JOBS",
     "ASAP_DEBUG_RECOVERY",
     "ASAP_EVENTS",
+    "ASAP_HTTP",
     "ASAP_JOBS",
     "ASAP_LOG",
     "ASAP_MICRO_ITERS",

@@ -1,0 +1,543 @@
+//! Live observability endpoint: a std-only HTTP/1.1 server over
+//! [`std::net::TcpListener`] (hand-rolled, matching the repo's no-deps
+//! style) exposing the host observability bus while a grid runs.
+//!
+//! Built-in endpoints:
+//!
+//! | path            | content                                            |
+//! |-----------------|----------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition of the metrics registry |
+//! | `/metrics.json` | raw [`metrics::snapshot_json`] registry snapshot   |
+//! | `/events`       | chunked live tail of the `asap-events-v1` stream   |
+//!
+//! Embedders register extra routes (`/progress`, `/report` in the bench
+//! harness) as closures. The server observes, never participates: every
+//! handler reads process-global state, a wedged client can only lose
+//! *its own* records (see the broadcast-hub backpressure rule in
+//! [`events`]), and the simulated results plus figure stdout are
+//! byte-identical with the server on or off.
+//!
+//! Request handling is deliberately narrow — `GET` only, no keep-alive,
+//! no body reads — and defensive: malformed request lines and truncated
+//! reads answer `400`, oversized request lines or header blocks answer
+//! `431`, unknown paths `404`, other methods `405`. The parser is
+//! proptested (`crates/sim/tests/http_parser.rs`) to never panic on
+//! arbitrary bytes.
+//!
+//! # Prometheus name mapping
+//!
+//! Registry names (`runcache.mem_hits`, `pool.worker0.cells`) are
+//! sanitized for the exposition format: every character outside
+//! `[a-zA-Z0-9_:]` becomes `_`, a leading digit gets a `_` prefix, and
+//! the whole name is prefixed `asap_`. Counters additionally get the
+//! conventional `_total` suffix; histograms render as summaries
+//! (`quantile="0.5"`/`"0.99"` labels plus `_sum`/`_count`). Registry
+//! names are dot-separated lowercase by construction, so the mapping is
+//! injective in practice; values are exactly the registry values, so
+//! `/metrics` and `/metrics.json` agree at any instant.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::obs::{events, metrics};
+
+/// Hard cap on the request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+
+/// Hard cap on the whole header block (request line included).
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+
+/// How long a connection may sit idle before its read is abandoned.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How long one response write may block before the client is treated
+/// as wedged (and, on `/events`, dropped with accounting).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How often streaming handlers re-check the shutdown flag.
+const STREAM_POLL: Duration = Duration::from_millis(200);
+
+/// A route handler: pure snapshot of current state, no request inputs
+/// (every endpoint is a `GET` of "what does the process look like now").
+pub type Handler = Box<dyn Fn() -> Response + Send + Sync>;
+
+/// A complete non-streaming HTTP response.
+pub struct Response {
+    /// HTTP status code (200, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with `Content-Type: text/plain`.
+    pub fn text(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` with `Content-Type: application/json`.
+    pub fn json(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` with `Content-Type: text/html`.
+    pub fn html(body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// An error response with the standard reason phrase as its body.
+    pub fn error(status: u16) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{status} {}\n", reason(status)).into_bytes(),
+        }
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+/// Why a request was rejected; [`ParseError::status`] maps each cause
+/// to the response code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Not a syntactically valid HTTP/1.x request line.
+    Malformed,
+    /// Request line or header block over the hard caps.
+    TooLarge,
+    /// Syntactically fine, but a method other than `GET`.
+    BadMethod,
+}
+
+impl ParseError {
+    /// The HTTP status answering this rejection.
+    pub fn status(self) -> u16 {
+        match self {
+            ParseError::Malformed => 400,
+            ParseError::TooLarge => 431,
+            ParseError::BadMethod => 405,
+        }
+    }
+}
+
+/// Parses an HTTP/1.x request line (`GET /path?query HTTP/1.1`) into
+/// the request target with any query string stripped. Rejections are
+/// typed, never panics — the proptests drive this with arbitrary bytes.
+pub fn parse_request_line(line: &[u8]) -> Result<String, ParseError> {
+    if line.len() > MAX_REQUEST_LINE {
+        return Err(ParseError::TooLarge);
+    }
+    let line = std::str::from_utf8(line).map_err(|_| ParseError::Malformed)?;
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut parts = line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed);
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(ParseError::Malformed);
+    }
+    if !target.starts_with('/') || target.chars().any(|c| c.is_ascii_control()) {
+        return Err(ParseError::Malformed);
+    }
+    if method != "GET" {
+        // Methods are tokens; anything with non-token bytes is garbage,
+        // not a "method we don't allow".
+        if method.is_empty() || !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+            return Err(ParseError::Malformed);
+        }
+        return Err(ParseError::BadMethod);
+    }
+    let path = target.split(['?', '#']).next().unwrap_or(target);
+    Ok(path.to_string())
+}
+
+/// Reads from `stream` until the end of the header block and parses the
+/// request line. Truncated or non-HTTP input is `Malformed`; an input
+/// that keeps going past [`MAX_HEADER_BYTES`] (or whose request line
+/// alone passes [`MAX_REQUEST_LINE`]) is `TooLarge`.
+fn read_request(stream: &mut TcpStream) -> Result<String, ParseError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        // Oversize checks first so a huge request line fails as such
+        // even before its terminating newline ever arrives.
+        let line_end = buf.iter().position(|&b| b == b'\n');
+        if line_end.is_none() && buf.len() > MAX_REQUEST_LINE {
+            return Err(ParseError::TooLarge);
+        }
+        if let Some(end) = line_end {
+            if end > MAX_REQUEST_LINE {
+                return Err(ParseError::TooLarge);
+            }
+            // Full header block seen (or the connection half-closed)?
+            if find_header_end(&buf).is_some() {
+                return parse_request_line(&buf[..end]);
+            }
+            if buf.len() > MAX_HEADER_BYTES {
+                return Err(ParseError::TooLarge);
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                // EOF before the blank line: a partial request. If the
+                // request line itself arrived complete, honor it (HTTP/1.0
+                // clients and the ci smoke client close eagerly).
+                return match line_end {
+                    Some(end) => parse_request_line(&buf[..end]),
+                    None => Err(ParseError::Malformed),
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ParseError::Malformed),
+        }
+    }
+}
+
+/// Position just past the `\r\n\r\n` (or bare `\n\n`) header terminator.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+/// Sanitizes a registry metric name into a Prometheus metric name (see
+/// the module docs for the full mapping rule).
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("asap_");
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the current metrics registry as Prometheus text exposition
+/// (version 0.0.4): counters as `counter` with `_total`, gauges as
+/// `gauge`, histograms as `summary`.
+pub fn prometheus_text() -> String {
+    let snap = metrics::snapshot();
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = format!("{}_total", prom_name(name));
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        let s = h.summary();
+        out.push_str(&format!(
+            "# TYPE {n} summary\n\
+             {n}{{quantile=\"0.5\"}} {}\n\
+             {n}{{quantile=\"0.99\"}} {}\n\
+             {n}_sum {}\n\
+             {n}_count {}\n",
+            h.quantile(0.50),
+            h.quantile(0.99),
+            s.sum,
+            s.count,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// A running observability server. Dropping (or explicitly
+/// [`shutdown`](Server::shutdown)-ing) it stops the accept loop, ends
+/// every `/events` stream, and joins the worker threads.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port), starts
+    /// the accept loop, and activates the events broadcast hub. `extra`
+    /// routes are consulted after the built-in ones.
+    pub fn start(addr: &str, extra: Vec<(String, Handler)>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        events::hub_activate();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let routes = Arc::new(extra);
+            std::thread::Builder::new()
+                .name("asap-obs-http".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let stop = Arc::clone(&stop);
+                        let routes = Arc::clone(&routes);
+                        let handle = std::thread::Builder::new()
+                            .name("asap-obs-conn".into())
+                            .spawn(move || serve_connection(stream, &routes, &stop));
+                        let mut conns = conns.lock().unwrap();
+                        // Reap finished threads so a long-lived server
+                        // doesn't accumulate handles.
+                        conns.retain(|h| !h.is_finished());
+                        if let Ok(h) = handle {
+                            conns.push(h);
+                        }
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr,
+            stop,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The actually bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, end the event streams, join
+    /// every connection thread. Idempotent via [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Closing the hub ends /events streams (their subscribers see
+        // Ended) so connection threads wind down on their own.
+        events::hub_deactivate();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.conns.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serves one connection: read, parse, dispatch, close.
+fn serve_connection(mut stream: TcpStream, routes: &[(String, Handler)], stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    metrics::counter("obs.http.requests").inc();
+    let path = match read_request(&mut stream) {
+        Ok(path) => path,
+        Err(e) => {
+            write_response(&mut stream, &Response::error(e.status()));
+            return;
+        }
+    };
+    match path.as_str() {
+        "/metrics" => write_response(&mut stream, &Response::text(prometheus_text())),
+        "/metrics.json" => write_response(&mut stream, &Response::json(metrics::snapshot_json())),
+        "/events" => stream_events(&mut stream, stop),
+        _ => {
+            let resp = routes
+                .iter()
+                .find(|(p, _)| p == &path)
+                .map_or_else(|| Response::error(404), |(_, h)| h());
+            write_response(&mut stream, &resp);
+        }
+    }
+}
+
+/// Writes a complete response; errors are ignored (the client is gone).
+fn write_response(stream: &mut TcpStream, resp: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n\
+         Cache-Control: no-store\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(&resp.body));
+}
+
+/// The `/events` endpoint: an HTTP/1.1 chunked stream of NDJSON
+/// records. Subscribes to the broadcast hub (replaying its backlog
+/// first), forwards records as they arrive, and ends cleanly when the
+/// hub closes, the server stops, or this client proves too slow —
+/// in which case it is dropped with accounting, never waited on.
+fn stream_events(stream: &mut TcpStream, stop: &AtomicBool) {
+    let Some(sub) = events::subscribe() else {
+        write_response(stream, &Response::error(404));
+        return;
+    };
+    metrics::counter("obs.http.events_clients").inc();
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                Transfer-Encoding: chunked\r\nCache-Control: no-store\r\n\
+                Connection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        sub.drop_with_accounting();
+        return;
+    }
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match sub.wait(STREAM_POLL) {
+            events::HubWait::Batch(batch) => {
+                let mut chunk = String::new();
+                for line in &batch {
+                    chunk.push_str(&format!("{:x}\r\n{line}\r\n", line.len()));
+                }
+                // A timed-out write means the client stopped reading and
+                // its socket buffer is full: same laggard, same rule.
+                if stream.write_all(chunk.as_bytes()).is_err() {
+                    sub.drop_with_accounting();
+                    return;
+                }
+            }
+            events::HubWait::Idle => {}
+            events::HubWait::Ended { .. } => break,
+        }
+    }
+    // Terminating chunk; the client may already be gone.
+    let _ = stream.write_all(b"0\r\n\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            parse_request_line(b"GET /metrics HTTP/1.1\r"),
+            Ok("/metrics".into())
+        );
+        assert_eq!(
+            parse_request_line(b"GET /metrics HTTP/1.0"),
+            Ok("/metrics".into())
+        );
+        assert_eq!(
+            parse_request_line(b"GET /events?tail=1 HTTP/1.1"),
+            Ok("/events".into())
+        );
+        assert_eq!(
+            parse_request_line(b"POST /metrics HTTP/1.1"),
+            Err(ParseError::BadMethod)
+        );
+        for bad in [
+            &b"GET /metrics"[..],
+            b"",
+            b"GET",
+            b"GET  /metrics HTTP/1.1",
+            b"GET /metrics HTTP/2.0",
+            b"GET metrics HTTP/1.1",
+            b"G\xffT / HTTP/1.1",
+            b"\x00\x01\x02",
+        ] {
+            assert_eq!(
+                parse_request_line(bad),
+                Err(ParseError::Malformed),
+                "{bad:?}"
+            );
+        }
+        let long = format!("GET /{} HTTP/1.1", "a".repeat(MAX_REQUEST_LINE));
+        assert_eq!(
+            parse_request_line(long.as_bytes()),
+            Err(ParseError::TooLarge)
+        );
+    }
+
+    #[test]
+    fn prometheus_name_mapping_and_values() {
+        assert_eq!(prom_name("runcache.mem_hits"), "asap_runcache_mem_hits");
+        assert_eq!(prom_name("pool.worker0.cells"), "asap_pool_worker0_cells");
+        assert_eq!(prom_name("7weird name!"), "asap__7weird_name_");
+        metrics::counter("test.http.prom_counter").add(41);
+        metrics::gauge("test.http.prom_gauge").set(17);
+        metrics::histogram("test.http.prom_hist").observe(5);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE asap_test_http_prom_counter_total counter"));
+        assert!(text.contains("asap_test_http_prom_counter_total 41"));
+        assert!(text.contains("# TYPE asap_test_http_prom_gauge gauge"));
+        assert!(text.contains("asap_test_http_prom_gauge 17"));
+        assert!(text.contains("# TYPE asap_test_http_prom_hist summary"));
+        assert!(text.contains("asap_test_http_prom_hist_count 1"));
+        assert!(text.contains("asap_test_http_prom_hist_sum 5"));
+    }
+
+    #[test]
+    fn error_mapping_and_header_end() {
+        assert_eq!(ParseError::Malformed.status(), 400);
+        assert_eq!(ParseError::TooLarge.status(), 431);
+        assert_eq!(ParseError::BadMethod.status(), 405);
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

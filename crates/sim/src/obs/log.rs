@@ -12,6 +12,8 @@
 //! `eprintln!` but consult [`enabled`] first. Both write to stderr only —
 //! bench stdout stays byte-identical at every level.
 
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 /// Verbosity of one message (or of the process filter).
@@ -52,12 +54,35 @@ pub fn enabled(at: Level) -> bool {
     at <= level()
 }
 
+/// Whether a `\r`-style status line (the `ASAP_PROGRESS` ticker) is
+/// currently occupying the terminal's last stderr line.
+static STATUS_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Marks a transient `\r` status line as present (`true`) or gone
+/// (`false`) on stderr. While present, [`clear_status_line`] — called by
+/// the `note!`/`warn!` macros before printing — erases it so a full log
+/// line never lands on top of stale progress text.
+pub fn status_line_active(active: bool) {
+    STATUS_ACTIVE.store(active, Ordering::Release);
+}
+
+/// Erases the current status line (carriage return + erase-to-EOL) if
+/// one is active. Cheap no-op otherwise; safe from any thread.
+pub fn clear_status_line() {
+    if STATUS_ACTIVE.swap(false, Ordering::AcqRel) {
+        let mut err = std::io::stderr().lock();
+        let _ = err.write_all(b"\r\x1b[K");
+        let _ = err.flush();
+    }
+}
+
 /// A status note, printed to stderr when `ASAP_LOG` is `note` (the
 /// default). Formats like `eprintln!`.
 #[macro_export]
 macro_rules! obs_note {
     ($($arg:tt)*) => {
         if $crate::obs::log::enabled($crate::obs::log::Level::Note) {
+            $crate::obs::log::clear_status_line();
             eprintln!($($arg)*);
         }
     };
@@ -69,6 +94,7 @@ macro_rules! obs_note {
 macro_rules! obs_warn {
     ($($arg:tt)*) => {
         if $crate::obs::log::enabled($crate::obs::log::Level::Warn) {
+            $crate::obs::log::clear_status_line();
             eprintln!($($arg)*);
         }
     };
@@ -97,6 +123,15 @@ mod tests {
         assert!(Level::Note <= Level::Note);
         assert!(Level::Note > Level::Warn);
         assert!(Level::Warn > Level::Off);
+    }
+
+    #[test]
+    fn status_line_flag_clears_once() {
+        status_line_active(true);
+        clear_status_line(); // swaps the flag off and erases
+        assert!(!STATUS_ACTIVE.load(Ordering::Acquire));
+        clear_status_line(); // idempotent no-op
+        assert!(!STATUS_ACTIVE.load(Ordering::Acquire));
     }
 
     #[test]

@@ -154,6 +154,41 @@ pub fn gauge_value(name: &str) -> u64 {
         .map_or(0, |g| g.get())
 }
 
+/// A point-in-time copy of the whole registry, in name order — the
+/// structured view behind [`snapshot_json`] and the Prometheus renderer
+/// in [`super::http`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, state)` for every histogram.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+/// Copies the current registry state (one lock hold; histogram clones).
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().unwrap();
+    Snapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect(),
+    }
+}
+
 /// One JSON object with every registered metric:
 /// `{"counters":{name:value,…},"gauges":{…},"histograms":{name:
 /// {"count":…,"min":…,"max":…,"mean":…,"p50":…,"p99":…},…}}`.

@@ -21,6 +21,12 @@
 //! - [`phase`] — scoped host-phase timers (fingerprint / cache-probe /
 //!   simulate / export) whose process-cumulative totals land in
 //!   `BENCH_WALLCLOCK.json` records and the HTML run report.
+//! - [`http`] — a std-only HTTP/1.1 server (`ASAP_HTTP=<addr>`) exposing
+//!   all of the above live: `/metrics` (Prometheus text exposition),
+//!   `/metrics.json`, and `/events` (chunked NDJSON tail through the
+//!   broadcast hub in [`events`]); embedders add routes like `/progress`
+//!   and `/report`. Slow or wedged clients are dropped with accounting —
+//!   an observer can lose records, never stall a worker.
 //!
 //! Determinism rules (held by `ci.sh` and the bench tests): stdout is
 //! never touched; event records carry wall time (`t_us`) and an ordering
@@ -28,6 +34,7 @@
 //! `ASAP_JOBS` settings strip exactly those keys and sort lines.
 
 pub mod events;
+pub mod http;
 pub mod log;
 pub mod metrics;
 pub mod phase;

@@ -1,0 +1,116 @@
+//! Property suite for the observability server's request parser
+//! (`asap_sim::obs::http::parse_request_line`): arbitrary bytes — raw
+//! garbage, mutated valid requests, oversized lines — must always yield
+//! a typed verdict, never a panic, and well-formed `GET` lines must
+//! round-trip their path with the query string stripped.
+
+use asap_sim::obs::http::{parse_request_line, ParseError, MAX_REQUEST_LINE};
+use proptest::prelude::*;
+use proptest::strategy::FnGen;
+use proptest::test_runner::TestRng;
+
+/// Arbitrary request-line bytes, biased toward the interesting
+/// neighborhoods: near-valid HTTP, binary junk, pathological sizes.
+fn arb_line(rng: &mut TestRng) -> Vec<u8> {
+    match rng.below(6) {
+        // Pure binary garbage.
+        0 => {
+            let n = rng.below(64) as usize;
+            (0..n).map(|_| rng.next_u64() as u8).collect()
+        }
+        // A valid line, possibly mutated at one position.
+        1 | 2 => {
+            let mut line = valid_line(rng);
+            if rng.below(2) == 0 && !line.is_empty() {
+                let i = rng.below(line.len() as u64) as usize;
+                line[i] = rng.next_u64() as u8;
+            }
+            line
+        }
+        // Valid pieces glued with the wrong separators.
+        3 => {
+            let seps = [b' ', b'\t', b'\0', b' '];
+            let s = seps[rng.below(4) as usize];
+            let mut v = b"GET".to_vec();
+            v.push(s);
+            v.extend_from_slice(b"/path");
+            v.push(s);
+            v.extend_from_slice(b"HTTP/1.1");
+            v
+        }
+        // Oversized: valid shape, enormous target.
+        4 => {
+            let mut v = b"GET /".to_vec();
+            v.extend(std::iter::repeat_n(
+                b'a',
+                MAX_REQUEST_LINE + rng.below(64) as usize,
+            ));
+            v.extend_from_slice(b" HTTP/1.1");
+            v
+        }
+        // Truncated valid prefix.
+        _ => {
+            let line = valid_line(rng);
+            let cut = rng.below(line.len() as u64 + 1) as usize;
+            line[..cut].to_vec()
+        }
+    }
+}
+
+/// A well-formed `GET` request line over a small path/query alphabet.
+fn valid_line(rng: &mut TestRng) -> Vec<u8> {
+    const PATHS: [&str; 5] = ["/", "/metrics", "/metrics.json", "/events", "/progress"];
+    const QUERIES: [&str; 4] = ["", "?x=1", "?tail=5&y=z", "#frag"];
+    let version = if rng.below(4) == 0 {
+        "HTTP/1.0"
+    } else {
+        "HTTP/1.1"
+    };
+    format!(
+        "GET {}{} {version}{}",
+        PATHS[rng.below(5) as usize],
+        QUERIES[rng.below(4) as usize],
+        if rng.below(2) == 0 { "\r" } else { "" },
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Total function: every input classifies, no input panics, and the
+    /// verdicts map onto exactly the documented status codes.
+    #[test]
+    fn parser_never_panics_and_verdicts_are_typed(line in FnGen::new(arb_line)) {
+        match parse_request_line(&line) {
+            Ok(path) => {
+                // Parsed paths are always absolute and control-free.
+                prop_assert!(path.starts_with('/'));
+                prop_assert!(!path.contains(['?', '#']));
+                prop_assert!(!path.chars().any(|c| c.is_ascii_control()));
+            }
+            Err(e) => {
+                prop_assert!(matches!(e.status(), 400 | 405 | 431));
+            }
+        }
+    }
+
+    /// Well-formed GET lines always parse, to the query-stripped path.
+    #[test]
+    fn valid_get_lines_round_trip(line in FnGen::new(valid_line)) {
+        let path = parse_request_line(&line).expect("valid line parses");
+        let text = String::from_utf8(line).unwrap();
+        let target = text.split(' ').nth(1).unwrap();
+        prop_assert_eq!(path, target.split(['?', '#']).next().unwrap());
+    }
+
+    /// Anything longer than the cap is TooLarge (431), regardless of
+    /// content — the server must bound memory before validating syntax.
+    #[test]
+    fn oversized_lines_are_431(pad in 0usize..512) {
+        let mut line = b"GET /".to_vec();
+        line.extend(std::iter::repeat_n(b'a', MAX_REQUEST_LINE + pad));
+        line.extend_from_slice(b" HTTP/1.1");
+        prop_assert_eq!(parse_request_line(&line), Err(ParseError::TooLarge));
+    }
+}

@@ -334,6 +334,17 @@ fn flush_host_metrics(m: &Machine) {
     metrics::counter("sim.domain.par_windows").add(windows);
     metrics::counter("sim.domain.exchange.events").add(exchange);
     metrics::counter("sim.domain.merge_stall_ns").add(stall_ns);
+    // Telemetry sampler health: whether long runs are still sampling at
+    // useful resolution. The period doubles on every decimation, so
+    // `/metrics` showing `telemetry.period` far above the configured one
+    // (or a climbing `telemetry.decimations`) flags resolution loss.
+    let ts = m.timeseries();
+    if ts.enabled() {
+        metrics::gauge("telemetry.series").set(ts.names().len() as u64);
+        metrics::gauge("telemetry.samples").set(ts.len() as u64);
+        metrics::gauge("telemetry.period").set(ts.period());
+        metrics::gauge("telemetry.decimations").set(u64::from(ts.decimations()));
+    }
 }
 
 #[cfg(test)]

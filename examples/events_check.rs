@@ -8,6 +8,9 @@
 //! Checks, exiting nonzero on the first failure:
 //!
 //! - the file is non-empty and every line parses with [`asap_sim::json`];
+//! - the first record is the `run_meta` stream header and carries the
+//!   `asap-events-v1` schema tag, a `build` fingerprint string, a `jobs`
+//!   count, and a `knobs` object of the active `ASAP_*` environment;
 //! - every record carries `ev`, `seq` and `t_us`;
 //! - `cell_start`/`cell_end` counts balance per fingerprint;
 //! - at least one `grid_start`, and as many `grid_end` as `grid_start`.
@@ -46,6 +49,30 @@ fn main() -> ExitCode {
         let Some(ev) = v.get("ev").and_then(Value::as_str) else {
             return fail(&format!("{path}:{}: record without ev", n + 1));
         };
+        if n == 0 {
+            if ev != "run_meta" {
+                return fail(&format!(
+                    "{path}:1: first record is {ev}, expected the run_meta header"
+                ));
+            }
+            if v.get("schema").and_then(Value::as_str) != Some("asap-events-v1") {
+                return fail(&format!("{path}:1: run_meta without asap-events-v1 schema"));
+            }
+            if v.get("build").and_then(Value::as_str).is_none() {
+                return fail(&format!("{path}:1: run_meta without build fingerprint"));
+            }
+            if v.get("jobs").and_then(Value::as_u64).is_none() {
+                return fail(&format!("{path}:1: run_meta without jobs"));
+            }
+            if !matches!(v.get("knobs"), Some(Value::Obj(_))) {
+                return fail(&format!("{path}:1: run_meta without knobs object"));
+            }
+        } else if ev == "run_meta" {
+            return fail(&format!(
+                "{path}:{}: run_meta must only head the stream",
+                n + 1
+            ));
+        }
         for key in ["seq", "t_us"] {
             if v.get(key).and_then(Value::as_u64).is_none() {
                 return fail(&format!("{path}:{}: {ev} record without {key}", n + 1));

@@ -1,0 +1,91 @@
+//! Minimal HTTP GET client for the `ASAP_HTTP` observability server —
+//! a std-only stand-in for `curl` so `ci.sh` needs no external tools.
+//!
+//! ```text
+//! cargo run --release --example obs_client -- 127.0.0.1:4280 /metrics
+//! cargo run --release --example obs_client -- 127.0.0.1:4280 /events 2048
+//! ```
+//!
+//! Sends one `GET <path> HTTP/1.1`, prints the response body to stdout,
+//! and exits 0 iff the status is 200. The optional third argument caps
+//! how many body bytes to read before hanging up — that's how ci tails
+//! the head of the endless `/events` stream without blocking forever.
+//! Chunked transfer encoding is passed through verbatim (the chunk-size
+//! lines are part of what the smoke asserts against anyway).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("obs_client: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(addr), Some(path)) = (args.next(), args.next()) else {
+        return fail("usage: obs_client <addr> <path> [max_body_bytes]");
+    };
+    let cap: usize = args
+        .next()
+        .map_or(usize::MAX, |v| v.parse().unwrap_or(usize::MAX));
+
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("connect {addr}: {e}")),
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let req = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    if let Err(e) = stream.write_all(req.as_bytes()) {
+        return fail(&format!("write: {e}"));
+    }
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut body_start = None;
+    loop {
+        if let Some(start) = body_start {
+            if buf.len().saturating_sub(start) >= cap {
+                break; // enough of the body; hang up on the stream
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if body_start.is_none() {
+                    body_start = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4);
+                }
+            }
+            Err(e) => {
+                // A timeout after data arrived is how a capped /events
+                // read ends when records stop flowing; only a timeout
+                // with nothing read at all is a failure.
+                if buf.is_empty() {
+                    return fail(&format!("read: {e}"));
+                }
+                break;
+            }
+        }
+    }
+
+    let Some(start) = body_start else {
+        return fail(&format!(
+            "no header terminator in response from {addr}{path}"
+        ));
+    };
+    let head = String::from_utf8_lossy(&buf[..start]);
+    let status_line = head.lines().next().unwrap_or_default();
+    let ok = status_line.starts_with("HTTP/1.1 200") || status_line.starts_with("HTTP/1.0 200");
+    let body = &buf[start..buf.len().min(start + cap.min(buf.len() - start))];
+    let mut out = std::io::stdout().lock();
+    let _ = out.write_all(body);
+    let _ = out.flush();
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        fail(&format!("{addr}{path}: {status_line}"))
+    }
+}
