@@ -119,6 +119,18 @@ cmp target/cell_jobs.out target/runcache_pass1.out \
   || { echo "CELL-JOBS FAILURE: domain-parallel stdout differs from serial engine" >&2; exit 1; }
 echo "    ASAP_CELL_JOBS=2 stdout byte-identical to serial"
 
+echo "==> crash-point sweep smoke (CoW forks vs legacy re-runs, 32 points)"
+# The example asserts every fork byte-identical to a full crash_after
+# re-run, every recovery verified, and (at >= 32 points) the sweep at
+# least 5x faster than the legacy path. ASAP_WALLCLOCK= keeps CI from
+# appending host-dependent records to BENCH_WALLCLOCK.json.
+ASAP_OPS=100 ASAP_THREADS=2 ASAP_CRASH_SWEEP=32 ASAP_WALLCLOCK= \
+  cargo run --release -q --example crash_sweep >target/crash_sweep.out 2>target/crash_sweep.err
+grep -q "all 32 forks identical to legacy re-runs" target/crash_sweep.out \
+  || { echo "SWEEP FAILURE: fork equivalence line missing" >&2; \
+       cat target/crash_sweep.err >&2; exit 1; }
+sed -n 's/^crash_sweep: /    /p' target/crash_sweep.err
+
 # Opt-in perf gate: warn (exit 0) when the smoke run exceeds the threshold.
 if [ -n "${ASAP_PERF_GATE:-}" ]; then
   LAST=$(python3 - <<'EOF'

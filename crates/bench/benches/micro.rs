@@ -313,6 +313,48 @@ fn bench_runcache() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_snapshot() {
+    // CoW image snapshot: a refcounted pointer-table copy whose cost is
+    // O(touched pages), not O(bytes) — 512 pages here.
+    let mut image = MemoryImage::new();
+    for p in 0..512u64 {
+        image.write_u64(PmAddr(PM_BASE + p * 4096), p);
+    }
+    bench("image_snapshot_512p", || {
+        black_box(image.snapshot());
+    });
+
+    // First write after a snapshot pays the copy-on-write page
+    // materialization (one 4KB copy) on top of the pointer-table copy.
+    let mut i = 0u64;
+    bench("image_snapshot_cow_write", || {
+        i += 1;
+        let s = image.snapshot();
+        image.write_u64(PmAddr(PM_BASE + (i % 512) * 4096), i);
+        black_box(&s);
+    });
+
+    // Machine snapshot and fork (restore): the sweep driver's per-cadence
+    // and per-crash-point costs on a small-config machine with live
+    // cache, WPQ, scheme, and image state.
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
+    let a = m.pm_alloc(64 * 64).unwrap();
+    for i in 0..64u64 {
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i % 64 * 64), i);
+            ctx.end_region();
+        });
+    }
+    bench("machine_snapshot_small", || {
+        black_box(m.snapshot());
+    });
+    let snap = m.snapshot();
+    bench("machine_restore_small", || {
+        m.restore(&snap);
+    });
+}
+
 fn bench_transaction() {
     let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
     let a = m.pm_alloc(64 * 16).unwrap();
@@ -339,5 +381,6 @@ fn main() {
     bench_bloom();
     bench_fingerprint();
     bench_runcache();
+    bench_snapshot();
     bench_transaction();
 }

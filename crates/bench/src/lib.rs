@@ -26,6 +26,9 @@
 //!   content-addressed result memoization (`off`/`mem`/`disk`, default
 //!   `mem`; see [`runcache`]);
 //! - `ASAP_PROGRESS` — live status line on stderr (`1`/`on` enable);
+//! - `ASAP_CRASH_SWEEP` — crash-point count for the `crash_sweep`
+//!   example, which drives [`run_crash_sweep`] (shared-prefix
+//!   copy-on-write forks, bit-identical to legacy `crash_after` cells);
 //! - `ASAP_HTTP` — address for the live observability HTTP server
 //!   (e.g. `127.0.0.1:0`), started per grid run and stopped at grid
 //!   end: `/metrics`, `/metrics.json`, `/events`, `/progress`,
@@ -56,7 +59,9 @@ use asap_core::machine::RunOutcome;
 use asap_core::scheme::SchemeKind;
 use asap_sim::obs::{self, events, metrics, phase};
 use asap_sim::{Fingerprint, TelemetrySettings, TraceSettings};
-use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
+use asap_workloads::{
+    run, run_sweep, BenchId, CrashPointOutcome, RunResult, SweepResult, WorkloadSpec,
+};
 
 use progress::Progress;
 use runcache::RunCacheConfig;
@@ -306,6 +311,236 @@ fn grid_with_cache(
         .into_iter()
         .map(|r| r.expect("every cell filled"))
         .collect()
+}
+
+/// Runs a copy-on-write crash-point sweep for `spec` under the
+/// environment-configured result cache ([`RunCacheConfig::from_env`]).
+///
+/// The sweep itself ([`asap_workloads::run_sweep`]) executes the shared
+/// prefix once and forks each crash point from the nearest machine
+/// snapshot; this wrapper adds the memoization layer: every fork is keyed
+/// by the fingerprint of `spec.with_crash_after(point)` — the *same* key
+/// an ordinary [`run_grid`] cell for that spec would use, because the
+/// fork's result is byte-identical to the legacy re-run (enforced by the
+/// equivalence suite). Sweeps therefore dedupe against prior sweeps *and*
+/// against ordinary crash-cell grids across invocations. The baseline is
+/// cached under the unarmed spec's fingerprint in its plain-run form
+/// (crash-point summaries stripped), interchangeable with any non-sweep
+/// cell of the same spec.
+pub fn run_crash_sweep(spec: &WorkloadSpec, points: &[u64], snap_every: u64) -> SweepResult {
+    run_crash_sweep_with(spec, points, snap_every, &RunCacheConfig::from_env())
+}
+
+/// [`run_crash_sweep`] with an explicit cache configuration. Emits the
+/// same observability records as a grid run — `grid_start`/`grid_end`
+/// brackets, one `cell_start`/`cell_end` pair per crash point plus one
+/// for the baseline, progress ticks — and feeds the live report's
+/// crash-sweep table when the `ASAP_HTTP` server is up. Stdout is
+/// untouched; results come back in point order whatever hits.
+pub fn run_crash_sweep_with(
+    spec: &WorkloadSpec,
+    points: &[u64],
+    snap_every: u64,
+    cache: &RunCacheConfig,
+) -> SweepResult {
+    asap_sim::warn_unknown_asap_env();
+    let server = start_obs_server();
+    let events_on = events::enabled();
+    let progress = Progress::from_env(points.len() + 1);
+    let t0 = Instant::now();
+    if events_on {
+        events::Event::new("grid_start")
+            .field_str("schema", events::SCHEMA)
+            .field_u64("cells", points.len() as u64 + 1)
+            .field_u64("jobs", 1)
+            .field_str("cache", if cache.enabled() { "on" } else { "off" })
+            .emit();
+    }
+    let fork_specs: Vec<WorkloadSpec> = points.iter().map(|&n| spec.with_crash_after(n)).collect();
+    let want_fps = cache.enabled() || events_on;
+    let fps: Option<Vec<Fingerprint>> = want_fps.then(|| {
+        let _t = phase::scope(phase::Phase::Fingerprint);
+        fork_specs.iter().map(WorkloadSpec::fingerprint).collect()
+    });
+    let base_fp = want_fps.then(|| spec.fingerprint());
+
+    let mut forks: Vec<Option<RunResult>> = vec![None; points.len()];
+    let mut baseline: Option<RunResult> = None;
+    let mut first: HashMap<Fingerprint, usize> = HashMap::new();
+    let mut to_run: Vec<usize> = Vec::new();
+    if cache.enabled() {
+        let fps = fps.as_deref().expect("cache implies fps");
+        let bfp = base_fp.as_ref().expect("cache implies fps");
+        let _t = phase::scope(phase::Phase::CacheProbe);
+        let probe_t0 = Instant::now();
+        match runcache::lookup(bfp, cache) {
+            Some((mut r, tier)) => {
+                r.spec = *spec;
+                emit_cell_start(spec, bfp);
+                emit_cell_end(
+                    spec,
+                    bfp,
+                    tier.label(),
+                    &r,
+                    probe_t0.elapsed().as_micros() as u64,
+                );
+                baseline = Some(r);
+                progress.tick(true);
+            }
+            None => runcache::note_miss(),
+        }
+        for (i, fp) in fps.iter().enumerate() {
+            if first.contains_key(fp) {
+                continue;
+            }
+            first.insert(*fp, i);
+            let probe_t0 = Instant::now();
+            match runcache::lookup(fp, cache) {
+                Some((mut r, tier)) => {
+                    r.spec = fork_specs[i];
+                    emit_cell_start(&fork_specs[i], fp);
+                    emit_cell_end(
+                        &fork_specs[i],
+                        fp,
+                        tier.label(),
+                        &r,
+                        probe_t0.elapsed().as_micros() as u64,
+                    );
+                    forks[i] = Some(r);
+                    progress.tick(true);
+                }
+                None => {
+                    runcache::note_miss();
+                    to_run.push(i);
+                }
+            }
+        }
+    } else {
+        to_run = (0..points.len()).collect();
+    }
+
+    let mut prefix_writes = 0;
+    if baseline.is_none() || !to_run.is_empty() {
+        // One sweep covers the baseline and every missing point: the
+        // prefix has to be executed to build the snapshots anyway, and
+        // the baseline's completion falls out of it for free.
+        let missing: Vec<u64> = to_run.iter().map(|&i| points[i]).collect();
+        if baseline.is_none() {
+            if let Some(bfp) = &base_fp {
+                emit_cell_start(spec, bfp);
+            }
+        }
+        for &i in &to_run {
+            if let Some(fps) = &fps {
+                emit_cell_start(&fork_specs[i], &fps[i]);
+            }
+        }
+        let sim_t0 = Instant::now();
+        let sweep = {
+            let _t = phase::scope(phase::Phase::Simulate);
+            run_sweep(spec, &missing, snap_every)
+        };
+        prefix_writes = sweep.prefix_writes;
+        // Host time split evenly across the cells the sweep served —
+        // the prefix is shared, so no per-cell attribution is exact.
+        let per_us = sim_t0.elapsed().as_micros() as u64 / (to_run.len() as u64 + 1);
+        for (&i, r) in to_run.iter().zip(sweep.forks) {
+            if let Some(fps) = &fps {
+                emit_cell_end(&fork_specs[i], &fps[i], "miss", &r, per_us);
+                if cache.enabled() {
+                    runcache::insert(&fps[i], &r, cache);
+                }
+            }
+            forks[i] = Some(r);
+            progress.tick(false);
+        }
+        if baseline.is_none() {
+            let mut b = sweep.baseline;
+            // Cache the plain-run form: a sweep baseline minus its
+            // crash-point summaries is byte-identical to an ordinary run
+            // of the unarmed spec, so the entry is interchangeable with
+            // (and dedupes against) non-sweep cells. The summaries are
+            // rebuilt below from the assembled forks either way.
+            b.crash_points.clear();
+            if let Some(bfp) = &base_fp {
+                emit_cell_end(spec, bfp, "miss", &b, per_us);
+                if cache.enabled() {
+                    runcache::insert(bfp, &b, cache);
+                }
+            }
+            baseline = Some(b);
+            progress.tick(false);
+        }
+    }
+
+    // Duplicate points fan out from their first occurrence.
+    for i in 0..points.len() {
+        if forks[i].is_none() {
+            let fps = fps.as_deref().expect("dedup implies fps");
+            let mut r = forks[first[&fps[i]]].clone().expect("representative ran");
+            r.spec = fork_specs[i];
+            runcache::note_dedup_fanout();
+            emit_cell_start(&fork_specs[i], &fps[i]);
+            emit_cell_end(&fork_specs[i], &fps[i], "dedup", &r, 0);
+            progress.tick(true);
+            forks[i] = Some(r);
+        }
+    }
+
+    let forks: Vec<RunResult> = forks
+        .into_iter()
+        .map(|r| r.expect("every point filled"))
+        .collect();
+    let mut baseline = baseline.expect("baseline filled");
+    // Rebuild the summary over *all* requested points (cache hits
+    // included) exactly as the driver derives it, so a fully-warm sweep
+    // reports the same outcomes as a cold one.
+    baseline.crash_points = points
+        .iter()
+        .zip(&forks)
+        .map(|(&n, r)| CrashPointOutcome {
+            crash_after: n,
+            crashed: r.outcome == RunOutcome::Crashed,
+            uncommitted: r
+                .recovery
+                .as_ref()
+                .map_or(0, |x| x.uncommitted.len() as u64),
+            replayed: r.recovery.as_ref().map_or(0, |x| x.replayed.len() as u64),
+            restored_lines: r.recovery.as_ref().map_or(0, |x| x.restored_lines),
+            tx: r.tx,
+        })
+        .collect();
+    if report::is_live() {
+        report::note_sweep(report::SweepNote {
+            bench: spec.bench.label().to_string(),
+            scheme: spec.scheme.name().to_string(),
+            points: baseline.crash_points.clone(),
+        });
+    }
+    progress.finish();
+    if events_on {
+        let c = runcache::counters();
+        events::Event::new("grid_end")
+            .field_u64("cells", points.len() as u64 + 1)
+            .field_u64("host_us", t0.elapsed().as_micros() as u64)
+            .field_u64("cache_hits", c.hits())
+            .field_u64("cache_misses", c.misses)
+            .emit();
+    }
+    if cache.enabled() {
+        obs::note!("{}", runcache::summary_line(&runcache::counters()));
+    }
+    if let Some(server) = server {
+        report::set_live(false);
+        server.shutdown();
+    }
+    // `prefix_writes` stays 0 for a fully-warm sweep: the prefix never
+    // re-executed, so there is nothing to re-measure.
+    SweepResult {
+        baseline,
+        forks,
+        prefix_writes,
+    }
 }
 
 /// The raw worker pool: simulates every spec, no memoization.
@@ -796,6 +1031,60 @@ mod tests {
             assert_eq!(a.pm_writes, b.pm_writes);
             assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         }
+    }
+
+    #[test]
+    fn crash_sweep_grid_matches_legacy_and_interops_with_cache() {
+        use asap_workloads::resultjson::results_identical;
+        let spec = WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap)
+            .with_threads(2)
+            .with_ops(20);
+        // A duplicate point (dedup fan-out) and one beyond the workload's
+        // writes (the fork completes).
+        let points = [1u64, 9, 9, 1_000_000];
+        let legacy: Vec<RunResult> = points
+            .iter()
+            .map(|&n| run(&spec.with_crash_after(n)))
+            .collect();
+        let plain = run(&spec);
+
+        // Cache off: forks byte-identical to the legacy re-run path.
+        let cold = run_crash_sweep_with(&spec, &points, 4, &RunCacheConfig::off());
+        assert_eq!(cold.forks.len(), points.len());
+        for (a, b) in cold.forks.iter().zip(&legacy) {
+            assert!(results_identical(a, b), "cold sweep fork diverged");
+        }
+        assert_eq!(cold.baseline.crash_points.len(), points.len());
+
+        // Disk cache: populate cold, then serve warm — same results, and
+        // the warm baseline rebuilds the same crash-point summary.
+        let dir = std::env::temp_dir().join(format!("asap-crash-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = RunCacheConfig::disk_only(&dir, 16);
+        let c1 = run_crash_sweep_with(&spec, &points, 4, &cache);
+        let c2 = run_crash_sweep_with(&spec, &points, 4, &cache);
+        for sweep in [&c1, &c2] {
+            for (a, b) in sweep.forks.iter().zip(&legacy) {
+                assert!(results_identical(a, b), "cached sweep fork diverged");
+            }
+            assert!(results_identical(&sweep.baseline, &cold.baseline));
+        }
+
+        // Interop both ways: an ordinary grid over the same crash specs
+        // is served from the sweep-populated cache, and the baseline
+        // entry is interchangeable with a plain cell of the unarmed spec.
+        let crash_specs: Vec<WorkloadSpec> =
+            points.iter().map(|&n| spec.with_crash_after(n)).collect();
+        let grid = run_grid_with(&crash_specs, 2, &cache);
+        for (a, b) in grid.iter().zip(&legacy) {
+            assert!(results_identical(a, b), "grid over sweep cache diverged");
+        }
+        let base_cell = run_grid_with(&[spec], 1, &cache);
+        assert!(
+            results_identical(&base_cell[0], &plain),
+            "cached sweep baseline must be interchangeable with a plain cell"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,9 +16,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use asap_sim::obs::{metrics, phase};
+use asap_workloads::CrashPointOutcome;
 
 /// How many recently finished cells the report shows.
 const RECENT_CAP: usize = 64;
+
+/// How many recent crash sweeps the report keeps.
+const SWEEP_CAP: usize = 8;
+
+/// How many crash points of one sweep the report table shows.
+const SWEEP_POINT_CAP: usize = 64;
 
 /// One finished cell, as the report shows it.
 pub(crate) struct CellNote {
@@ -56,6 +63,31 @@ pub(crate) fn note_cell(note: CellNote) {
     }
     let mut q = recent().lock().unwrap();
     if q.len() == RECENT_CAP {
+        q.pop_front();
+    }
+    q.push_back(note);
+}
+
+/// One finished crash sweep, as the report shows it: the cell identity
+/// plus the per-point outcome summary off the sweep baseline.
+pub(crate) struct SweepNote {
+    pub bench: String,
+    pub scheme: String,
+    pub points: Vec<CrashPointOutcome>,
+}
+
+fn sweeps() -> &'static Mutex<VecDeque<SweepNote>> {
+    static SWEEPS: OnceLock<Mutex<VecDeque<SweepNote>>> = OnceLock::new();
+    SWEEPS.get_or_init(Mutex::default)
+}
+
+/// Records one finished crash sweep for the report's sweep table.
+pub(crate) fn note_sweep(note: SweepNote) {
+    if !LIVE.load(Ordering::Acquire) {
+        return;
+    }
+    let mut q = sweeps().lock().unwrap();
+    if q.len() == SWEEP_CAP {
         q.pop_front();
     }
     q.push_back(note);
@@ -138,6 +170,53 @@ pub(crate) fn render_html() -> String {
         }
     }
 
+    // Crash sweeps (newest first), one table per sweep.
+    h.push_str("<h2>Crash sweeps</h2>\n");
+    {
+        let q = sweeps().lock().unwrap();
+        if q.is_empty() {
+            h.push_str("<p>None recorded yet.</p>\n");
+        } else {
+            for s in q.iter().rev() {
+                let crashed = s.points.iter().filter(|p| p.crashed).count();
+                let _ = writeln!(
+                    h,
+                    "<h3>{} / {} &mdash; {} points, {} crashed</h3>",
+                    html_escape(&s.bench),
+                    html_escape(&s.scheme),
+                    s.points.len(),
+                    crashed
+                );
+                h.push_str(
+                    "<table><tr><th>crash after</th><th>outcome</th>\
+                     <th>uncommitted</th><th>replayed</th>\
+                     <th>restored lines</th><th>tx</th></tr>\n",
+                );
+                for p in s.points.iter().take(SWEEP_POINT_CAP) {
+                    let _ = writeln!(
+                        h,
+                        "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                         <td>{}</td><td>{}</td></tr>",
+                        p.crash_after,
+                        if p.crashed { "crashed" } else { "completed" },
+                        p.uncommitted,
+                        p.replayed,
+                        p.restored_lines,
+                        p.tx
+                    );
+                }
+                h.push_str("</table>\n");
+                if s.points.len() > SWEEP_POINT_CAP {
+                    let _ = writeln!(
+                        h,
+                        "<p>&hellip;{} more points not shown.</p>",
+                        s.points.len() - SWEEP_POINT_CAP
+                    );
+                }
+            }
+        }
+    }
+
     // Host-phase profile (the same JSON that lands in wall-clock records).
     h.push_str("<h2>Host-phase profile</h2>\n<pre>");
     h.push_str(&html_escape(&phase::snapshot_json()));
@@ -214,6 +293,39 @@ mod tests {
         assert!(html.contains("q&amp;lt"));
         assert!(html.contains("<td>123</td><td>456</td>"));
         assert!(html.contains("Host-phase profile"));
+    }
+
+    #[test]
+    fn sweep_table_renders_and_respects_live_gate() {
+        let point = |n: u64, crashed: bool| CrashPointOutcome {
+            crash_after: n,
+            crashed,
+            uncommitted: 1,
+            replayed: 2,
+            restored_lines: 3,
+            tx: 40 + n,
+        };
+        set_live(false);
+        note_sweep(SweepNote {
+            bench: "GATEDSWEEP".into(),
+            scheme: "asap".into(),
+            points: vec![point(5, true)],
+        });
+        assert!(!render_html().contains("GATEDSWEEP"));
+
+        set_live(true);
+        note_sweep(SweepNote {
+            bench: "HM<1>".into(), // exercises escaping
+            scheme: "asap".into(),
+            points: vec![point(7, true), point(1_000_000, false)],
+        });
+        let html = render_html();
+        set_live(false);
+        assert!(html.contains("HM&lt;1&gt;"));
+        assert!(html.contains("2 points, 1 crashed"));
+        assert!(html.contains("<td>7</td><td>crashed</td>"));
+        assert!(html.contains("<td>1000000</td><td>completed</td>"));
+        sweeps().lock().unwrap().clear();
     }
 
     #[test]

@@ -361,6 +361,48 @@ impl Hw {
     }
 }
 
+/// Snapshot support: every field of [`Hw`] is simulation state, so a
+/// clone is a complete, bit-exact copy. The memory image clones as a
+/// copy-on-write pointer table (see `asap_pmem::MemoryImage`), so the
+/// dominant cost is the volatile side's flat vectors — a memcpy, not a
+/// page-by-page walk. `clone_from` restores in place, reusing the
+/// destination's allocations across repeated forks.
+impl Clone for Hw {
+    fn clone(&self) -> Self {
+        Hw {
+            cfg: self.cfg,
+            layout: self.layout,
+            caches: self.caches.clone(),
+            mem: self.mem.clone(),
+            image: self.image.clone(),
+            heap: self.heap.clone(),
+            dram_heap: self.dram_heap.clone(),
+            stats: self.stats.clone(),
+            trace: self.trace.clone(),
+            thread_core: self.thread_core.clone(),
+            stall_acc: self.stall_acc.clone(),
+            lifecycle: self.lifecycle.clone(),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.cfg = src.cfg;
+        self.layout = src.layout;
+        self.caches.clone_from(&src.caches);
+        self.mem.clone_from(&src.mem);
+        self.image.clone_from(&src.image);
+        self.heap.clone_from(&src.heap);
+        self.dram_heap.clone_from(&src.dram_heap);
+        self.stats.clone_from(&src.stats);
+        self.trace.clone_from(&src.trace);
+        self.thread_core.clone_from(&src.thread_core);
+        self.stall_acc.clone_from(&src.stall_acc);
+        self.lifecycle.clone_from(&src.lifecycle);
+        self.telemetry.clone_from(&src.telemetry);
+    }
+}
+
 impl std::fmt::Debug for Hw {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hw")

@@ -171,6 +171,72 @@ pub enum RunOutcome {
     Crashed,
 }
 
+/// How one [`Machine::step_thread`] call ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step ran; the thread has more steps.
+    Continue,
+    /// The step ran and returned `false`; the thread is finished.
+    Finished,
+    /// The armed power failure fired; call [`Machine::recover`].
+    Crashed,
+}
+
+/// A frozen deep copy of a [`Machine`]'s complete state — hardware
+/// (caches, WPQs, event wheels, PM image via copy-on-write pages, logs,
+/// stats, traces), scheme state, thread clocks, locks and region
+/// bookkeeping.
+///
+/// Taking one is O(volatile state + touched pages) pointer/`memcpy` work:
+/// the PM image contributes only a refcounted pointer-table copy, so large
+/// heaps snapshot in microseconds and pay per-page deep copies lazily, on
+/// first write after the fork ([`MemoryImage::snapshot`](asap_pmem::MemoryImage::snapshot)).
+///
+/// Restoring with [`Machine::restore`] reuses the destination's
+/// allocations (`clone_from` all the way down), which keeps a
+/// fork-restore-run crash sweep allocation-flat after the first fork.
+pub struct MachineSnapshot {
+    cfg: MachineConfig,
+    hw: Hw,
+    scheme: Box<dyn Scheme>,
+    clocks: ThreadClocks,
+    locks: Vec<VirtualLock>,
+    nest: Vec<u32>,
+    local_rid: Vec<u64>,
+    cur_rid: Vec<Option<Rid>>,
+    region_start: Vec<Cycle>,
+    started: Vec<bool>,
+    tracker: Option<RegionTracker>,
+    pm_write_ops: u64,
+    crash_armed: Option<u64>,
+    tx_count: u64,
+}
+
+impl MachineSnapshot {
+    /// Persistent-line writes performed by the machine when the snapshot
+    /// was taken — the coordinate crash sweeps use to pick the latest
+    /// snapshot preceding a crash point.
+    pub fn pm_write_ops(&self) -> u64 {
+        self.pm_write_ops
+    }
+
+    /// Approximate resident size: the PM image's touched pages (shared
+    /// with the live machine until written) — the dominant term.
+    pub fn approx_image_bytes(&self) -> u64 {
+        self.hw.image.touched_pages() as u64 * asap_pmem::PAGE_BYTES
+    }
+}
+
+impl std::fmt::Debug for MachineSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MachineSnapshot")
+            .field("scheme", &self.cfg.scheme)
+            .field("pm_write_ops", &self.pm_write_ops)
+            .field("makespan", &self.clocks.makespan())
+            .finish()
+    }
+}
+
 /// The simulated machine. See the [module docs](self).
 pub struct Machine {
     cfg: MachineConfig,
@@ -293,6 +359,12 @@ impl Machine {
     /// Each closure invocation is one step; returning `false` finishes the
     /// thread.
     ///
+    /// This is exactly the [`begin_schedule`](Self::begin_schedule) /
+    /// [`next_runnable`](Self::next_runnable) /
+    /// [`step_thread`](Self::step_thread) loop — crash-sweep drivers that
+    /// drive the primitives directly (to snapshot between steps) execute
+    /// the same code path and cannot diverge from a plain `run`.
+    ///
     /// # Panics
     ///
     /// Panics if `steps.len()` differs from the configured thread count.
@@ -303,33 +375,138 @@ impl Machine {
             self.cfg.threads as usize,
             "one step closure per thread"
         );
-        self.clocks.restart();
-        while let Some(t) = self.clocks.next_runnable() {
-            self.ensure_started(t);
-            let now = self.clocks.clock(t);
-            let step = &mut steps[t];
-            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
-                let mut ctx = ThreadCtx { m: self, t, now };
-                let more = step(&mut ctx);
-                (more, ctx.now)
-            }));
-            match caught {
-                Ok((more, end)) => {
-                    self.clocks.advance(t, end);
-                    if !more {
-                        self.clocks.finish(t);
-                    }
-                }
-                Err(payload) => {
-                    if payload.downcast_ref::<SimCrash>().is_some() {
-                        self.perform_crash();
-                        return RunOutcome::Crashed;
-                    }
-                    panic::resume_unwind(payload);
-                }
+        self.begin_schedule();
+        while let Some(t) = self.next_runnable() {
+            if self.step_thread(t, &mut steps[t]) == StepOutcome::Crashed {
+                return RunOutcome::Crashed;
             }
         }
         RunOutcome::Completed
+    }
+
+    /// Restarts the virtual-time scheduler: clears the per-thread
+    /// finished flags so every thread is runnable again. Clocks are kept —
+    /// re-stepping a thread whose step closure immediately returns `false`
+    /// is a no-op in simulated state.
+    pub fn begin_schedule(&mut self) {
+        self.clocks.restart();
+    }
+
+    /// The runnable thread with the smallest local clock, or `None` when
+    /// all threads have finished.
+    pub fn next_runnable(&mut self) -> Option<usize> {
+        self.clocks.next_runnable()
+    }
+
+    /// Executes one step of thread `t` under the crash-injection guard —
+    /// one iteration of the [`run`](Self::run) loop. Step boundaries are
+    /// the machine's consistent snapshot points: no workload closure is on
+    /// the stack, so [`snapshot`](Self::snapshot) captures resumable
+    /// state.
+    pub fn step_thread(&mut self, t: usize, step: &mut StepFn) -> StepOutcome {
+        assert!(!self.crashed, "machine crashed: call recover() first");
+        self.ensure_started(t);
+        let now = self.clocks.clock(t);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut ctx = ThreadCtx { m: self, t, now };
+            let more = step(&mut ctx);
+            (more, ctx.now)
+        }));
+        match caught {
+            Ok((more, end)) => {
+                self.clocks.advance(t, end);
+                if more {
+                    StepOutcome::Continue
+                } else {
+                    self.clocks.finish(t);
+                    StepOutcome::Finished
+                }
+            }
+            Err(payload) => {
+                if payload.downcast_ref::<SimCrash>().is_some() {
+                    self.perform_crash();
+                    StepOutcome::Crashed
+                } else {
+                    panic::resume_unwind(payload)
+                }
+            }
+        }
+    }
+
+    /// A deep copy of the machine's complete state, cheap where it
+    /// matters: the PM image is captured copy-on-write (pointer-table
+    /// copy; see [`MemoryImage::snapshot`](asap_pmem::MemoryImage::snapshot)), everything volatile is flat
+    /// slab/SoA vectors that `memcpy`.
+    ///
+    /// Call at a step boundary (not from inside a step closure). Workload
+    /// state living outside the machine — step closures, RNGs, per-thread
+    /// op budgets — is the caller's to capture alongside.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is in the crashed state (snapshot the
+    /// pre-crash machine instead; the crash is re-injectable).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        assert!(!self.crashed, "snapshot of a crashed machine");
+        MachineSnapshot {
+            cfg: self.cfg,
+            hw: self.hw.clone(),
+            scheme: self.scheme.clone_box(),
+            clocks: self.clocks.clone(),
+            locks: self.locks.clone(),
+            nest: self.nest.clone(),
+            local_rid: self.local_rid.clone(),
+            cur_rid: self.cur_rid.clone(),
+            region_start: self.region_start.clone(),
+            started: self.started.clone(),
+            tracker: self.tracker.clone(),
+            pm_write_ops: self.pm_write_ops,
+            crash_armed: self.crash_armed,
+            tx_count: self.tx_count,
+        }
+    }
+
+    /// Rewinds the machine to `snap`, byte-for-byte: a subsequent run is
+    /// indistinguishable — stats, traces, telemetry, outcomes — from one
+    /// that never forked. Reuses this machine's existing allocations
+    /// (`clone_from` down the whole ownership tree), so restore cost is
+    /// O(state actually differing), not O(heap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` came from a machine with a different
+    /// configuration.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        assert_eq!(
+            self.cfg.threads, snap.cfg.threads,
+            "snapshot from a differently-sized machine"
+        );
+        assert_eq!(
+            self.cfg.scheme, snap.cfg.scheme,
+            "snapshot from a different scheme"
+        );
+        self.cfg = snap.cfg;
+        self.hw.clone_from(&snap.hw);
+        self.scheme = snap.scheme.clone_box();
+        self.clocks.clone_from(&snap.clocks);
+        self.locks.clone_from(&snap.locks);
+        self.nest.clone_from(&snap.nest);
+        self.local_rid.clone_from(&snap.local_rid);
+        self.cur_rid.clone_from(&snap.cur_rid);
+        self.region_start.clone_from(&snap.region_start);
+        self.started.clone_from(&snap.started);
+        self.tracker.clone_from(&snap.tracker);
+        self.pm_write_ops = snap.pm_write_ops;
+        self.crash_armed = snap.crash_armed;
+        self.crashed = false;
+        self.tx_count = snap.tx_count;
+    }
+
+    /// Persistent-line writes performed so far (the crash-injection
+    /// coordinate: [`arm_crash_after_additional`]
+    /// (Self::arm_crash_after_additional) counts from this value).
+    pub fn pm_write_ops(&self) -> u64 {
+        self.pm_write_ops
     }
 
     fn settle(&mut self, t: usize, caught: Result<Cycle, Box<dyn Any + Send>>) -> RunOutcome {
@@ -1281,6 +1458,152 @@ mod tests {
         assert!(!d.is_pm_region());
         assert!(p.is_pm_region());
         assert!(!m.hw().image.is_persistent(d));
+    }
+
+    /// A driver-style workload: each thread runs `per_thread` one-region
+    /// steps against a shared array, with the loop counters held outside
+    /// the closures (as the crash-sweep driver does) so they can be
+    /// captured alongside a machine snapshot.
+    fn counter_steps(a: PmAddr, remaining: &[std::rc::Rc<std::cell::Cell<u64>>]) -> Vec<StepFn> {
+        remaining
+            .iter()
+            .map(|rem| {
+                let rem = std::rc::Rc::clone(rem);
+                Box::new(move |ctx: &mut ThreadCtx<'_>| {
+                    let left = rem.get();
+                    if left == 0 {
+                        return false;
+                    }
+                    rem.set(left - 1);
+                    let t = ctx.thread() as u64;
+                    ctx.locked_region(0, |ctx| {
+                        let slot = a.offset((left % 8) * 64);
+                        let v = ctx.read_u64(slot);
+                        ctx.write_u64(slot, v + t + 1);
+                    });
+                    ctx.complete_tx();
+                    left > 1
+                }) as StepFn
+            })
+            .collect()
+    }
+
+    fn fingerprint(m: &Machine) -> (String, u64, u64, Cycle) {
+        (m.stats_json(), m.tx_count(), m.pm_write_ops(), m.makespan())
+    }
+
+    #[test]
+    fn snapshot_restore_continue_is_bit_identical() {
+        let mk = || {
+            let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 2).with_tracking());
+            let a = m.pm_alloc(64 * 8).unwrap();
+            m.drain();
+            m.sync_thread_clocks();
+            (m, a)
+        };
+        // Reference: uninterrupted run.
+        let (mut reference, a) = mk();
+        let rem: Vec<_> = (0..2)
+            .map(|_| std::rc::Rc::new(std::cell::Cell::new(6u64)))
+            .collect();
+        let mut steps = counter_steps(a, &rem);
+        assert_eq!(reference.run(&mut steps), RunOutcome::Completed);
+        reference.drain();
+        let want = fingerprint(&reference);
+
+        // Forked: drive the primitives, snapshot mid-run, finish, then
+        // restore and finish again. Both completions must match the
+        // uninterrupted reference exactly.
+        let (mut m, a2) = mk();
+        assert_eq!(a2, a, "deterministic allocation");
+        let rem: Vec<_> = (0..2)
+            .map(|_| std::rc::Rc::new(std::cell::Cell::new(6u64)))
+            .collect();
+        let mut steps = counter_steps(a2, &rem);
+        m.begin_schedule();
+        let mut taken = None;
+        let mut stepped = 0u32;
+        while let Some(t) = m.next_runnable() {
+            assert_ne!(m.step_thread(t, &mut steps[t]), StepOutcome::Crashed);
+            stepped += 1;
+            if stepped == 3 {
+                // Capture the machine and the driver-side counters.
+                taken = Some((
+                    m.snapshot(),
+                    rem.iter().map(|r| r.get()).collect::<Vec<_>>(),
+                ));
+            }
+        }
+        m.drain();
+        assert_eq!(fingerprint(&m), want, "primitive-driven run == run()");
+
+        let (snap, saved_rem) = taken.expect("snapshot taken");
+        m.restore(&snap);
+        for (r, v) in rem.iter().zip(&saved_rem) {
+            r.set(*v);
+        }
+        let mut steps = counter_steps(a2, &rem);
+        assert_eq!(m.run(&mut steps), RunOutcome::Completed);
+        m.drain();
+        assert_eq!(fingerprint(&m), want, "restored-and-continued run");
+    }
+
+    #[test]
+    fn snapshot_crash_fork_matches_legacy_crash_after() {
+        for kind in [SchemeKind::HwUndo, SchemeKind::Asap] {
+            let crash_at = 9u64;
+            // Legacy: crash armed from construction.
+            let mut legacy = Machine::new(
+                MachineConfig::small(kind, 2)
+                    .with_tracking()
+                    .with_crash_after(crash_at),
+            );
+            let a = legacy.pm_alloc(64 * 8).unwrap();
+            legacy.drain();
+            legacy.sync_thread_clocks();
+            let rem: Vec<_> = (0..2)
+                .map(|_| std::rc::Rc::new(std::cell::Cell::new(6u64)))
+                .collect();
+            let mut steps = counter_steps(a, &rem);
+            assert_eq!(legacy.run(&mut steps), RunOutcome::Crashed);
+            let legacy_report = legacy.recover();
+            let legacy_fp = fingerprint(&legacy);
+
+            // Fork: run unarmed to a snapshot before the crash point, then
+            // restore, arm the remaining writes, and continue.
+            let mut m = Machine::new(MachineConfig::small(kind, 2).with_tracking());
+            let a2 = m.pm_alloc(64 * 8).unwrap();
+            assert_eq!(a2, a);
+            m.drain();
+            m.sync_thread_clocks();
+            let rem: Vec<_> = (0..2)
+                .map(|_| std::rc::Rc::new(std::cell::Cell::new(6u64)))
+                .collect();
+            let mut steps = counter_steps(a, &rem);
+            m.begin_schedule();
+            let mut taken = None;
+            while let Some(t) = m.next_runnable() {
+                assert_ne!(m.step_thread(t, &mut steps[t]), StepOutcome::Crashed);
+                if taken.is_none() && m.pm_write_ops() >= 2 {
+                    assert!(m.pm_write_ops() < crash_at, "snapshot precedes crash");
+                    taken = Some((
+                        m.snapshot(),
+                        rem.iter().map(|r| r.get()).collect::<Vec<_>>(),
+                    ));
+                }
+            }
+            let (snap, saved_rem) = taken.expect("snapshot taken before crash point");
+            m.restore(&snap);
+            for (r, v) in rem.iter().zip(&saved_rem) {
+                r.set(*v);
+            }
+            m.arm_crash_after_additional(crash_at - snap.pm_write_ops());
+            let mut steps = counter_steps(a, &rem);
+            assert_eq!(m.run(&mut steps), RunOutcome::Crashed, "{kind}");
+            let report = m.recover();
+            assert_eq!(report.uncommitted, legacy_report.uncommitted, "{kind}");
+            assert_eq!(fingerprint(&m), legacy_fp, "{kind}: fork == legacy");
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn trid(rid: Rid) -> (u32, u64) {
 }
 
 /// Per-thread state (Thread State Registers + log buffer).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct AsapThread {
     log: LogBuffer,
     latest_rid: Option<Rid>,
@@ -63,6 +63,7 @@ struct RegionMeta {
 }
 
 /// The ASAP persistence scheme.
+#[derive(Clone)]
 pub struct Asap {
     opts: AsapOpts,
     dpo_distance: u32,
@@ -483,6 +484,10 @@ impl std::fmt::Debug for Asap {
 }
 
 impl Scheme for Asap {
+    fn clone_box(&self) -> Box<dyn Scheme> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> SchemeKind {
         if self.opts == AsapOpts::all() {
             SchemeKind::Asap

@@ -142,14 +142,14 @@ impl ActiveLog {
 /// (partial) record and sealed records awaiting full acceptance. Once a
 /// sealed record's entries are all accepted, [`accepted`](Self::accepted)
 /// hands back the encoded header for submission through the WPQ.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct LogAcceptTracker {
     records: HashMap<PmAddr, TrackedRecord>,
     by_op: HashMap<OpId, (PmAddr, usize, LineAddr)>,
 }
 
 /// One live record's header plus acceptance progress.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TrackedRecord {
     header: RecordHeader,
     accepted: usize,

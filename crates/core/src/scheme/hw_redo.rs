@@ -38,7 +38,7 @@ use crate::scheme::{RecoveryReport, Scheme, SchemeGauges, SchemeKind};
 /// Hardware cost of the begin/end region instructions.
 const MARKER_COST: u64 = 3;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct RedoThread {
     log: LogBuffer,
     active: Option<RedoRegion>,
@@ -46,7 +46,7 @@ struct RedoThread {
     retiring: VecDeque<Retiring>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct RedoRegion {
     /// Current (partial) record, if any entries were logged.
     cur_record: Option<PmAddr>,
@@ -58,7 +58,7 @@ struct RedoRegion {
     pending_log: BTreeSet<OpId>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Retiring {
     rid: Rid,
     /// Global commit order (recovery replays in this order, and log
@@ -71,7 +71,7 @@ struct Retiring {
 }
 
 /// The hardware redo-logging scheme.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HwRedo {
     threads: BTreeMap<usize, RedoThread>,
     inflight_headers: InflightHeaders,
@@ -251,6 +251,10 @@ impl Default for HwRedo {
 }
 
 impl Scheme for HwRedo {
+    fn clone_box(&self) -> Box<dyn Scheme> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> SchemeKind {
         SchemeKind::HwRedo
     }

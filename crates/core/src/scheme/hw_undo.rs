@@ -29,13 +29,13 @@ use crate::scheme::{RecoveryReport, Scheme, SchemeGauges, SchemeKind};
 /// Hardware cost of the begin/end region instructions.
 const MARKER_COST: u64 = 3;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct HwUndoThread {
     log: LogBuffer,
     active: Option<HwUndoRegion>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct HwUndoRegion {
     rid: Rid,
     /// Current (partial) record, if any entries were logged.
@@ -53,7 +53,7 @@ struct HwUndoRegion {
 }
 
 /// The synchronous-commit hardware undo-logging scheme.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HwUndo {
     threads: BTreeMap<usize, HwUndoThread>,
     inflight_headers: InflightHeaders,
@@ -142,6 +142,10 @@ impl Default for HwUndo {
 }
 
 impl Scheme for HwUndo {
+    fn clone_box(&self) -> Box<dyn Scheme> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> SchemeKind {
         SchemeKind::HwUndo
     }

@@ -261,6 +261,11 @@ pub trait Scheme {
     ///
     /// [`on_crash`]: Scheme::on_crash
     fn recover(&mut self, hw: &mut Hw) -> RecoveryReport;
+
+    /// An owned deep copy of the scheme's full state, for machine
+    /// snapshots (`Clone` cannot be a supertrait of an object-safe
+    /// trait, hence the boxed spelling).
+    fn clone_box(&self) -> Box<dyn Scheme>;
 }
 
 /// Builds the scheme selected by `kind` for a machine with configuration

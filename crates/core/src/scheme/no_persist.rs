@@ -16,7 +16,7 @@ use crate::scheme::{RecoveryReport, Scheme, SchemeKind};
 const MARKER_COST: u64 = 2;
 
 /// The no-persistence scheme.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct NoPersist {
     _private: (),
 }
@@ -31,6 +31,10 @@ impl NoPersist {
 }
 
 impl Scheme for NoPersist {
+    fn clone_box(&self) -> Box<dyn Scheme> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> SchemeKind {
         SchemeKind::NoPersist
     }

@@ -78,7 +78,7 @@ impl Anchor {
 }
 
 /// One thread's software-logging state.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct SwThread {
     log: LogBuffer,
     active: Option<SwRegion>,
@@ -86,7 +86,7 @@ struct SwThread {
     outstanding: BTreeSet<OpId>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct SwRegion {
     alog: Option<ActiveLog>, // None in DpoOnly mode
     logged: BTreeSet<LineAddr>,
@@ -94,7 +94,7 @@ struct SwRegion {
 }
 
 /// The software undo-logging scheme.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SwUndo {
     mode: SwMode,
     threads: BTreeMap<usize, SwThread>,
@@ -174,6 +174,10 @@ impl SwUndo {
 }
 
 impl Scheme for SwUndo {
+    fn clone_box(&self) -> Box<dyn Scheme> {
+        Box::new(self.clone())
+    }
+
     fn kind(&self) -> SchemeKind {
         match self.mode {
             SwMode::Full => SchemeKind::SwUndo,

@@ -40,7 +40,7 @@ pub struct TrackedRegion {
 }
 
 /// The execution shadow (see module docs).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RegionTracker {
     regions: Vec<TrackedRegion>,
     index: HashMap<Rid, usize>,

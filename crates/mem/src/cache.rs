@@ -109,6 +109,7 @@ const NO_SLOT: u32 = u32::MAX;
 /// 3/4 load. Unlike `PageIndex` it also supports removal (LLC evictions),
 /// implemented as tombstone-free backward-shift deletion so probe chains
 /// never degrade over a long run.
+#[derive(Clone)]
 struct LineIndex {
     /// Key per bucket; `u64::MAX` marks an empty bucket.
     keys: Vec<u64>,
@@ -240,6 +241,7 @@ impl LineIndex {
 /// is set iff core `c`'s L1 tag array holds the line. One word covers up
 /// to 64 cores (`mask_words == 1`, the common case, keeps the single-word
 /// fast paths); wider machines get `ceil(cores / 64)` words per slot.
+#[derive(Clone)]
 struct LineSlab {
     /// Line address per slot; [`NO_LINE`] marks a free slot.
     keys: Vec<LineAddr>,
@@ -717,6 +719,7 @@ pub struct Probe {
 
 /// The full cache hierarchy: shared slab data store plus per-level SoA tag
 /// arrays carrying slab slot ids.
+#[derive(Clone)]
 pub struct CacheHierarchy {
     /// Shared data store for every cached line.
     slab: LineSlab,

@@ -147,7 +147,7 @@ struct FwdNode {
 }
 
 /// One memory channel: WPQ plus the PM write engine.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Channel {
     capacity: usize,
     /// Accepted entries in sequence order. When `writing` is `Some`, the
@@ -324,6 +324,65 @@ pub struct MemSystem {
     /// Host nanoseconds spent in the serial replay merge — time the
     /// frontier is stalled waiting on sequencing rather than simulating.
     frontier_stall_ns: u64,
+}
+
+/// Snapshot support: a clone carries every piece of simulation state —
+/// channels (WPQ, pending, forward index + node arenas), calendar wheels,
+/// the out queue, stats, trace, and hot-line counts — bit-exactly.
+/// `scratch` is the one exception: it is worker-local buffer space,
+/// cleared at the start of every parallel window, so clones get fresh
+/// (empty) buffers of the right arity instead of copying dead data.
+impl Clone for MemSystem {
+    fn clone(&self) -> Self {
+        MemSystem {
+            cfg: self.cfg,
+            channels: self.channels.clone(),
+            events: self.events.clone(),
+            out: self.out.clone(),
+            next_id: self.next_id,
+            stats: self.stats.clone(),
+            trace: self.trace.clone(),
+            line_writes: self.line_writes.clone(),
+            cell_jobs: self.cell_jobs,
+            par_min: self.par_min,
+            scratch: self
+                .scratch
+                .iter()
+                .map(|_| WindowScratch::default())
+                .collect(),
+            domain_events: self.domain_events.clone(),
+            par_windows: self.par_windows,
+            exchange_events: self.exchange_events,
+            frontier_stall_ns: self.frontier_stall_ns,
+        }
+    }
+
+    /// Allocation-reusing restore: overwrites `self` in place so channel
+    /// deques, wheel buckets, and index tables keep their buffers across
+    /// repeated restores into the same scratch machine.
+    fn clone_from(&mut self, src: &Self) {
+        self.cfg = src.cfg;
+        self.channels.clone_from(&src.channels);
+        self.events.clone_from(&src.events);
+        self.out.clone_from(&src.out);
+        self.next_id = src.next_id;
+        self.stats.clone_from(&src.stats);
+        self.trace.clone_from(&src.trace);
+        self.line_writes.clone_from(&src.line_writes);
+        self.cell_jobs = src.cell_jobs;
+        self.par_min = src.par_min;
+        if self.scratch.len() != src.scratch.len() {
+            self.scratch = src
+                .scratch
+                .iter()
+                .map(|_| WindowScratch::default())
+                .collect();
+        }
+        self.domain_events.clone_from(&src.domain_events);
+        self.par_windows = src.par_windows;
+        self.exchange_events = src.exchange_events;
+        self.frontier_stall_ns = src.frontier_stall_ns;
+    }
 }
 
 impl MemSystem {

@@ -2,10 +2,18 @@
 
 use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::addr::{LineAddr, PmAddr, LINE_BYTES, PAGE_BYTES};
 
 /// One 4KB page of memory plus its page-table persistent bit.
+///
+/// Pages are held behind [`Arc`] so a [`MemoryImage::snapshot`] is a
+/// pointer-table copy: both images share every page until one of them
+/// writes, and the write path deep-copies only the shared page it is
+/// about to mutate (copy-on-write). `Arc` rather than `Rc` keeps the
+/// image `Send`, which the parallel figure harness relies on.
+#[derive(Clone)]
 struct Page {
     bytes: Box<[u8; PAGE_BYTES as usize]>,
     persistent: bool,
@@ -34,6 +42,27 @@ struct PageIndex {
     /// Capacity minus one; capacity is always a power of two.
     mask: usize,
     len: usize,
+}
+
+impl Clone for PageIndex {
+    fn clone(&self) -> Self {
+        PageIndex {
+            keys: self.keys.clone(),
+            slots: self.slots.clone(),
+            mask: self.mask,
+            len: self.len,
+        }
+    }
+
+    /// Allocation-reusing copy: restoring a machine from a snapshot
+    /// overwrites the live index in place, so the key/slot tables keep
+    /// their buffers across forks.
+    fn clone_from(&mut self, src: &Self) {
+        self.keys.clone_from(&src.keys);
+        self.slots.clone_from(&src.slots);
+        self.mask = src.mask;
+        self.len = src.len;
+    }
 }
 
 impl PageIndex {
@@ -141,7 +170,7 @@ impl PageIndex {
 /// assert_eq!(m.read_u64(PmAddr(4096)), 0); // untouched memory is zero
 /// ```
 pub struct MemoryImage {
-    pages: Vec<Page>,
+    pages: Vec<Arc<Page>>,
     index: PageIndex,
     /// Last page looked up, as `(page_no, slot)` — hit on nearly every
     /// sequential access. Invalidated by [`reset`](Self::reset).
@@ -166,6 +195,9 @@ pub struct ImageStats {
     /// Linear-probe steps taken by lookups that reached the open-addressed
     /// page index.
     pub index_probes: u64,
+    /// Pages deep-copied by the write path because a snapshot still shared
+    /// them (copy-on-write faults).
+    pub cow_copies: u64,
 }
 
 impl MemoryImage {
@@ -204,13 +236,24 @@ impl MemoryImage {
             Some(s) => s,
             None => {
                 let s = u32::try_from(self.pages.len()).expect("page count fits u32");
-                self.pages.push(Page::zeroed());
+                self.pages.push(Arc::new(Page::zeroed()));
                 self.index.insert(page_no, s);
                 self.last.set((page_no, s));
                 s
             }
         };
-        &mut self.pages[slot as usize]
+        let arc = &mut self.pages[slot as usize];
+        // Copy-on-write: a page still shared with a snapshot is deep-copied
+        // before the first mutation; exclusively owned pages (the common
+        // case — there are no weak handles, so `strong_count == 1` means
+        // unique) are written in place with no extra work.
+        if Arc::strong_count(arc) != 1 {
+            let mut st = self.stats.get();
+            st.cow_copies += 1;
+            self.stats.set(st);
+            *arc = Arc::new(Page::clone(arc));
+        }
+        Arc::get_mut(arc).expect("page unique after copy-on-write")
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -312,6 +355,45 @@ impl MemoryImage {
         self.pages.clear();
         self.index.clear();
         self.last.set((EMPTY, 0));
+    }
+
+    /// A copy-on-write snapshot of the image: O(touched pages) pointer
+    /// copies that bump each page's refcount, not a byte copy. Writes to
+    /// either image after the snapshot deep-copy only the page being
+    /// written (counted in [`ImageStats::cow_copies`]).
+    pub fn snapshot(&self) -> MemoryImage {
+        self.clone()
+    }
+
+    /// Number of pages currently shared with at least one other image
+    /// (refcount > 1). Purely introspective — used by the CoW property
+    /// tests to prove forks release their pages.
+    pub fn shared_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+}
+
+/// `clone` is the snapshot primitive (pointer-table copy, refcount bumps);
+/// `clone_from` additionally reuses the destination's page table and index
+/// buffers, which is what makes repeated restore-into-scratch forks cheap.
+impl Clone for MemoryImage {
+    fn clone(&self) -> Self {
+        MemoryImage {
+            pages: self.pages.clone(),
+            index: self.index.clone(),
+            last: self.last.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.pages.clone_from(&src.pages);
+        self.index.clone_from(&src.index);
+        self.last.set(src.last.get());
+        self.stats.set(src.stats.get());
     }
 }
 
@@ -522,6 +604,194 @@ mod tests {
     #[test]
     fn debug_nonempty() {
         assert!(format!("{:?}", MemoryImage::new()).contains("MemoryImage"));
+    }
+
+    #[test]
+    fn snapshot_shares_pages_until_write() {
+        let mut m = MemoryImage::new();
+        m.write_u64(PmAddr(0), 7);
+        m.write_u64(PmAddr(PAGE_BYTES), 8);
+        let snap = m.snapshot();
+        assert_eq!(m.shared_pages(), 2);
+        assert_eq!(snap.shared_pages(), 2);
+        assert_eq!(m.access_stats().cow_copies, 0);
+        // Writing one page copies exactly that page; the other stays shared.
+        m.write_u64(PmAddr(8), 9);
+        assert_eq!(m.access_stats().cow_copies, 1);
+        assert_eq!(m.shared_pages(), 1);
+        // The snapshot kept the pre-write bytes.
+        assert_eq!(snap.read_u64(PmAddr(8)), 0);
+        assert_eq!(snap.read_u64(PmAddr(0)), 7);
+        assert_eq!(m.read_u64(PmAddr(8)), 9);
+        // A second write to the now-unique page is free.
+        m.write_u64(PmAddr(16), 10);
+        assert_eq!(m.access_stats().cow_copies, 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_persistent_bits_and_cow_covers_marking() {
+        let mut m = MemoryImage::new();
+        m.write_u64(PmAddr(0), 1);
+        let snap = m.snapshot();
+        // mark_persistent goes through the same CoW write path.
+        m.mark_persistent(PmAddr(0), 8);
+        assert!(m.is_persistent(PmAddr(0)));
+        assert!(!snap.is_persistent(PmAddr(0)));
+        assert_eq!(m.access_stats().cow_copies, 1);
+    }
+
+    #[test]
+    fn dropping_all_snapshots_returns_refcounts_to_one() {
+        let mut m = MemoryImage::new();
+        for p in 0..8u64 {
+            m.write_u64(PmAddr(p * PAGE_BYTES), p);
+        }
+        let a = m.snapshot();
+        let b = a.snapshot();
+        assert_eq!(m.shared_pages(), 8);
+        drop(a);
+        assert_eq!(m.shared_pages(), 8); // still shared with b
+        drop(b);
+        assert_eq!(m.shared_pages(), 0); // exclusively owned again
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches_clone() {
+        let mut m = MemoryImage::new();
+        for p in 0..20u64 {
+            m.write_u64(PmAddr(p * PAGE_BYTES), p + 1);
+        }
+        let mut scratch = MemoryImage::new();
+        scratch.write_u64(PmAddr(5 * PAGE_BYTES), 999);
+        scratch.clone_from(&m);
+        for p in 0..20u64 {
+            assert_eq!(scratch.read_u64(PmAddr(p * PAGE_BYTES)), p + 1);
+        }
+        assert_eq!(scratch.touched_pages(), m.touched_pages());
+        // Writes to the restored copy do not leak back.
+        scratch.write_u64(PmAddr(0), 42);
+        assert_eq!(m.read_u64(PmAddr(0)), 1);
+    }
+
+    /// An eager-deep-copy model of the image: every snapshot duplicates
+    /// all bytes and bits up front. The CoW implementation must be
+    /// observationally identical to this through any interleaving.
+    #[derive(Clone, Default)]
+    struct EagerImage {
+        bytes: std::collections::BTreeMap<u64, u8>,
+        persistent: std::collections::BTreeSet<u64>,
+    }
+
+    impl EagerImage {
+        fn write_u64(&mut self, addr: u64, v: u64) {
+            for (i, b) in v.to_le_bytes().iter().enumerate() {
+                self.bytes.insert(addr + i as u64, *b);
+            }
+        }
+
+        fn read_u64(&self, addr: u64) -> u64 {
+            let mut b = [0u8; 8];
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = self.bytes.get(&(addr + i as u64)).copied().unwrap_or(0);
+            }
+            u64::from_le_bytes(b)
+        }
+
+        fn mark_persistent(&mut self, addr: u64, len: u64) {
+            if len == 0 {
+                return;
+            }
+            for p in (addr / PAGE_BYTES)..=((addr + len - 1) / PAGE_BYTES) {
+                self.persistent.insert(p);
+            }
+        }
+
+        fn is_persistent(&self, addr: u64) -> bool {
+            self.persistent.contains(&(addr / PAGE_BYTES))
+        }
+    }
+
+    /// One step of the CoW-vs-oracle interleaving. `target` selects which
+    /// live image (base or one of the forks) the operation applies to.
+    #[derive(Clone, Debug)]
+    enum CowOp {
+        Write { target: u8, addr: u64, v: u64 },
+        Mark { target: u8, addr: u64, len: u64 },
+        Snapshot { target: u8 },
+        DropFork { which: u8 },
+    }
+
+    fn cow_op() -> impl Strategy<Value = CowOp> {
+        let addr = 0u64..16 * PAGE_BYTES;
+        prop_oneof![
+            4 => (any::<u8>(), addr.clone(), any::<u64>())
+                .prop_map(|(target, addr, v)| CowOp::Write { target, addr, v }),
+            1 => (any::<u8>(), addr.clone(), 0u64..2 * PAGE_BYTES)
+                .prop_map(|(target, addr, len)| CowOp::Mark { target, addr, len }),
+            2 => any::<u8>().prop_map(|target| CowOp::Snapshot { target }),
+            2 => any::<u8>().prop_map(|which| CowOp::DropFork { which }),
+        ]
+    }
+
+    proptest! {
+        /// CoW image vs eager-deep-copy oracle through arbitrary
+        /// interleavings of writes, snapshots, forks-of-forks, and fork
+        /// drops: byte contents and persistent bits must stay identical on
+        /// every live image, and once every fork is gone the base image
+        /// must own all its pages exclusively again (no leaked sharing).
+        #[test]
+        fn prop_cow_matches_eager_oracle(
+            ops in proptest::collection::vec(cow_op(), 1..80),
+            probes in proptest::collection::vec(0u64..16 * PAGE_BYTES, 8),
+        ) {
+            let mut cows: Vec<MemoryImage> = vec![MemoryImage::new()];
+            let mut oracles: Vec<EagerImage> = vec![EagerImage::default()];
+            for op in &ops {
+                match *op {
+                    CowOp::Write { target, addr, v } => {
+                        let t = target as usize % cows.len();
+                        cows[t].write_u64(PmAddr(addr), v);
+                        oracles[t].write_u64(addr, v);
+                    }
+                    CowOp::Mark { target, addr, len } => {
+                        let t = target as usize % cows.len();
+                        cows[t].mark_persistent(PmAddr(addr), len);
+                        oracles[t].mark_persistent(addr, len);
+                    }
+                    CowOp::Snapshot { target } => {
+                        let t = target as usize % cows.len();
+                        let (c, o) = (cows[t].snapshot(), oracles[t].clone());
+                        cows.push(c);
+                        oracles.push(o);
+                    }
+                    CowOp::DropFork { which } => {
+                        // Never drop the base image (index 0).
+                        if cows.len() > 1 {
+                            let i = 1 + which as usize % (cows.len() - 1);
+                            cows.remove(i);
+                            oracles.remove(i);
+                        }
+                    }
+                }
+                // Every live image agrees with its oracle at the probe
+                // addresses after every step, not just at the end.
+                for (c, o) in cows.iter().zip(&oracles) {
+                    for &p in &probes {
+                        prop_assert_eq!(c.read_u64(PmAddr(p)), o.read_u64(p));
+                        prop_assert_eq!(c.is_persistent(PmAddr(p)), o.is_persistent(p));
+                    }
+                }
+            }
+            // Drop every fork: the base must hold the sole reference to
+            // each of its pages — a leaked refcount would show up here.
+            cows.truncate(1);
+            oracles.truncate(1);
+            prop_assert_eq!(cows[0].shared_pages(), 0);
+            for &p in &probes {
+                prop_assert_eq!(cows[0].read_u64(PmAddr(p)), oracles[0].read_u64(p));
+                prop_assert_eq!(cows[0].is_persistent(PmAddr(p)), oracles[0].is_persistent(p));
+            }
+        }
     }
 
     proptest! {

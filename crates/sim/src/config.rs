@@ -285,6 +285,7 @@ impl Default for SystemConfig {
 pub const KNOWN_ASAP_ENV: &[&str] = &[
     "ASAP_BENCHES",
     "ASAP_CELL_JOBS",
+    "ASAP_CRASH_SWEEP",
     "ASAP_DEBUG_RECOVERY",
     "ASAP_EVENTS",
     "ASAP_HTTP",

@@ -25,6 +25,7 @@ const SLOTS: usize = 256;
 const SLOT_MASK: u64 = (SLOTS as u64) - 1;
 
 /// One scheduled entry: time, tie-break sequence number, payload.
+#[derive(Clone)]
 struct Entry<E> {
     at: Cycle,
     seq: u64,
@@ -48,6 +49,7 @@ struct Entry<E> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, ['z', 'x', 'y']);
 /// ```
+#[derive(Clone)]
 pub struct EventQueue<E> {
     /// Wheel slots; an event at `at` lives in slot
     /// `(at >> BUCKET_SHIFT) & SLOT_MASK`. Entries from different wheel
@@ -365,6 +367,7 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 /// drain their own domains concurrently, with
 /// [`EventQueue::push_with_seq`]/[`EventQueue::remap_seqs`] available to
 /// reconstruct the serial seq assignment afterwards.
+#[derive(Clone)]
 pub struct DomainWheels<E> {
     wheels: Vec<EventQueue<E>>,
     next_seq: u64,

@@ -1,8 +1,13 @@
 //! Turns a [`WorkloadSpec`] into a simulated run and its measurements.
 
-use asap_core::machine::{Machine, MachineConfig, RunOutcome, StepFn, ThreadCtx};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use asap_core::machine::{
+    Machine, MachineConfig, MachineSnapshot, RunOutcome, StepFn, StepOutcome, ThreadCtx,
+};
 use asap_core::scheme::RecoveryReport;
-use asap_sim::{Stats, Summary};
+use asap_sim::{Cycle, Stats, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,6 +97,29 @@ pub struct RunResult {
     pub outcome: RunOutcome,
     /// Recovery report when the run crashed and recovered.
     pub recovery: Option<RecoveryReport>,
+    /// Per-crash-point outcomes when this result is the baseline of a
+    /// [`run_sweep`] (empty for ordinary runs and sweep forks — a fork
+    /// stays byte-identical to its legacy `crash_after` equivalent).
+    pub crash_points: Vec<CrashPointOutcome>,
+}
+
+/// One crash point's outcome in a [`run_sweep`] summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPointOutcome {
+    /// The crash point: power failure at the N-th post-setup persistent
+    /// write (the spec's `crash_after` coordinate).
+    pub crash_after: u64,
+    /// Whether the armed failure fired (`false`: the point lay beyond the
+    /// workload's writes and the fork completed normally).
+    pub crashed: bool,
+    /// Regions rolled back (or discarded) by recovery.
+    pub uncommitted: u64,
+    /// Regions rolled forward by recovery (redo schemes).
+    pub replayed: u64,
+    /// Log entries written back to data locations during recovery.
+    pub restored_lines: u64,
+    /// Transactions completed before the failure.
+    pub tx: u64,
 }
 
 // The parallel figure harness moves whole results across host threads:
@@ -186,6 +214,31 @@ fn machine_for(spec: &WorkloadSpec) -> Machine {
 /// Panics if a structural invariant or crash-consistency check fails —
 /// that is a bug in the scheme under test, which is the point.
 pub fn run(spec: &WorkloadSpec) -> RunResult {
+    let (mut m, mut bench, marks) = prepare(spec);
+    let state = thread_states(spec);
+    let mut steps = shared_steps(bench, spec, &state);
+    let outcome = m.run(&mut steps);
+    drop(steps);
+    collect(&mut m, &mut bench, spec, outcome, &marks)
+}
+
+/// Boundary measurements taken between setup and the timed run, shared by
+/// the single-run and sweep paths (and by every fork of a sweep).
+#[derive(Clone, Copy, Debug)]
+struct SetupMarks {
+    /// PM media write traffic consumed by setup (excluded from results).
+    pm_writes_setup: u64,
+    /// CPU persistent-write count at arm time — the origin of the
+    /// `crash_after` coordinate.
+    armed_base: u64,
+    /// Makespan when the timed run began.
+    setup_end: Cycle,
+}
+
+/// Builds the machine, runs benchmark setup, and establishes the
+/// steady-state baseline: drained, clock-synced, per-region summaries
+/// reset, crash armed (when the spec asks for one).
+fn prepare(spec: &WorkloadSpec) -> (Machine, AnyBench, SetupMarks) {
     let mut m = machine_for(spec);
     let mut bench = AnyBench::create(&mut m, spec);
     bench.setup(&mut m, spec);
@@ -208,37 +261,85 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         m.reset_summary(name);
     }
     let pm_writes_setup = m.pm_write_traffic();
+    let armed_base = m.pm_write_ops();
     // Arm the crash counter only after setup so setup always survives.
     if let Some(n) = spec.crash_after {
         m.arm_crash_after_additional(n);
     }
     let setup_end = m.makespan();
-    let mut steps: Vec<StepFn> = (0..spec.threads as usize)
+    (
+        m,
+        bench,
+        SetupMarks {
+            pm_writes_setup,
+            armed_base,
+            setup_end,
+        },
+    )
+}
+
+/// Per-thread workload-driver state. It lives *outside* the step
+/// closures (shared via `Rc<RefCell<…>>`) so a crash sweep can capture
+/// and rewind it alongside a [`MachineSnapshot`]; a plain [`run`] uses
+/// the same arrangement so the two paths execute identical code.
+#[derive(Clone, Debug)]
+struct ThreadState {
+    rng: StdRng,
+    remaining: u64,
+}
+
+type SharedStates = Rc<RefCell<Vec<ThreadState>>>;
+
+fn thread_states(spec: &WorkloadSpec) -> SharedStates {
+    Rc::new(RefCell::new(
+        (0..spec.threads as u64)
+            .map(|t| ThreadState {
+                rng: StdRng::seed_from_u64(spec.seed ^ t.wrapping_mul(0x9e37)),
+                remaining: spec.ops_per_thread,
+            })
+            .collect(),
+    ))
+}
+
+fn shared_steps(bench: AnyBench, spec: &WorkloadSpec, state: &SharedStates) -> Vec<StepFn> {
+    (0..spec.threads as usize)
         .map(|t| {
             let b = bench;
             let s = *spec;
-            let mut rng = StdRng::seed_from_u64(s.seed ^ (t as u64).wrapping_mul(0x9e37));
-            let mut remaining = s.ops_per_thread;
+            let state = Rc::clone(state);
             Box::new(move |ctx: &mut ThreadCtx| {
-                if remaining == 0 {
+                let st = &mut state.borrow_mut()[t];
+                if st.remaining == 0 {
                     return false;
                 }
-                b.step(ctx, &mut rng, &s);
+                b.step(ctx, &mut st.rng, &s);
                 ctx.complete_tx();
-                remaining -= 1;
-                remaining > 0
+                st.remaining -= 1;
+                st.remaining > 0
             }) as StepFn
         })
-        .collect();
-    let outcome = m.run(&mut steps);
-    drop(steps);
+        .collect()
+}
+
+/// Post-run bookkeeping shared by every path that finishes a simulation:
+/// drain-or-recover, verification, and measurement into a [`RunResult`].
+fn collect(
+    m: &mut Machine,
+    bench: &mut AnyBench,
+    spec: &WorkloadSpec,
+    outcome: RunOutcome,
+    marks: &SetupMarks,
+) -> RunResult {
+    let SetupMarks {
+        pm_writes_setup,
+        setup_end,
+        ..
+    } = *marks;
     let (exec, drained, recovery) = match outcome {
         RunOutcome::Completed => {
             let exec = m.makespan();
             let drained = m.drain();
-            bench
-                .verify(&mut m)
-                .expect("structural invariants after run");
+            bench.verify(m).expect("structural invariants after run");
             // Cross-validate the sharer presence masks against the tag
             // arrays. The walk is O(cache) with a hash probe per line,
             // so release builds only pay it for >64-core machines —
@@ -259,7 +360,7 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
                                       // Atomic durability means structural invariants hold at region
                                       // boundaries — so they must hold in the recovered image too.
             bench
-                .verify(&mut m)
+                .verify(m)
                 .expect("structural invariants after recovery");
             (exec, exec, Some(report))
         }
@@ -283,7 +384,7 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         (None, None, None)
     };
     let hot_lines = m.hw().mem.hottest_lines(HOT_LINES);
-    flush_host_metrics(&m);
+    flush_host_metrics(m);
     RunResult {
         spec: *spec,
         tx,
@@ -302,6 +403,127 @@ pub fn run(spec: &WorkloadSpec) -> RunResult {
         lifecycle,
         lifecycle_dot,
         hot_lines,
+        crash_points: Vec::new(),
+    }
+}
+
+/// The result of a [`run_sweep`]: the uninterrupted baseline run (whose
+/// [`RunResult::crash_points`] summarizes every fork) plus one full
+/// [`RunResult`] per crash point, each byte-identical to what [`run`]
+/// would produce for `spec.with_crash_after(point)`.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// The uninterrupted prefix run, crash-point summaries attached.
+    pub baseline: RunResult,
+    /// One result per requested crash point, in request order.
+    pub forks: Vec<RunResult>,
+    /// Post-setup persistent writes the full prefix performed — the upper
+    /// end of the meaningful `crash_after` coordinate for this spec.
+    /// Callers use it to place sweep points (e.g. quantiles of the write
+    /// range); a pilot `run_sweep(spec, &[], u64::MAX)` measures it for
+    /// the cost of one uninterrupted run.
+    pub prefix_writes: u64,
+}
+
+/// Runs a crash-point sweep over one workload: the prefix simulates once,
+/// machine snapshots are taken copy-on-write every `snap_every`
+/// persistent writes (quantized to step boundaries), and every crash
+/// point forks from the latest preceding snapshot instead of
+/// re-simulating from cycle 0 — O(points × dirty state) instead of
+/// O(points × run length).
+///
+/// Each fork arms the power failure at exactly the absolute write count
+/// the legacy path would have crashed on, and both paths execute the same
+/// [`Machine::step_thread`] loop, so a fork's `RunResult` is
+/// byte-identical to `run(&spec.with_crash_after(point))` — the
+/// equivalence suite enforces this. The baseline is what [`run`] returns
+/// for the unarmed spec, plus the `crash_points` summary.
+///
+/// # Panics
+///
+/// Panics if `spec.crash_after` is set (the sweep owns crash arming), or
+/// if a scheme invariant or crash-consistency check fails in any fork.
+pub fn run_sweep(spec: &WorkloadSpec, points: &[u64], snap_every: u64) -> SweepResult {
+    use asap_sim::obs::{events, metrics};
+    assert!(
+        spec.crash_after.is_none(),
+        "sweep specs must not pre-arm a crash (the points are the sweep's)"
+    );
+    let snap_every = snap_every.max(1);
+    let (mut m, mut bench, marks) = prepare(spec);
+    let state = thread_states(spec);
+    let mut steps = shared_steps(bench, spec, &state);
+
+    // Prefix: one uninterrupted run, snapshotting machine + driver state
+    // at step boundaries. The first snapshot (taken before any step, at
+    // the armed origin) covers every crash point on its own; later ones
+    // only shorten the replay distance.
+    let mut snaps: Vec<(MachineSnapshot, Vec<ThreadState>)> =
+        vec![(m.snapshot(), state.borrow().clone())];
+    let mut next_mark = m.pm_write_ops().saturating_add(snap_every);
+    m.begin_schedule();
+    while let Some(t) = m.next_runnable() {
+        let out = m.step_thread(t, &mut steps[t]);
+        debug_assert_ne!(out, StepOutcome::Crashed, "the prefix runs unarmed");
+        if m.pm_write_ops() >= next_mark {
+            snaps.push((m.snapshot(), state.borrow().clone()));
+            next_mark = m.pm_write_ops().saturating_add(snap_every);
+        }
+    }
+    drop(steps);
+    let prefix_writes = m.pm_write_ops() - marks.armed_base;
+    for (snap, _) in &snaps {
+        metrics::counter("snapshot.bytes").add(snap.approx_image_bytes());
+    }
+    let mut baseline = collect(&mut m, &mut bench, spec, RunOutcome::Completed, &marks);
+
+    let mut forks = Vec::with_capacity(points.len());
+    for &n in points {
+        let armed_abs = marks.armed_base + n;
+        // Rewind to *before* the crashing write: the latest snapshot
+        // strictly below the armed count. (`n = 0` fires on the next
+        // write exactly like `n = 1` — the arming check is `>=` — so the
+        // origin snapshot is valid for it.)
+        let limit = marks.armed_base + n.max(1);
+        let (snap, st) = snaps
+            .iter()
+            .rev()
+            .find(|(s, _)| s.pm_write_ops() < limit)
+            .expect("the post-setup snapshot precedes every crash point");
+        m.restore(snap);
+        state.borrow_mut().clone_from(st);
+        m.arm_crash_after_additional(armed_abs - snap.pm_write_ops());
+        metrics::counter("snapshot.forks").add(1);
+        if events::enabled() {
+            events::Event::new("crash_fork")
+                .field_str("bench", spec.bench.label())
+                .field_str("scheme", &spec.scheme.to_string())
+                .field_u64("crash_after", n)
+                .field_u64("snap_writes", snap.pm_write_ops() - marks.armed_base)
+                .emit();
+        }
+        let mut steps = shared_steps(bench, spec, &state);
+        let outcome = m.run(&mut steps);
+        drop(steps);
+        let fspec = spec.with_crash_after(n);
+        let r = collect(&mut m, &mut bench, &fspec, outcome, &marks);
+        baseline.crash_points.push(CrashPointOutcome {
+            crash_after: n,
+            crashed: r.outcome == RunOutcome::Crashed,
+            uncommitted: r
+                .recovery
+                .as_ref()
+                .map_or(0, |x| x.uncommitted.len() as u64),
+            replayed: r.recovery.as_ref().map_or(0, |x| x.replayed.len() as u64),
+            restored_lines: r.recovery.as_ref().map_or(0, |x| x.restored_lines),
+            tx: r.tx,
+        });
+        forks.push(r);
+    }
+    SweepResult {
+        baseline,
+        forks,
+        prefix_writes,
     }
 }
 
@@ -320,6 +542,7 @@ fn flush_host_metrics(m: &Machine) {
     metrics::counter("pmem.image.lookups").add(img.lookups);
     metrics::counter("pmem.image.last_page_hits").add(img.last_page_hits);
     metrics::counter("pmem.image.index_probes").add(img.index_probes);
+    metrics::counter("pmem.image.cow_copies").add(img.cow_copies);
     metrics::counter("sim.calendar.full_scans").add(m.hw().mem.calendar_full_scans());
     metrics::gauge("mem.fwd_slab.hwm").set_max(m.hw().mem.fwd_slab_hwm());
     // Domain-partitioned backend (DESIGN.md §12): per-channel event
@@ -461,6 +684,34 @@ mod tests {
         );
         assert_eq!(a.chrome_trace, b.chrome_trace);
         assert!(dump.contains("RegionBegin") && dump.contains("WpqAccept"));
+    }
+
+    #[test]
+    fn sweep_forks_match_legacy_crash_cells() {
+        use crate::resultjson::results_identical;
+        let spec = small(BenchId::Hm, SchemeKind::Asap).with_tracking();
+        // Mixed coverage: early, mid, near-end, and one point beyond the
+        // workload's writes (the fork completes instead of crashing).
+        let points = [1u64, 7, 23, 40, 1_000_000];
+        let sw = run_sweep(&spec, &points, 8);
+        assert_eq!(sw.forks.len(), points.len());
+        for (i, &n) in points.iter().enumerate() {
+            let legacy = run(&spec.with_crash_after(n));
+            assert!(
+                results_identical(&sw.forks[i], &legacy),
+                "fork {n} diverged from the legacy crash_after path"
+            );
+        }
+        // The baseline is the plain uninterrupted run plus the summary.
+        let plain = run(&spec);
+        let mut stripped = sw.baseline.clone();
+        stripped.crash_points.clear();
+        assert!(results_identical(&stripped, &plain));
+        let cps = &sw.baseline.crash_points;
+        assert_eq!(cps.len(), points.len());
+        assert!(cps[0].crashed && cps[0].crash_after == 1);
+        assert!(!cps[4].crashed, "beyond-the-end point completes");
+        assert_eq!(cps[4].tx, plain.tx);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod resultjson;
 pub mod spec;
 pub mod structures;
 
-pub use driver::{run, RunResult, StallBreakdown};
+pub use driver::{run, run_sweep, CrashPointOutcome, RunResult, StallBreakdown, SweepResult};
 pub use spec::{BenchId, WorkloadSpec};
 pub use structures::Benchmark;

@@ -27,7 +27,7 @@ use asap_mem::Rid;
 use asap_sim::json::{self, Value};
 use asap_sim::{CacheConfig, MemConfig, Stats, SystemConfig, TelemetrySettings, TraceSettings};
 
-use crate::driver::{RunResult, StallBreakdown};
+use crate::driver::{CrashPointOutcome, RunResult, StallBreakdown};
 use crate::spec::{BenchId, WorkloadSpec};
 
 /// Serializes a result to its canonical cache JSON (one line, no frills).
@@ -95,6 +95,18 @@ pub fn to_json(r: &RunResult) -> String {
             out.push_str(&format!(",\"restored_lines\":{}}}", rep.restored_lines));
         }
     }
+    out.push_str(",\"crash_points\":[");
+    for (i, c) in r.crash_points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"crash_after\":{},\"crashed\":{},\"uncommitted\":{},\"replayed\":{},\
+             \"restored_lines\":{},\"tx\":{}}}",
+            c.crash_after, c.crashed, c.uncommitted, c.replayed, c.restored_lines, c.tx,
+        ));
+    }
+    out.push(']');
     out.push('}');
     out
 }
@@ -148,6 +160,23 @@ pub fn from_json(text: &str) -> Result<RunResult, String> {
             restored_lines: u64_field(rep, "restored_lines")?,
         }),
     };
+    // Absent in pre-sweep cache files: decode as the empty summary.
+    let crash_points = match v.get("crash_points").and_then(Value::as_array) {
+        None => Vec::new(),
+        Some(list) => list
+            .iter()
+            .map(|c| {
+                Ok(CrashPointOutcome {
+                    crash_after: u64_field(c, "crash_after")?,
+                    crashed: bool_field(c, "crashed")?,
+                    uncommitted: u64_field(c, "uncommitted")?,
+                    replayed: u64_field(c, "replayed")?,
+                    restored_lines: u64_field(c, "restored_lines")?,
+                    tx: u64_field(c, "tx")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
     Ok(RunResult {
         spec,
         tx: u64_field(&v, "tx")?,
@@ -166,6 +195,7 @@ pub fn from_json(text: &str) -> Result<RunResult, String> {
         hot_lines,
         outcome,
         recovery,
+        crash_points,
     })
 }
 
@@ -475,6 +505,7 @@ pub fn results_identical(a: &RunResult, b: &RunResult) -> bool {
         && a.hot_lines == b.hot_lines
         && a.outcome == b.outcome
         && a.recovery == b.recovery
+        && a.crash_points == b.crash_points
 }
 
 fn stall_bits(s: &StallBreakdown) -> [u64; 5] {

@@ -187,6 +187,16 @@ fn arb_result(rng: &mut TestRng) -> RunResult {
         } else {
             None
         },
+        crash_points: (0..rng.below(4))
+            .map(|_| asap_workloads::CrashPointOutcome {
+                crash_after: arb_u64(rng),
+                crashed: rng.below(2) == 0,
+                uncommitted: arb_u64(rng),
+                replayed: arb_u64(rng),
+                restored_lines: arb_u64(rng),
+                tx: arb_u64(rng),
+            })
+            .collect(),
     }
 }
 

@@ -1,0 +1,127 @@
+//! Crash-point sweep smoke: one shared prefix, many forked crash points.
+//!
+//! Runs an `ASAP_CRASH_SWEEP`-point sweep (default 32) through the
+//! copy-on-write snapshot path, checks every fork bit-for-bit against the
+//! legacy one-full-run-per-point path, and records both wall clocks
+//! (`crash_sweep` / `crash_sweep_legacy`) in `BENCH_WALLCLOCK.json`. Both
+//! passes run with the result cache off, so the ratio compares simulation
+//! work, not memoization. At 32+ points the sweep must come in at no more
+//! than 1/5 of the legacy wall clock (asserted).
+//!
+//! ```sh
+//! ASAP_CRASH_SWEEP=32 cargo run --release --example crash_sweep
+//! ```
+//!
+//! The outcome table goes to stdout and is deterministic; the wall-clock
+//! comparison goes to stderr (host-dependent, like every timing note).
+
+use std::time::Instant;
+
+use asap_bench::runcache::RunCacheConfig;
+use asap_bench::{emit_wallclock, ops, run_crash_sweep_with, threads};
+use asap_core::scheme::SchemeKind;
+use asap_workloads::resultjson::results_identical;
+use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
+
+fn main() {
+    let n_points: u64 = std::env::var("ASAP_CRASH_SWEEP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    // The small system config keeps machine state O(touched): a snapshot
+    // or restore under table2 geometry copies ~10MB of tag/slab arrays,
+    // which at smoke scale would cost as much as re-simulating. Crash
+    // sweeps probe recovery behavior, not figure timing, so the small
+    // config is the right tool.
+    let mut spec = WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap)
+        .with_threads(threads())
+        .with_ops(ops());
+    spec.system = asap_sim::SystemConfig::small();
+    // Pilot: one uninterrupted sweep with no points measures the
+    // post-setup persistent-write range, so the crash points land as
+    // quantiles of the real `crash_after` coordinate rather than a guess.
+    // Point placement is metadata a sweeping tool measures once and
+    // reuses, so it stays outside the timed comparison.
+    let total = asap_workloads::run_sweep(&spec, &[], u64::MAX).prefix_writes;
+    let points: Vec<u64> = (1..=n_points)
+        .map(|i| (i * total / n_points).max(1))
+        .collect();
+    // Snapshot cadence trades snapshot cost against fork replay distance;
+    // an eighth of the write range keeps both well under one full run.
+    let snap_every = (total / 8).max(1);
+
+    let t0 = Instant::now();
+    let sweep = run_crash_sweep_with(&spec, &points, snap_every, &RunCacheConfig::off());
+    let sweep_elapsed = t0.elapsed();
+
+    let t1 = Instant::now();
+    let legacy: Vec<RunResult> = points
+        .iter()
+        .map(|&n| run(&spec.with_crash_after(n)))
+        .collect();
+    let legacy_elapsed = t1.elapsed();
+
+    println!(
+        "crash-point sweep: {} x {} ({} points, snapshot every {} writes)",
+        spec.bench.label(),
+        spec.scheme.name(),
+        points.len(),
+        snap_every
+    );
+    println!(
+        "{:>12} {:>10} {:>12} {:>9} {:>9}",
+        "crash_after", "outcome", "uncommitted", "replayed", "tx"
+    );
+    for p in &sweep.baseline.crash_points {
+        println!(
+            "{:>12} {:>10} {:>12} {:>9} {:>9}",
+            p.crash_after,
+            if p.crashed { "crashed" } else { "completed" },
+            p.uncommitted,
+            p.replayed,
+            p.tx
+        );
+    }
+
+    // Every fork must be byte-identical to the legacy re-run path, every
+    // point must have fired, and every crash must have a recovery report
+    // (the per-scheme invariants already ran inside both paths).
+    for ((f, l), p) in sweep
+        .forks
+        .iter()
+        .zip(&legacy)
+        .zip(&sweep.baseline.crash_points)
+    {
+        assert!(
+            results_identical(f, l),
+            "fork at {} diverged from the legacy crash_after path",
+            p.crash_after
+        );
+        assert!(p.crashed, "point {} did not fire", p.crash_after);
+        assert!(
+            f.recovery.is_some(),
+            "point {} has no recovery report",
+            p.crash_after
+        );
+    }
+    println!(
+        "all {} forks identical to legacy re-runs; all recoveries verified",
+        points.len()
+    );
+
+    emit_wallclock("crash_sweep", sweep_elapsed, &[&sweep.forks]);
+    emit_wallclock("crash_sweep_legacy", legacy_elapsed, &[&legacy]);
+    let speedup = legacy_elapsed.as_secs_f64() / sweep_elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "crash_sweep: sweep {:.3}s vs legacy {:.3}s ({speedup:.1}x)",
+        sweep_elapsed.as_secs_f64(),
+        legacy_elapsed.as_secs_f64()
+    );
+    if points.len() >= 32 {
+        assert!(
+            speedup >= 5.0,
+            "sweep must be at least 5x faster than {} legacy re-runs (got {speedup:.2}x)",
+            points.len()
+        );
+    }
+}

@@ -242,6 +242,74 @@ fn intra_cell_parallel_cells_are_identical_to_serial() {
     }
 }
 
+/// Copy-on-write crash-point sweeps must be a pure wall-clock
+/// optimization exactly like the pool and the cache: every fork —
+/// snapshot-restored mid-run, then crashed and recovered — has to be
+/// byte-identical to the legacy one-full-run-per-point path, whether the
+/// legacy reference ran serially or through the parallel pool, whether
+/// the sweep ran on the serial engine or under intra-cell parallel
+/// windows, and whether its cells were simulated or served from a disk
+/// store.
+#[test]
+fn crash_sweeps_are_identical_to_legacy_crash_cells() {
+    use asap_bench::run_crash_sweep_with;
+    let spec = WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap)
+        .with_threads(2)
+        .with_ops(30)
+        .with_tracking();
+    // Early, mid, late, and one point beyond the workload's writes (that
+    // fork completes instead of crashing).
+    let points = [1u64, 11, 29, 64, 1_000_000];
+    let crash_specs: Vec<WorkloadSpec> = points.iter().map(|&n| spec.with_crash_after(n)).collect();
+
+    // Legacy reference: one full re-run per point, via the parallel pool
+    // (itself equivalence-tested above).
+    let legacy = run_grid_with(&crash_specs, 4, &RunCacheConfig::off());
+
+    // Serial sweep, cache off.
+    let sweep = run_crash_sweep_with(&spec, &points, 16, &RunCacheConfig::off());
+    assert_eq!(sweep.forks.len(), legacy.len());
+    for (a, b) in sweep.forks.iter().zip(&legacy) {
+        assert_identical(a, b);
+    }
+
+    // The sweep baseline minus its crash-point summary is an ordinary
+    // uninterrupted run of the unarmed spec.
+    let plain = run_grid_with(&[spec], 1, &RunCacheConfig::off());
+    let mut base = sweep.baseline.clone();
+    base.crash_points.clear();
+    assert_identical(&base, &plain[0]);
+
+    // Sweep under intra-cell parallel windows: snapshot/restore must
+    // commute with the domain-partitioned engine.
+    {
+        let _guard = CellJobsGuard;
+        asap_mem::set_cell_jobs(Some(2));
+        asap_mem::set_parallel_window_min(Some(0));
+        let windowed = run_crash_sweep_with(&spec, &points, 16, &RunCacheConfig::off());
+        for (a, b) in windowed.forks.iter().zip(&legacy) {
+            assert_identical(a, b);
+        }
+        assert_eq!(windowed.baseline.crash_points, sweep.baseline.crash_points);
+    }
+
+    // Cached sweeps: a cold pass populates a hermetic disk store, a warm
+    // pass is served from it — forks and the rebuilt crash-point summary
+    // must both be unchanged.
+    let dir = std::env::temp_dir().join(format!("asap-sweep-equiv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RunCacheConfig::disk_only(&dir, 64);
+    let cold = run_crash_sweep_with(&spec, &points, 16, &store);
+    let warm = run_crash_sweep_with(&spec, &points, 16, &store);
+    for cached in [&cold, &warm] {
+        for (a, b) in cached.forks.iter().zip(&legacy) {
+            assert_identical(a, b);
+        }
+        assert_eq!(cached.baseline.crash_points, sweep.baseline.crash_points);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Results come back in spec order, not completion order.
 #[test]
 fn results_preserve_spec_order() {
