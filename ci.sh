@@ -131,6 +131,36 @@ grep -q "all 32 forks identical to legacy re-runs" target/crash_sweep.out \
        cat target/crash_sweep.err >&2; exit 1; }
 sed -n 's/^crash_sweep: /    /p' target/crash_sweep.err
 
+echo "==> parallel sweep smoke (1000 lifecycle points, ASAP_SWEEP_JOBS=2 vs serial)"
+# Snapshot-tree sweep over a 1000-point lifecycle plan, run twice: serial
+# and with two fork workers. Stdout must be byte-identical (determinism
+# at any ASAP_SWEEP_JOBS), every point must recover, and on multi-CPU
+# hosts the parallel pass must reach at least 2x the serial points/s
+# (warn-only on 1-CPU hosts, where there is nothing to win).
+ASAP_OPS=200 ASAP_THREADS=2 ASAP_CRASH_SWEEP=1000 ASAP_WALLCLOCK= ASAP_RUNCACHE=off \
+  cargo run --release -q --example crash_sweep >target/sweep_serial.out 2>target/sweep_serial.err
+ASAP_OPS=200 ASAP_THREADS=2 ASAP_CRASH_SWEEP=1000 ASAP_WALLCLOCK= ASAP_RUNCACHE=off \
+  ASAP_SWEEP_JOBS=2 \
+  cargo run --release -q --example crash_sweep >target/sweep_par.out 2>target/sweep_par.err
+cmp target/sweep_serial.out target/sweep_par.out \
+  || { echo "SWEEP FAILURE: parallel stdout differs from serial" >&2; exit 1; }
+grep -q "all 1000 crash points recovered" target/sweep_serial.out \
+  || { echo "SWEEP FAILURE: not every lifecycle point recovered" >&2; \
+       cat target/sweep_serial.err >&2; exit 1; }
+SERIAL_SECS=$(sed -n 's/^crash_sweep: 1000 points in \([0-9.]*\)s.*/\1/p' target/sweep_serial.err)
+PAR_SECS=$(sed -n 's/^crash_sweep: 1000 points in \([0-9.]*\)s.*/\1/p' target/sweep_par.err)
+[ -n "$SERIAL_SECS" ] && [ -n "$PAR_SECS" ] \
+  || { echo "SWEEP FAILURE: throughput lines missing from stderr" >&2; exit 1; }
+SWEEP_SPEEDUP=$(awk "BEGIN{printf \"%.2f\", $SERIAL_SECS / ($PAR_SECS + 1e-9)}")
+echo "    1000 points: serial ${SERIAL_SECS}s, 2 workers ${PAR_SECS}s (${SWEEP_SPEEDUP}x); stdout byte-identical"
+FAST_ENOUGH=$(awk "BEGIN{print ($SERIAL_SECS >= 2 * $PAR_SECS) ? 1 : 0}")
+if [ "$FAST_ENOUGH" != 1 ]; then
+  if [ "$(nproc)" -ge 2 ]; then
+    echo "SWEEP FAILURE: 2 workers only ${SWEEP_SPEEDUP}x over serial (need >= 2x)" >&2; exit 1
+  fi
+  echo "    (speedup gate skipped: single-CPU host)"
+fi
+
 # Opt-in perf gate: warn (exit 0) when the smoke run exceeds the threshold.
 if [ -n "${ASAP_PERF_GATE:-}" ]; then
   LAST=$(python3 - <<'EOF'
@@ -156,6 +186,30 @@ EOF
     fi
   else
     echo "    perf gate ok (<= ${ASAP_PERF_GATE}s)"
+  fi
+  # Sweep throughput: compare the last two cold crash_sweep records'
+  # points_per_sec (the wallclock field emit_wallclock_sweep writes).
+  SWEEP_PPS=$(python3 - <<'EOF'
+import json
+try:
+    entries = [e for e in json.load(open("BENCH_WALLCLOCK.json"))
+               if e.get("figure") == "crash_sweep"
+               and e.get("cache", "cold") != "warm"
+               and "points_per_sec" in e]
+    if len(entries) >= 2:
+        print(entries[-2]["points_per_sec"], entries[-1]["points_per_sec"])
+except Exception:
+    pass
+EOF
+)
+  if [ -n "$SWEEP_PPS" ]; then
+    read -r PPS_PREV PPS_LAST <<<"$SWEEP_PPS"
+    PPS_SLOW=$(awk "BEGIN{print ($PPS_LAST * 2 < $PPS_PREV) ? 1 : 0}")
+    if [ "$PPS_SLOW" = 1 ]; then
+      echo "PERF WARNING: crash_sweep throughput fell from ${PPS_PREV} to ${PPS_LAST} points/s" >&2
+    else
+      echo "    perf gate ok (crash_sweep ${PPS_LAST} points/s, prev ${PPS_PREV})"
+    fi
   fi
 fi
 

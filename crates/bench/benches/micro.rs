@@ -8,6 +8,7 @@
 //! the standard deviation across batches.
 
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use asap_core::logbuf::RecordHeader;
@@ -30,11 +31,17 @@ fn iters_per_batch() -> u64 {
 }
 
 /// Runs `f` repeatedly and prints mean ± stddev ns/iter over the batches.
-fn bench(name: &str, mut f: impl FnMut()) {
-    for _ in 0..WARMUP_ITERS {
+fn bench(name: &str, f: impl FnMut()) {
+    bench_with(name, WARMUP_ITERS, iters_per_batch(), f);
+}
+
+/// [`bench`] with explicit warmup/iteration counts, for benchmarks whose
+/// single iteration is orders of magnitude heavier than the substrate
+/// loops (e.g. a full fork restore + replay).
+fn bench_with(name: &str, warmup: u64, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..warmup {
         f();
     }
-    let iters = iters_per_batch();
     let mut per_batch = Summary::default();
     for _ in 0..BATCHES {
         let t0 = Instant::now();
@@ -355,6 +362,61 @@ fn bench_snapshot() {
     });
 }
 
+fn bench_sweep() {
+    // The sweep engine's two per-fork restore shapes, isolated from the
+    // driver. `far` stands in for a thinned-spine cadence snapshot a full
+    // tail behind the crash point; `near` for a refinement leaf one step
+    // away. The gap between the two is the work the snapshot tree
+    // removes from every fork.
+    let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
+    let a = m.pm_alloc(64 * 64).unwrap();
+    let region = |m: &mut Machine, i: u64| {
+        m.run_thread(0, |ctx| {
+            ctx.begin_region();
+            ctx.write_u64(a.offset(i % 64 * 64), i);
+            ctx.end_region();
+        });
+    };
+    for i in 0..8 {
+        region(&mut m, i);
+    }
+    let far = m.snapshot();
+    for i in 8..63 {
+        region(&mut m, i);
+    }
+    let near = m.snapshot();
+
+    // Flat cadence: restore the cadence snapshot, replay the tail of
+    // regions up to the crash point.
+    bench_with("sweep_restore_flat_tail", 20, 200, || {
+        m.restore(&far);
+        for i in 8..63 {
+            region(&mut m, i);
+        }
+    });
+    // Snapshot tree: restore the refinement leaf adjacent to the point.
+    bench_with("sweep_restore_tree_leaf", 20, 200, || {
+        m.restore(&near);
+        region(&mut m, 63);
+    });
+
+    // Send-snapshot fork dispatch: hand a snapshot to a worker thread
+    // and restore it into that worker's scratch machine — the fixed
+    // cross-thread cost `ASAP_SWEEP_JOBS` pays per chunk. The snapshot
+    // sits behind a `Mutex` (it is `Send` but not `Sync`, because the
+    // image keeps `Cell` page caches) exactly as the sweep spine does.
+    let snap = Mutex::new(near);
+    let scratch = Mutex::new(Machine::new(MachineConfig::small(SchemeKind::Asap, 1)));
+    bench_with("snapshot_fork_dispatch", 10, 100, || {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let snap = snap.lock().unwrap();
+                scratch.lock().unwrap().restore(&snap);
+            });
+        });
+    });
+}
+
 fn bench_transaction() {
     let mut m = Machine::new(MachineConfig::small(SchemeKind::Asap, 1));
     let a = m.pm_alloc(64 * 16).unwrap();
@@ -382,5 +444,6 @@ fn main() {
     bench_fingerprint();
     bench_runcache();
     bench_snapshot();
+    bench_sweep();
     bench_transaction();
 }

@@ -29,6 +29,12 @@
 //! - `ASAP_CRASH_SWEEP` — crash-point count for the `crash_sweep`
 //!   example, which drives [`run_crash_sweep`] (shared-prefix
 //!   copy-on-write forks, bit-identical to legacy `crash_after` cells);
+//! - `ASAP_SWEEP_JOBS` — fork-dispatch worker threads for crash sweeps
+//!   (default 1; snapshots are `Send`, so forks run on a scoped pool and
+//!   merge back in point order — output is identical at any value);
+//! - `ASAP_SNAP_BUDGET` — most spine snapshots a sweep keeps resident
+//!   (default 64; over budget, every other snapshot is evicted and the
+//!   cadence doubles);
 //! - `ASAP_HTTP` — address for the live observability HTTP server
 //!   (e.g. `127.0.0.1:0`), started per grid run and stopped at grid
 //!   end: `/metrics`, `/metrics.json`, `/events`, `/progress`,
@@ -60,7 +66,8 @@ use asap_core::scheme::SchemeKind;
 use asap_sim::obs::{self, events, metrics, phase};
 use asap_sim::{Fingerprint, TelemetrySettings, TraceSettings};
 use asap_workloads::{
-    run, run_sweep, BenchId, CrashPointOutcome, RunResult, SweepResult, WorkloadSpec,
+    run, run_sweep_with, BenchId, CrashPointOutcome, RunResult, SweepConfig, SweepResult,
+    WorkloadSpec,
 };
 
 use progress::Progress;
@@ -103,6 +110,29 @@ pub fn jobs() -> usize {
         Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
         Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
     }
+}
+
+/// Fork-dispatch worker threads for crash sweeps, from `ASAP_SWEEP_JOBS`
+/// (default 1 — the sweep's own parallelism is opt-in, separate from the
+/// grid pool's [`jobs`]; minimum 1). Sweep output is bit-identical at any
+/// value (`tests/parallel_equivalence.rs` and the sweep proptests hold
+/// the claim).
+pub fn sweep_jobs() -> usize {
+    std::env::var("ASAP_SWEEP_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Spine snapshot budget for crash sweeps, from `ASAP_SNAP_BUDGET`
+/// (default 64; 0 = unbounded). Bounds sweep memory: over budget, every
+/// other spine snapshot is evicted and the cadence doubles.
+pub fn snap_budget() -> usize {
+    std::env::var("ASAP_SNAP_BUDGET")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(64)
 }
 
 /// Runs every spec in `specs` and returns the results in the same order,
@@ -352,7 +382,7 @@ pub fn run_crash_sweep_with(
         events::Event::new("grid_start")
             .field_str("schema", events::SCHEMA)
             .field_u64("cells", points.len() as u64 + 1)
-            .field_u64("jobs", 1)
+            .field_u64("jobs", sweep_jobs() as u64)
             .field_str("cache", if cache.enabled() { "on" } else { "off" })
             .emit();
     }
@@ -420,6 +450,7 @@ pub fn run_crash_sweep_with(
     }
 
     let mut prefix_writes = 0;
+    let mut replayed_writes = 0;
     if baseline.is_none() || !to_run.is_empty() {
         // One sweep covers the baseline and every missing point: the
         // prefix has to be executed to build the snapshots anyway, and
@@ -438,9 +469,15 @@ pub fn run_crash_sweep_with(
         let sim_t0 = Instant::now();
         let sweep = {
             let _t = phase::scope(phase::Phase::Simulate);
-            run_sweep(spec, &missing, snap_every)
+            // Tree layout + env-configured fork pool: bit-identical to
+            // the serial flat sweep, only faster and memory-bounded.
+            let cfg = SweepConfig::tree(snap_every)
+                .with_budget(snap_budget())
+                .with_jobs(sweep_jobs());
+            run_sweep_with(spec, &missing, &cfg)
         };
         prefix_writes = sweep.prefix_writes;
+        replayed_writes = sweep.replayed_writes;
         // Host time split evenly across the cells the sweep served —
         // the prefix is shared, so no per-cell attribution is exact.
         let per_us = sim_t0.elapsed().as_micros() as u64 / (to_run.len() as u64 + 1);
@@ -534,12 +571,14 @@ pub fn run_crash_sweep_with(
         report::set_live(false);
         server.shutdown();
     }
-    // `prefix_writes` stays 0 for a fully-warm sweep: the prefix never
-    // re-executed, so there is nothing to re-measure.
+    // `prefix_writes` and `replayed_writes` stay 0 for a fully-warm
+    // sweep: the prefix never re-executed, so there is nothing to
+    // re-measure (and nothing was replayed).
     SweepResult {
         baseline,
         forks,
         prefix_writes,
+        replayed_writes,
     }
 }
 
@@ -670,12 +709,37 @@ fn total(results: &[&[RunResult]], f: impl Fn(&RunResult) -> u64) -> u64 {
 /// part of this process (so its host seconds measure the memoized path,
 /// not the simulator) and `"cold"` otherwise; perf comparisons like the
 /// `ASAP_PERF_GATE` check in `ci.sh` must skip warm records. `phases` is
-/// the process-cumulative host-phase profile at write time
-/// ([`phase::snapshot_json`]) — where the host seconds actually went.
+/// the host-phase profile *taken* at write time
+/// ([`phase::take_snapshot_json`]): each record owns the interval since
+/// the previous record, so back-to-back emits in one process (e.g.
+/// `crash_sweep` then `crash_sweep_legacy`) never repeat each other's
+/// `simulate_us`/`cells_timed`.
 ///
 /// The note confirming the write goes to *stderr*: stdout stays
 /// byte-identical across `ASAP_JOBS` settings and host speeds.
 pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
+    emit_wallclock_env(figure, elapsed, grids, None);
+}
+
+/// [`emit_wallclock`] for crash sweeps: the record additionally carries
+/// `crash_points` (how many points the sweep covered) and
+/// `points_per_sec` (that count over the host seconds) — the sweep
+/// throughput the `ASAP_PERF_GATE` comparison in `ci.sh` tracks.
+pub fn emit_wallclock_sweep(
+    figure: &str,
+    elapsed: Duration,
+    grids: &[&[RunResult]],
+    crash_points: u64,
+) {
+    emit_wallclock_env(figure, elapsed, grids, Some(crash_points));
+}
+
+fn emit_wallclock_env(
+    figure: &str,
+    elapsed: Duration,
+    grids: &[&[RunResult]],
+    crash_points: Option<u64>,
+) {
     let path = match std::env::var("ASAP_WALLCLOCK") {
         Ok(p) if p.is_empty() => return,
         Ok(p) => std::path::PathBuf::from(p),
@@ -684,7 +748,7 @@ pub fn emit_wallclock(figure: &str, elapsed: Duration, grids: &[&[RunResult]]) {
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_WALLCLOCK.json")
         }
     };
-    if let Err(e) = emit_wallclock_to(&path, figure, elapsed, grids) {
+    if let Err(e) = emit_wallclock_record(&path, figure, elapsed, grids, crash_points) {
         obs::warn!("wallclock: could not write {}: {e}", path.display());
     }
     emit_telemetry(figure, grids);
@@ -700,6 +764,17 @@ pub fn emit_wallclock_to(
     elapsed: Duration,
     grids: &[&[RunResult]],
 ) -> std::io::Result<()> {
+    emit_wallclock_record(path, figure, elapsed, grids, None)
+}
+
+/// [`emit_wallclock_to`] with the optional sweep-throughput fields.
+pub fn emit_wallclock_record(
+    path: &std::path::Path,
+    figure: &str,
+    elapsed: Duration,
+    grids: &[&[RunResult]],
+    crash_points: Option<u64>,
+) -> std::io::Result<()> {
     let _t = phase::scope(phase::Phase::Export);
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -709,9 +784,15 @@ pub fn emit_wallclock_to(
     } else {
         "cold"
     };
+    let sweep_fields = crash_points.map_or(String::new(), |n| {
+        format!(
+            "\"crash_points\":{n},\"points_per_sec\":{:.1},",
+            n as f64 / elapsed.as_secs_f64().max(1e-9)
+        )
+    });
     let record = format!(
         "{{\"figure\":\"{}\",\"host_seconds\":{:.3},\"jobs\":{},\"cells\":{},\
-         \"cache\":\"{}\",\"sim_cycles\":{},\"pm_writes\":{},\"phases\":{},\
+         \"cache\":\"{}\",\"sim_cycles\":{},\"pm_writes\":{},{}\"phases\":{},\
          \"unix_time\":{}}}",
         figure,
         elapsed.as_secs_f64(),
@@ -720,7 +801,8 @@ pub fn emit_wallclock_to(
         cache_tag,
         total(grids, |r| r.exec_cycles),
         total(grids, |r| r.pm_writes),
-        phase::snapshot_json(),
+        sweep_fields,
+        phase::take_snapshot_json(),
         unix_time,
     );
     // The file is a JSON array; append the record so repeated figure runs

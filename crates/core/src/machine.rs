@@ -237,6 +237,18 @@ impl std::fmt::Debug for MachineSnapshot {
     }
 }
 
+// Snapshots move across host threads: the parallel crash-sweep engine
+// restores them inside pool workers. `Scheme: Send` (the only non-trivial
+// component — everything else is flat owned data; the PM image's
+// `Arc<Page>` table is `Send` by construction) makes this structural.
+// Snapshots are *not* `Sync`: the image keeps single-thread `Cell` caches,
+// so cross-thread sharing goes through a `Mutex`, never `&MachineSnapshot`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<MachineSnapshot>();
+    assert_send::<Machine>();
+};
+
 /// The simulated machine. See the [module docs](self).
 pub struct Machine {
     cfg: MachineConfig,
@@ -254,6 +266,21 @@ pub struct Machine {
     crash_armed: Option<u64>,
     crashed: bool,
     tx_count: u64,
+    /// Persistent-write counts at which persistence-lifecycle boundaries
+    /// occurred (WPQ acceptances, media persists, audited commits, region
+    /// ends), recorded while crash-point enumeration is on. Observer
+    /// state: deliberately excluded from snapshot/restore so a recording
+    /// pilot run and a replaying fork never disagree on machine state.
+    crash_candidates: Option<Vec<u64>>,
+}
+
+/// Appends a candidate coordinate unless it repeats the latest one — the
+/// event pump visits many events between persistent writes, and only
+/// distinct write counts are distinct crash points.
+fn push_candidate(c: &mut Vec<u64>, k: u64) {
+    if c.last() != Some(&k) {
+        c.push(k);
+    }
 }
 
 impl Machine {
@@ -287,6 +314,7 @@ impl Machine {
             crash_armed: cfg.crash_after_pm_writes,
             crashed: false,
             tx_count: 0,
+            crash_candidates: None,
             cfg,
         }
     }
@@ -332,13 +360,56 @@ impl Machine {
 
     fn pump(&mut self, now: Cycle) {
         self.hw.advance_mem(now);
+        let audited0 = self
+            .crash_candidates
+            .is_some()
+            .then(|| self.hw.lifecycle.audited_commits());
         while let Some(ev) = self.hw.mem.pop_event() {
             self.hw.observe_mem_event(&ev);
+            if let Some(c) = &mut self.crash_candidates {
+                // Every memory event is a persistence boundary: WPQ
+                // acceptance (`Accepted`) and media persist (`PmWritten`)
+                // are exactly the coordinates where a power failure
+                // changes what recovery sees.
+                push_candidate(c, self.pm_write_ops);
+            }
             self.scheme.on_mem_event(&mut self.hw, &ev);
+        }
+        // ASAP-style asynchronous commits surface here (the commit
+        // cascade runs from `on_mem_event`): a change in the audited
+        // commit count marks a commit boundary.
+        if let Some(a0) = audited0 {
+            if self.hw.lifecycle.audited_commits() != a0 {
+                if let Some(c) = &mut self.crash_candidates {
+                    push_candidate(c, self.pm_write_ops);
+                }
+            }
         }
         if self.hw.telemetry_due(now) {
             let gauges = self.scheme.gauges();
             self.hw.telemetry_record(now, gauges);
+        }
+    }
+
+    /// Turns crash-candidate recording on or off. While on, the machine
+    /// appends its current [`pm_write_ops`](Self::pm_write_ops) to an
+    /// internal list at every persistence-lifecycle boundary: WPQ
+    /// acceptance, media persist, audited commit, and region end. Crash
+    /// sweeps run one recording pilot and crash-straddle these counts
+    /// instead of sweeping a blind fixed stride.
+    pub fn record_crash_candidates(&mut self, on: bool) {
+        self.crash_candidates = on.then(Vec::new);
+    }
+
+    /// Takes the recorded candidate coordinates (absolute persistent-write
+    /// counts, ascending, deduplicated) and turns recording off.
+    pub fn take_crash_candidates(&mut self) -> Vec<u64> {
+        self.crash_candidates.take().unwrap_or_default()
+    }
+
+    fn note_crash_candidate(&mut self) {
+        if let Some(c) = &mut self.crash_candidates {
+            push_candidate(c, self.pm_write_ops);
         }
     }
 
@@ -842,6 +913,10 @@ impl ThreadCtx<'_> {
         let m = &mut *self.m;
         self.now = m.scheme.on_end(&mut m.hw, t, rid, self.now);
         m.hw.lifecycle.end(rid, self.now);
+        // Region end is a persist-order boundary for synchronous schemes
+        // (durable when `on_end` returns) and the commit-request edge for
+        // asynchronous ones — a candidate either way.
+        m.note_crash_candidate();
         if !m.cfg.scheme.commits_asynchronously() {
             // Synchronous schemes are durable when on_end returns: the
             // region is persist-ordered and committed at this instant.

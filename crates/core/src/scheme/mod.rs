@@ -173,7 +173,13 @@ pub struct SchemeGauges {
 /// Time flows through the hooks explicitly: each receives the thread's
 /// current local clock `now` and returns the clock after the operation
 /// (including any synchronous waiting the scheme performs).
-pub trait Scheme {
+///
+/// `Send` is a supertrait so `Box<dyn Scheme>` — and with it
+/// [`MachineSnapshot`](crate::machine::MachineSnapshot) — can move across
+/// host threads: the parallel crash-sweep engine dispatches forks to a
+/// worker pool. Schemes are plain owned data (no interior `Rc`/raw
+/// pointers), so every implementation satisfies the bound structurally.
+pub trait Scheme: Send {
     /// The scheme's kind.
     fn kind(&self) -> SchemeKind;
 

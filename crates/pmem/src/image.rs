@@ -181,6 +181,18 @@ pub struct MemoryImage {
     stats: Cell<ImageStats>,
 }
 
+// An image (and hence a machine snapshot) is `Send` — `Arc<Page>`
+// refcounts are atomic, so two images sharing pages may live on
+// different threads and fault their CoW copies concurrently without
+// contending (each `Arc::strong_count` check and page deep-copy touches
+// only that page's refcount). The `Cell` caches above keep it `!Sync`:
+// the sweep engine shares snapshots across workers behind a `Mutex`,
+// never by reference.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<MemoryImage>();
+};
+
 /// Access statistics of a [`MemoryImage`]: how hard the page lookup
 /// machinery worked. `last_page_hits / lookups` is the one-entry-cache
 /// hit rate; `index_probes` counts open-addressing steps (1 per

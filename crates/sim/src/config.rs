@@ -299,6 +299,8 @@ pub const KNOWN_ASAP_ENV: &[&str] = &[
     "ASAP_RUNCACHE",
     "ASAP_RUNCACHE_CAP",
     "ASAP_RUNCACHE_DIR",
+    "ASAP_SNAP_BUDGET",
+    "ASAP_SWEEP_JOBS",
     "ASAP_TELEMETRY",
     "ASAP_TELEMETRY_OUT",
     "ASAP_TELEMETRY_PERIOD",

@@ -10,9 +10,11 @@
 //! Totals are *host* time and therefore nondeterministic; they are
 //! exported to places that already carry host time (the `phases` object
 //! of `BENCH_WALLCLOCK.json` records, the HTML run report) and never
-//! into figure stdout. Like the run-cache counters, totals are
-//! cumulative for the process, so a multi-grid process reports the sum
-//! of its grids.
+//! into figure stdout. Totals accumulate across grids; each wall-clock
+//! record *takes* them ([`take_snapshot_json`]), so consecutive records
+//! in one process report disjoint intervals instead of repeating earlier
+//! records' totals (a figure that runs several grids before emitting
+//! still reports their sum — the interval spans records, not grids).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -121,6 +123,27 @@ pub fn snapshot_json() -> String {
     out
 }
 
+/// Resets every phase total and count to zero. Wall-clock emission calls
+/// this (via [`take_snapshot_json`]) so each record owns its interval;
+/// tests call it to start from a clean slate.
+pub fn reset() {
+    for i in 0..PHASES.len() {
+        TOTAL_US[i].store(0, Ordering::Relaxed);
+        COUNT[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// [`snapshot_json`] followed by [`reset`]: the snapshot covers the
+/// interval since the previous take. This is what keeps consecutive
+/// wall-clock records in one process (e.g. `crash_sweep` followed by
+/// `crash_sweep_legacy`) from re-reporting each other's `simulate_us`
+/// and `cells_timed`.
+pub fn take_snapshot_json() -> String {
+    let out = snapshot_json();
+    reset();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +174,18 @@ mod tests {
             .get("cells_timed")
             .and_then(json::Value::as_u64)
             .is_some());
+
+        // take_snapshot_json drains: a second take reports a fresh
+        // interval, not the first one's totals. (Same #[test] as the
+        // accumulation checks above — a parallel test thread resetting
+        // the process-global totals would race them otherwise.)
+        let taken = json::parse(&take_snapshot_json()).expect("take parses");
+        assert!(taken.get("export_us").and_then(json::Value::as_u64) >= Some(1));
+        let after = json::parse(&snapshot_json()).expect("post-take parses");
+        assert_eq!(
+            after.get("cells_timed").and_then(json::Value::as_u64),
+            Some(0)
+        );
+        assert_eq!(totals(Phase::Export), (0, 0));
     }
 }

@@ -2,6 +2,8 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use asap_core::machine::{
     Machine, MachineConfig, MachineSnapshot, RunOutcome, StepFn, StepOutcome, ThreadCtx,
@@ -423,6 +425,71 @@ pub struct SweepResult {
     /// range); a pilot `run_sweep(spec, &[], u64::MAX)` measures it for
     /// the cost of one uninterrupted run.
     pub prefix_writes: u64,
+    /// Persistent writes re-simulated across all forks (distance from
+    /// each fork's restored snapshot to where its run stopped) — the cost
+    /// the snapshot layout exists to minimize. Also accumulated into the
+    /// process-global `snapshot.replayed_writes` metric.
+    pub replayed_writes: u64,
+}
+
+/// Sweep-engine tuning: snapshot layout and fork dispatch.
+///
+/// The configuration never affects results — every combination produces
+/// bit-identical [`RunResult`]s (the equivalence suites enforce it) —
+/// only wall clock and resident memory.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Spine snapshot cadence in persistent writes (quantized to step
+    /// boundaries; minimum 1).
+    pub snap_every: u64,
+    /// Most spine snapshots retained (0 = unbounded). When the prefix
+    /// outgrows the budget, every other spine snapshot is evicted and the
+    /// cadence doubles — memory stays O(budget) while worst-case replay
+    /// distance stays O(prefix / budget).
+    pub snap_budget: usize,
+    /// Refinement snapshots — the snapshot tree's leaves. Each fork first
+    /// advances (unarmed) to the last step boundary before its crash
+    /// point and snapshots there, so the armed replay is at most one
+    /// step's writes instead of a cadence tail, and consecutive points in
+    /// a chunk share their advance work.
+    pub refine: bool,
+    /// Fork-dispatch worker threads (1 = inline on the calling thread;
+    /// results are identical either way).
+    pub jobs: usize,
+}
+
+impl SweepConfig {
+    /// PR 9's layout: flat cadence, no tree, serial dispatch.
+    pub fn flat(snap_every: u64) -> Self {
+        SweepConfig {
+            snap_every,
+            snap_budget: 0,
+            refine: false,
+            jobs: 1,
+        }
+    }
+
+    /// The tree layout: budgeted spine plus per-fork refinement leaves.
+    pub fn tree(snap_every: u64) -> Self {
+        SweepConfig {
+            snap_every,
+            snap_budget: 64,
+            refine: true,
+            jobs: 1,
+        }
+    }
+
+    /// Sets the fork-dispatch worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the spine snapshot budget (0 = unbounded).
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.snap_budget = budget;
+        self
+    }
 }
 
 /// Runs a crash-point sweep over one workload: the prefix simulates once,
@@ -431,6 +498,9 @@ pub struct SweepResult {
 /// point forks from the latest preceding snapshot instead of
 /// re-simulating from cycle 0 — O(points × dirty state) instead of
 /// O(points × run length).
+///
+/// This is the flat serial layout, [`SweepConfig::flat`]; see
+/// [`run_sweep_with`] for the snapshot tree and parallel fork dispatch.
 ///
 /// Each fork arms the power failure at exactly the absolute write count
 /// the legacy path would have crashed on, and both paths execute the same
@@ -444,12 +514,162 @@ pub struct SweepResult {
 /// Panics if `spec.crash_after` is set (the sweep owns crash arming), or
 /// if a scheme invariant or crash-consistency check fails in any fork.
 pub fn run_sweep(spec: &WorkloadSpec, points: &[u64], snap_every: u64) -> SweepResult {
+    run_sweep_with(spec, points, &SweepConfig::flat(snap_every))
+}
+
+/// Immutable state one sweep's fork workers share by reference.
+struct SweepShared<'a> {
+    spec: &'a WorkloadSpec,
+    marks: SetupMarks,
+    cfg: SweepConfig,
+    /// Requested crash points, in request order.
+    points: &'a [u64],
+    /// Point indices sorted ascending by point value — the processing
+    /// order that keeps each chunk on one stretch of the prefix.
+    order: &'a [usize],
+    /// Realized post-step `pm_write_ops` values of the prefix, ascending
+    /// — the refinement targets (every crash point lies between two).
+    boundaries: &'a [u64],
+    /// Spine snapshots. `Mutex` because a snapshot is `Send` but not
+    /// `Sync` (the PM image keeps single-thread `Cell` caches): workers
+    /// hold the lock only for the restore `memcpy`.
+    spine: &'a [Mutex<(MachineSnapshot, Vec<ThreadState>)>],
+    /// `pm_write_ops` of each spine snapshot (lock-free index).
+    spine_writes: &'a [u64],
+    /// One result slot per requested point, filled by whichever worker
+    /// runs it; the merge reads them back in request order, which is what
+    /// makes the output independent of worker count and timing.
+    slots: &'a [Mutex<Option<(RunResult, u64)>>],
+    bench: AnyBench,
+}
+
+/// Processes one contiguous chunk of the sorted point order on `m`.
+///
+/// Flat mode restores the latest preceding spine snapshot for every
+/// point. Tree mode restores once per chunk, then walks forward taking a
+/// refinement leaf at the last step boundary before each point: the
+/// armed replay is bounded by one step's writes, and consecutive points
+/// share the advance work. Both modes run the same
+/// [`Machine::step_thread`] loop as [`run`], so results are identical.
+fn sweep_chunk(sh: &SweepShared<'_>, range: std::ops::Range<usize>, m: &mut Machine, worker: u64) {
     use asap_sim::obs::{events, metrics};
+    let idxs = &sh.order[range];
+    if idxs.is_empty() {
+        return;
+    }
+    let spec = sh.spec;
+    let mut bench = sh.bench;
+    let state: SharedStates = Rc::new(RefCell::new(Vec::new()));
+    // The chunk's refinement leaf: machine + driver state at the last
+    // step boundary before the current point, re-snapshotted as the walk
+    // advances (depth counts leaves taken since the spine snapshot).
+    let mut cur: Option<(MachineSnapshot, Vec<ThreadState>)> = None;
+    let mut depth = 0u64;
+    if sh.cfg.refine {
+        let limit = sh.marks.armed_base + sh.points[idxs[0]].max(1);
+        let si = sh.spine_writes.partition_point(|&w| w < limit) - 1;
+        let g = sh.spine[si].lock().unwrap();
+        m.restore(&g.0);
+        state.borrow_mut().clone_from(&g.1);
+    }
+    for (k, &i) in idxs.iter().enumerate() {
+        let n = sh.points[i];
+        let armed_abs = sh.marks.armed_base + n;
+        // Fork from *before* the crashing write: the latest state
+        // strictly below the armed count. (`n = 0` fires on the next
+        // write exactly like `n = 1` — the arming check is `>=`.)
+        let limit = sh.marks.armed_base + n.max(1);
+        let snap_writes;
+        if sh.cfg.refine {
+            let b = sh.boundaries[sh.boundaries.partition_point(|&w| w < limit) - 1];
+            if m.pm_write_ops() < b || cur.is_none() {
+                if m.pm_write_ops() < b {
+                    // Advance unarmed to the target boundary. Replay of a
+                    // restored prefix is deterministic, so the write
+                    // count lands on `b` exactly (it is a realized
+                    // boundary of this very prefix).
+                    let mut steps = shared_steps(bench, spec, &state);
+                    m.begin_schedule();
+                    while m.pm_write_ops() < b {
+                        let Some(t) = m.next_runnable() else { break };
+                        let out = m.step_thread(t, &mut steps[t]);
+                        debug_assert_ne!(out, StepOutcome::Crashed, "the advance runs unarmed");
+                    }
+                }
+                depth += 1;
+                metrics::counter("snapshot.tree.leaves").inc();
+                match &mut cur {
+                    Some((s, st)) => {
+                        *s = m.snapshot();
+                        st.clone_from(&state.borrow());
+                    }
+                    None => cur = Some((m.snapshot(), state.borrow().clone())),
+                }
+            }
+            snap_writes = m.pm_write_ops();
+        } else {
+            let si = sh.spine_writes.partition_point(|&w| w < limit) - 1;
+            let g = sh.spine[si].lock().unwrap();
+            m.restore(&g.0);
+            state.borrow_mut().clone_from(&g.1);
+            snap_writes = sh.spine_writes[si];
+        }
+        m.arm_crash_after_additional(armed_abs - m.pm_write_ops());
+        metrics::counter("snapshot.forks").add(1);
+        let mut steps = shared_steps(bench, spec, &state);
+        let outcome = m.run(&mut steps);
+        drop(steps);
+        let replayed = m.pm_write_ops() - snap_writes;
+        metrics::counter("snapshot.replayed_writes").add(replayed);
+        if events::enabled() {
+            events::Event::new("crash_fork")
+                .field_str("bench", spec.bench.label())
+                .field_str("scheme", &spec.scheme.to_string())
+                .field_u64("crash_after", n)
+                .field_u64("snap_writes", snap_writes - sh.marks.armed_base)
+                .field_u64("replayed", replayed)
+                .field_u64("tree_depth", if sh.cfg.refine { depth } else { 0 })
+                .field_u64("worker", worker)
+                .emit();
+        }
+        let fspec = spec.with_crash_after(n);
+        let r = collect(m, &mut bench, &fspec, outcome, &sh.marks);
+        *sh.slots[i].lock().unwrap() = Some((r, replayed));
+        if sh.cfg.refine && k + 1 < idxs.len() {
+            // Rewind to the leaf for the next point's advance.
+            let (s, st) = cur.as_ref().expect("leaf exists after the first fork");
+            m.restore(s);
+            state.borrow_mut().clone_from(st);
+        }
+    }
+}
+
+/// [`run_sweep`] with an explicit [`SweepConfig`]: the adaptive snapshot
+/// tree and the parallel fork engine.
+///
+/// The prefix simulates once (serially — it is one deterministic
+/// simulation), recording spine snapshots at the budget-compacted cadence
+/// plus every realized step-boundary write count. Forks then dispatch in
+/// ascending point order across `cfg.jobs` scoped workers (self-scheduled
+/// over contiguous chunks, each worker owning one scratch [`Machine`] —
+/// snapshots are `Send`, so restoring them in a worker is ordinary data
+/// movement), and results merge back in request order. Determinism
+/// argument: a fork's result depends only on the restored snapshot and
+/// the armed count, never on which worker ran it or when, so the merged
+/// output is bit-identical to the serial sweep at any `cfg.jobs` — and to
+/// the legacy one-run-per-point path.
+///
+/// # Panics
+///
+/// Panics if `spec.crash_after` is set (the sweep owns crash arming), or
+/// if a scheme invariant or crash-consistency check fails in any fork.
+pub fn run_sweep_with(spec: &WorkloadSpec, points: &[u64], cfg: &SweepConfig) -> SweepResult {
+    use asap_sim::obs::metrics;
     assert!(
         spec.crash_after.is_none(),
         "sweep specs must not pre-arm a crash (the points are the sweep's)"
     );
-    let snap_every = snap_every.max(1);
+    let snap_every = cfg.snap_every.max(1);
     let (mut m, mut bench, marks) = prepare(spec);
     let state = thread_states(spec);
     let mut steps = shared_steps(bench, spec, &state);
@@ -458,57 +678,111 @@ pub fn run_sweep(spec: &WorkloadSpec, points: &[u64], snap_every: u64) -> SweepR
     // at step boundaries. The first snapshot (taken before any step, at
     // the armed origin) covers every crash point on its own; later ones
     // only shorten the replay distance.
-    let mut snaps: Vec<(MachineSnapshot, Vec<ThreadState>)> =
+    let mut spine: Vec<(MachineSnapshot, Vec<ThreadState>)> =
         vec![(m.snapshot(), state.borrow().clone())];
-    let mut next_mark = m.pm_write_ops().saturating_add(snap_every);
+    let mut boundaries: Vec<u64> = vec![m.pm_write_ops()];
+    let mut stride = snap_every;
+    let mut next_mark = m.pm_write_ops().saturating_add(stride);
     m.begin_schedule();
     while let Some(t) = m.next_runnable() {
         let out = m.step_thread(t, &mut steps[t]);
         debug_assert_ne!(out, StepOutcome::Crashed, "the prefix runs unarmed");
-        if m.pm_write_ops() >= next_mark {
-            snaps.push((m.snapshot(), state.borrow().clone()));
-            next_mark = m.pm_write_ops().saturating_add(snap_every);
+        let w = m.pm_write_ops();
+        if boundaries.last() != Some(&w) {
+            boundaries.push(w);
+        }
+        if w >= next_mark {
+            spine.push((m.snapshot(), state.borrow().clone()));
+            if cfg.snap_budget > 0 && spine.len() > cfg.snap_budget {
+                // Over budget: evict every other snapshot (even indices
+                // survive, so the origin always does) and double the
+                // cadence — logarithmic thinning keeps memory O(budget)
+                // and flat replay distance O(prefix / budget).
+                let mut idx = 0usize;
+                spine.retain(|_| {
+                    let keep = idx.is_multiple_of(2);
+                    idx += 1;
+                    keep
+                });
+                stride = stride.saturating_mul(2);
+                metrics::counter("snapshot.spine.compactions").inc();
+            }
+            next_mark = w.saturating_add(stride);
         }
     }
     drop(steps);
     let prefix_writes = m.pm_write_ops() - marks.armed_base;
-    for (snap, _) in &snaps {
+    for (snap, _) in &spine {
         metrics::counter("snapshot.bytes").add(snap.approx_image_bytes());
     }
+    metrics::gauge("snapshot.spine.len").set_max(spine.len() as u64);
     let mut baseline = collect(&mut m, &mut bench, spec, RunOutcome::Completed, &marks);
 
-    let mut forks = Vec::with_capacity(points.len());
-    for &n in points {
-        let armed_abs = marks.armed_base + n;
-        // Rewind to *before* the crashing write: the latest snapshot
-        // strictly below the armed count. (`n = 0` fires on the next
-        // write exactly like `n = 1` — the arming check is `>=` — so the
-        // origin snapshot is valid for it.)
-        let limit = marks.armed_base + n.max(1);
-        let (snap, st) = snaps
-            .iter()
-            .rev()
-            .find(|(s, _)| s.pm_write_ops() < limit)
-            .expect("the post-setup snapshot precedes every crash point");
-        m.restore(snap);
-        state.borrow_mut().clone_from(st);
-        m.arm_crash_after_additional(armed_abs - snap.pm_write_ops());
-        metrics::counter("snapshot.forks").add(1);
-        if events::enabled() {
-            events::Event::new("crash_fork")
-                .field_str("bench", spec.bench.label())
-                .field_str("scheme", &spec.scheme.to_string())
-                .field_u64("crash_after", n)
-                .field_u64("snap_writes", snap.pm_write_ops() - marks.armed_base)
-                .emit();
+    // Fork dispatch. Ascending point order keeps each chunk on one
+    // stretch of the prefix; chunks are self-scheduled (the `run_grid`
+    // pool pattern) so stragglers rebalance.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by_key(|&i| (points[i], i));
+    let jobs = cfg.jobs.max(1).min(points.len().max(1));
+    let chunk_count = if jobs == 1 {
+        1
+    } else {
+        (jobs * 4).min(points.len())
+    };
+    let chunks: Vec<std::ops::Range<usize>> = (0..chunk_count)
+        .map(|c| (c * points.len() / chunk_count)..((c + 1) * points.len() / chunk_count))
+        .collect();
+    let spine_writes: Vec<u64> = spine.iter().map(|(s, _)| s.pm_write_ops()).collect();
+    let spine: Vec<Mutex<(MachineSnapshot, Vec<ThreadState>)>> =
+        spine.into_iter().map(Mutex::new).collect();
+    let slots: Vec<Mutex<Option<(RunResult, u64)>>> =
+        points.iter().map(|_| Mutex::new(None)).collect();
+    let shared = SweepShared {
+        spec,
+        marks,
+        cfg: *cfg,
+        points,
+        order: &order,
+        boundaries: &boundaries,
+        spine: &spine,
+        spine_writes: &spine_writes,
+        slots: &slots,
+        bench,
+    };
+    if jobs == 1 {
+        for r in &chunks {
+            sweep_chunk(&shared, r.clone(), &mut m, 0);
         }
-        let mut steps = shared_steps(bench, spec, &state);
-        let outcome = m.run(&mut steps);
-        drop(steps);
-        let fspec = spec.with_crash_after(n);
-        let r = collect(&mut m, &mut bench, &fspec, outcome, &marks);
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|sc| {
+            for w in 0..jobs.min(chunk_count) {
+                let shared = &shared;
+                let chunks = &chunks;
+                let next = &next;
+                sc.spawn(move || {
+                    let mut wm = machine_for(shared.spec);
+                    loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(r) = chunks.get(c) else { break };
+                        sweep_chunk(shared, r.clone(), &mut wm, w as u64);
+                    }
+                });
+            }
+        });
+    }
+
+    // Merge in request order: output is a pure function of the slots.
+    let mut forks = Vec::with_capacity(points.len());
+    let mut replayed_writes = 0u64;
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (r, replayed) = slot
+            .into_inner()
+            .expect("slot mutex poisoned")
+            .expect("every point produces a fork");
+        replayed_writes += replayed;
         baseline.crash_points.push(CrashPointOutcome {
-            crash_after: n,
+            crash_after: points[i],
             crashed: r.outcome == RunOutcome::Crashed,
             uncommitted: r
                 .recovery
@@ -523,6 +797,75 @@ pub fn run_sweep(spec: &WorkloadSpec, points: &[u64], snap_every: u64) -> SweepR
     SweepResult {
         baseline,
         forks,
+        prefix_writes,
+        replayed_writes,
+    }
+}
+
+/// A lifecycle-guided crash plan: where a sweep should actually crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Chosen crash points (post-setup persistent-write counts),
+    /// ascending and deduplicated; at most `budget` of them.
+    pub points: Vec<u64>,
+    /// Distinct candidate points the lifecycle log yielded before
+    /// budget sampling.
+    pub candidates: usize,
+    /// Post-setup persistent writes of the uninterrupted run (the upper
+    /// end of the `crash_after` coordinate).
+    pub prefix_writes: u64,
+}
+
+/// Enumerates crash points from the machine's persistence lifecycle
+/// instead of a blind fixed stride: one recording pilot run notes the
+/// persistent-write count at every WPQ acceptance, media persist, audited
+/// commit, and region end, and each boundary contributes the write that
+/// straddles it (`k` and `k + 1` — crashing just before and just after).
+/// When the candidate set exceeds `budget` (0 = unbounded), it is sampled
+/// at an even stride that keeps the first and last candidates, so the
+/// plan stays deterministic for a given spec.
+///
+/// The returned points are ordinary `crash_after` coordinates: each fork
+/// of the sweep still fingerprints as a legacy `crash_after` cell, so the
+/// runcache dedupes them across sweeps and grids.
+///
+/// # Panics
+///
+/// Panics if `spec.crash_after` is set.
+pub fn enumerate_crash_points(spec: &WorkloadSpec, budget: usize) -> CrashPlan {
+    assert!(
+        spec.crash_after.is_none(),
+        "enumeration pilots must not pre-arm a crash"
+    );
+    let (mut m, bench, marks) = prepare(spec);
+    m.record_crash_candidates(true);
+    let state = thread_states(spec);
+    let mut steps = shared_steps(bench, spec, &state);
+    let outcome = m.run(&mut steps);
+    drop(steps);
+    debug_assert_eq!(outcome, RunOutcome::Completed, "the pilot runs unarmed");
+    let raw = m.take_crash_candidates();
+    let prefix_writes = m.pm_write_ops() - marks.armed_base;
+    let mut points: Vec<u64> = raw
+        .iter()
+        .flat_map(|&abs| {
+            let k = abs.saturating_sub(marks.armed_base);
+            [k, k + 1]
+        })
+        .filter(|&k| k >= 1 && k <= prefix_writes)
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+    let candidates = points.len();
+    if budget > 0 && candidates > budget {
+        points = (0..budget)
+            .map(|j| points[j * (candidates - 1) / (budget - 1).max(1)])
+            .collect();
+        points.dedup();
+    }
+    CrashPlan {
+        points,
+        candidates,
         prefix_writes,
     }
 }
@@ -712,6 +1055,69 @@ mod tests {
         assert!(cps[0].crashed && cps[0].crash_after == 1);
         assert!(!cps[4].crashed, "beyond-the-end point completes");
         assert_eq!(cps[4].tx, plain.tx);
+    }
+
+    #[test]
+    fn tree_and_parallel_sweeps_match_flat_serial() {
+        use crate::resultjson::results_identical;
+        let spec = small(BenchId::Hm, SchemeKind::Asap).with_tracking();
+        let points = [3u64, 1, 17, 17, 30, 1_000_000];
+        let flat = run_sweep_with(&spec, &points, &SweepConfig::flat(8));
+        for cfg in [
+            SweepConfig::tree(8),
+            SweepConfig::tree(8).with_budget(2),
+            SweepConfig::flat(8).with_jobs(3),
+            SweepConfig::tree(8).with_jobs(2),
+            SweepConfig::tree(1).with_budget(1).with_jobs(4),
+        ] {
+            let sw = run_sweep_with(&spec, &points, &cfg);
+            assert!(
+                results_identical(&sw.baseline, &flat.baseline),
+                "baseline diverged under {cfg:?}"
+            );
+            assert_eq!(sw.baseline.crash_points, flat.baseline.crash_points);
+            assert_eq!(sw.prefix_writes, flat.prefix_writes);
+            for (i, (a, b)) in sw.forks.iter().zip(&flat.forks).enumerate() {
+                assert!(
+                    results_identical(a, b),
+                    "fork {} (point {}) diverged under {cfg:?}",
+                    i,
+                    points[i]
+                );
+            }
+            if cfg.refine {
+                assert!(
+                    sw.replayed_writes < flat.replayed_writes,
+                    "tree replays less: {} vs flat {} under {cfg:?}",
+                    sw.replayed_writes,
+                    flat.replayed_writes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_lifecycle_guided_and_budgeted() {
+        let spec = small(BenchId::Hm, SchemeKind::Asap);
+        let a = enumerate_crash_points(&spec, 0);
+        let b = enumerate_crash_points(&spec, 0);
+        assert_eq!(a, b, "plans must be deterministic");
+        assert!(!a.points.is_empty());
+        assert_eq!(a.candidates, a.points.len(), "budget 0 keeps everything");
+        assert!(a.points.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        assert!(*a.points.first().unwrap() >= 1);
+        assert!(*a.points.last().unwrap() <= a.prefix_writes);
+        // Sampling keeps the envelope and respects the budget.
+        let s = enumerate_crash_points(&spec, 5);
+        assert!(s.points.len() <= 5);
+        assert_eq!(s.candidates, a.candidates);
+        assert_eq!(s.points.first(), a.points.first());
+        assert_eq!(s.points.last(), a.points.last());
+        assert_eq!(s.prefix_writes, a.prefix_writes);
+        // The plan's points are ordinary crash_after coordinates: a
+        // sweep over them behaves like any other sweep.
+        let sw = run_sweep_with(&spec, &s.points, &SweepConfig::tree(8));
+        assert!(sw.baseline.crash_points.iter().all(|p| p.crashed));
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub mod resultjson;
 pub mod spec;
 pub mod structures;
 
-pub use driver::{run, run_sweep, CrashPointOutcome, RunResult, StallBreakdown, SweepResult};
+pub use driver::{
+    enumerate_crash_points, run, run_sweep, run_sweep_with, CrashPlan, CrashPointOutcome,
+    RunResult, StallBreakdown, SweepConfig, SweepResult,
+};
 pub use spec::{BenchId, WorkloadSpec};
 pub use structures::Benchmark;

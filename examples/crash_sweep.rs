@@ -1,27 +1,39 @@
 //! Crash-point sweep smoke: one shared prefix, many forked crash points.
 //!
-//! Runs an `ASAP_CRASH_SWEEP`-point sweep (default 32) through the
-//! copy-on-write snapshot path, checks every fork bit-for-bit against the
-//! legacy one-full-run-per-point path, and records both wall clocks
-//! (`crash_sweep` / `crash_sweep_legacy`) in `BENCH_WALLCLOCK.json`. Both
-//! passes run with the result cache off, so the ratio compares simulation
-//! work, not memoization. At 32+ points the sweep must come in at no more
-//! than 1/5 of the legacy wall clock (asserted).
+//! Crash points come from a lifecycle-guided plan
+//! ([`asap_workloads::enumerate_crash_points`]): a recording pilot notes
+//! every WPQ-acceptance / persist / commit / region-end boundary, and the
+//! sweep crash-straddles up to `ASAP_CRASH_SWEEP` of them (default 32).
+//! The sweep itself runs the snapshot-tree engine — budgeted spine plus
+//! per-fork refinement leaves, forks dispatched across `ASAP_SWEEP_JOBS`
+//! workers — and is checked two ways:
+//!
+//! - against a serial flat-cadence sweep of the same points
+//!   (bit-identical forks, and ≥5x fewer replayed writes at 32+ points,
+//!   via the `snapshot.replayed_writes` metric);
+//! - at ≤64 points, additionally against the legacy
+//!   one-full-run-per-point path (bit-identical, and ≥5x faster at 32+
+//!   points; both passes run with the result cache off, so the ratio
+//!   compares simulation work, not memoization).
 //!
 //! ```sh
-//! ASAP_CRASH_SWEEP=32 cargo run --release --example crash_sweep
+//! ASAP_CRASH_SWEEP=1000 ASAP_SWEEP_JOBS=4 cargo run --release --example crash_sweep
 //! ```
 //!
-//! The outcome table goes to stdout and is deterministic; the wall-clock
-//! comparison goes to stderr (host-dependent, like every timing note).
+//! The outcome table goes to stdout and is deterministic — byte-identical
+//! at any `ASAP_SWEEP_JOBS`; wall clocks and throughput go to stderr
+//! (host-dependent, like every timing note).
 
 use std::time::Instant;
 
 use asap_bench::runcache::RunCacheConfig;
-use asap_bench::{emit_wallclock, ops, run_crash_sweep_with, threads};
+use asap_bench::{emit_wallclock, emit_wallclock_sweep, ops, run_crash_sweep_with, threads};
 use asap_core::scheme::SchemeKind;
+use asap_sim::obs::metrics;
 use asap_workloads::resultjson::results_identical;
-use asap_workloads::{run, BenchId, RunResult, WorkloadSpec};
+use asap_workloads::{
+    enumerate_crash_points, run, run_sweep_with, BenchId, RunResult, SweepConfig, WorkloadSpec,
+};
 
 fn main() {
     let n_points: u64 = std::env::var("ASAP_CRASH_SWEEP")
@@ -37,35 +49,29 @@ fn main() {
         .with_threads(threads())
         .with_ops(ops());
     spec.system = asap_sim::SystemConfig::small();
-    // Pilot: one uninterrupted sweep with no points measures the
-    // post-setup persistent-write range, so the crash points land as
-    // quantiles of the real `crash_after` coordinate rather than a guess.
-    // Point placement is metadata a sweeping tool measures once and
-    // reuses, so it stays outside the timed comparison.
-    let total = asap_workloads::run_sweep(&spec, &[], u64::MAX).prefix_writes;
-    let points: Vec<u64> = (1..=n_points)
-        .map(|i| (i * total / n_points).max(1))
-        .collect();
+    // Lifecycle-guided plan: one recording pilot enumerates every
+    // persistence boundary; the budget samples them evenly. Point
+    // placement is metadata a sweeping tool measures once and reuses, so
+    // it stays outside the timed comparison.
+    let plan = enumerate_crash_points(&spec, n_points as usize);
+    let points = &plan.points;
     // Snapshot cadence trades snapshot cost against fork replay distance;
     // an eighth of the write range keeps both well under one full run.
-    let snap_every = (total / 8).max(1);
+    let snap_every = (plan.prefix_writes / 8).max(1);
 
+    let replayed0 = metrics::counter_value("snapshot.replayed_writes");
     let t0 = Instant::now();
-    let sweep = run_crash_sweep_with(&spec, &points, snap_every, &RunCacheConfig::off());
+    let sweep = run_crash_sweep_with(&spec, points, snap_every, &RunCacheConfig::off());
     let sweep_elapsed = t0.elapsed();
-
-    let t1 = Instant::now();
-    let legacy: Vec<RunResult> = points
-        .iter()
-        .map(|&n| run(&spec.with_crash_after(n)))
-        .collect();
-    let legacy_elapsed = t1.elapsed();
+    let tree_replayed = metrics::counter_value("snapshot.replayed_writes") - replayed0;
 
     println!(
-        "crash-point sweep: {} x {} ({} points, snapshot every {} writes)",
+        "crash-point sweep: {} x {} ({} lifecycle points of {} candidates, \
+         snapshot every {} writes)",
         spec.bench.label(),
         spec.scheme.name(),
         points.len(),
+        plan.candidates,
         snap_every
     );
     println!(
@@ -83,20 +89,9 @@ fn main() {
         );
     }
 
-    // Every fork must be byte-identical to the legacy re-run path, every
-    // point must have fired, and every crash must have a recovery report
-    // (the per-scheme invariants already ran inside both paths).
-    for ((f, l), p) in sweep
-        .forks
-        .iter()
-        .zip(&legacy)
-        .zip(&sweep.baseline.crash_points)
-    {
-        assert!(
-            results_identical(f, l),
-            "fork at {} diverged from the legacy crash_after path",
-            p.crash_after
-        );
+    // Every planned point lies inside the write range, so every fork must
+    // fire and recover (the per-scheme invariants already ran inside).
+    for (f, p) in sweep.forks.iter().zip(&sweep.baseline.crash_points) {
         assert!(p.crashed, "point {} did not fire", p.crash_after);
         assert!(
             f.recovery.is_some(),
@@ -104,24 +99,90 @@ fn main() {
             p.crash_after
         );
     }
-    println!(
-        "all {} forks identical to legacy re-runs; all recoveries verified",
-        points.len()
-    );
 
-    emit_wallclock("crash_sweep", sweep_elapsed, &[&sweep.forks]);
-    emit_wallclock("crash_sweep_legacy", legacy_elapsed, &[&legacy]);
-    let speedup = legacy_elapsed.as_secs_f64() / sweep_elapsed.as_secs_f64().max(1e-9);
-    eprintln!(
-        "crash_sweep: sweep {:.3}s vs legacy {:.3}s ({speedup:.1}x)",
-        sweep_elapsed.as_secs_f64(),
-        legacy_elapsed.as_secs_f64()
+    // Flat-cadence reference: same points, serial, no tree. The forks
+    // must match bit-for-bit, and the tree must replay ≥5x fewer writes
+    // (the `snapshot.replayed_writes` metric both sweeps feed).
+    let flat0 = metrics::counter_value("snapshot.replayed_writes");
+    let flat = run_sweep_with(&spec, points, &SweepConfig::flat(snap_every));
+    let flat_replayed = metrics::counter_value("snapshot.replayed_writes") - flat0;
+    for (f, t) in flat.forks.iter().zip(&sweep.forks) {
+        assert!(
+            results_identical(t, f),
+            "tree fork at {} diverged from the flat-cadence layout",
+            f.spec.crash_after.unwrap_or(0)
+        );
+    }
+    println!(
+        "replayed writes: tree {} vs flat cadence {}",
+        tree_replayed, flat_replayed
     );
     if points.len() >= 32 {
         assert!(
-            speedup >= 5.0,
-            "sweep must be at least 5x faster than {} legacy re-runs (got {speedup:.2}x)",
+            tree_replayed * 5 <= flat_replayed,
+            "the snapshot tree must replay at least 5x fewer writes than \
+             the flat cadence (tree {tree_replayed} vs flat {flat_replayed})"
+        );
+    }
+
+    if points.len() <= 64 {
+        // Small sweeps afford the legacy cross-check: one full
+        // simulation per point, bit-compared against the forks.
+        let t1 = Instant::now();
+        let legacy: Vec<RunResult> = points
+            .iter()
+            .map(|&n| run(&spec.with_crash_after(n)))
+            .collect();
+        let legacy_elapsed = t1.elapsed();
+        for ((f, l), p) in sweep
+            .forks
+            .iter()
+            .zip(&legacy)
+            .zip(&sweep.baseline.crash_points)
+        {
+            assert!(
+                results_identical(f, l),
+                "fork at {} diverged from the legacy crash_after path",
+                p.crash_after
+            );
+        }
+        println!(
+            "all {} forks identical to legacy re-runs; all recoveries verified",
+            points.len()
+        );
+        emit_wallclock("crash_sweep_legacy", legacy_elapsed, &[&legacy]);
+        let speedup = legacy_elapsed.as_secs_f64() / sweep_elapsed.as_secs_f64().max(1e-9);
+        eprintln!(
+            "crash_sweep: sweep {:.3}s vs legacy {:.3}s ({speedup:.1}x)",
+            sweep_elapsed.as_secs_f64(),
+            legacy_elapsed.as_secs_f64()
+        );
+        if points.len() >= 32 {
+            assert!(
+                speedup >= 5.0,
+                "sweep must be at least 5x faster than {} legacy re-runs (got {speedup:.2}x)",
+                points.len()
+            );
+        }
+    } else {
+        println!(
+            "all {} crash points recovered; forks verified against the flat-cadence layout",
             points.len()
         );
     }
+
+    emit_wallclock_sweep(
+        "crash_sweep",
+        sweep_elapsed,
+        &[&sweep.forks],
+        points.len() as u64,
+    );
+    // The ci.sh parallel gate parses this line from two runs (serial and
+    // ASAP_SWEEP_JOBS=2) and compares the seconds.
+    eprintln!(
+        "crash_sweep: {} points in {:.3}s ({:.0} points/s)",
+        points.len(),
+        sweep_elapsed.as_secs_f64(),
+        points.len() as f64 / sweep_elapsed.as_secs_f64().max(1e-9)
+    );
 }

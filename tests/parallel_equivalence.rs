@@ -310,6 +310,56 @@ fn crash_sweeps_are_identical_to_legacy_crash_cells() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The parallel sweep engine stacks three axes of host parallelism —
+/// fork-dispatch workers (`ASAP_SWEEP_JOBS`), the grid pool that produces
+/// the legacy reference (`ASAP_JOBS`), and intra-cell parallel windows
+/// (`ASAP_CELL_JOBS`) — and every combination must still be bit-identical
+/// to the serial flat sweep and to the legacy one-run-per-point path.
+/// Tree refinement (the fourth axis) rides along: tree-restored forks
+/// must match flat-cadence forks under every dispatch mode.
+#[test]
+fn parallel_tree_sweeps_match_serial_flat_and_legacy() {
+    use asap_workloads::{run_sweep_with, SweepConfig};
+    let spec = WorkloadSpec::new(BenchId::Hm, SchemeKind::Asap)
+        .with_threads(2)
+        .with_ops(30)
+        .with_tracking();
+    let points = [2u64, 17, 17, 41, 1_000_000];
+    let crash_specs: Vec<WorkloadSpec> = points.iter().map(|&n| spec.with_crash_after(n)).collect();
+    // Legacy reference through the 4-way grid pool (the ASAP_JOBS axis).
+    let legacy = run_grid_with(&crash_specs, 4, &RunCacheConfig::off());
+    let flat = run_sweep_with(&spec, &points, &SweepConfig::flat(16));
+    for (a, b) in flat.forks.iter().zip(&legacy) {
+        assert_identical(a, b);
+    }
+    for cell_jobs in [None, Some(2)] {
+        let _guard = CellJobsGuard;
+        if let Some(j) = cell_jobs {
+            asap_mem::set_cell_jobs(Some(j));
+            asap_mem::set_parallel_window_min(Some(0));
+        }
+        for sweep_jobs in [1usize, 2, 4] {
+            for cfg in [
+                SweepConfig::flat(16).with_jobs(sweep_jobs),
+                SweepConfig::tree(16).with_budget(2).with_jobs(sweep_jobs),
+            ] {
+                let sw = run_sweep_with(&spec, &points, &cfg);
+                for (a, b) in sw.forks.iter().zip(&flat.forks) {
+                    assert_identical(a, b);
+                }
+                assert_eq!(sw.baseline.crash_points, flat.baseline.crash_points);
+                assert_eq!(sw.prefix_writes, flat.prefix_writes);
+                if cfg.refine {
+                    assert!(
+                        sw.replayed_writes <= flat.replayed_writes,
+                        "tree replay must not exceed flat (cell_jobs {cell_jobs:?}, {cfg:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Results come back in spec order, not completion order.
 #[test]
 fn results_preserve_spec_order() {
